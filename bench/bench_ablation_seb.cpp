@@ -1,0 +1,25 @@
+// Ablation bench for the SEB sampling block size (paper §4's constant c):
+// too small wastes rounds, too large degenerates into full orthant scans.
+#include "bench_common.h"
+#include "datagen/datagen.h"
+#include "seb/seb.h"
+
+using namespace pargeo;
+using namespace pargeo::bench;
+
+int main() {
+  const std::size_t n = base_n();
+  print_header("Ablation: SEB sampling block size",
+               "dataset / block / time / scanned");
+  auto is3 = datagen::in_sphere<3>(n, 1);
+  auto u2 = datagen::uniform<2>(n, 2);
+  for (const std::size_t c : {100u, 500u, 1000u, 5000u, 20000u}) {
+    const double t1 = time_op([&] { seb::sampling<3>(is3, 1, c); });
+    std::printf("3D-IS block=%-6zu %10.2f ms scanned=%.1f%%\n", c, 1e3 * t1,
+                100.0 * seb::last_sampling_scan_fraction());
+    const double t2 = time_op([&] { seb::sampling<2>(u2, 1, c); });
+    std::printf("2D-U  block=%-6zu %10.2f ms scanned=%.1f%%\n", c, 1e3 * t2,
+                100.0 * seb::last_sampling_scan_fraction());
+  }
+  return 0;
+}

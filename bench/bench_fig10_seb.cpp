@@ -1,0 +1,53 @@
+// Reproduces paper Figure 10: smallest enclosing ball running times across
+// the six methods and twelve datasets. `SeqBaseline` (sequential Welzl
+// with move-to-front) stands in for CGAL. Also prints the sampling phase's
+// scan fraction (paper §6.2 reports ~5% on average).
+#include "bench_common.h"
+#include "datagen/datagen.h"
+#include "seb/seb.h"
+
+using namespace pargeo;
+using namespace pargeo::bench;
+
+namespace {
+
+template <int D>
+void run_dataset(const std::string& name, const std::vector<point<D>>& pts) {
+  print_row(name, "SeqBaseline",
+            1e3 * time_op([&] { seb::welzl_seq<D>(pts); }));
+  print_row(name, "Welzl", 1e3 * time_op([&] { seb::welzl<D>(pts); }));
+  print_row(name, "WelzlMtf",
+            1e3 * time_op([&] { seb::welzl_mtf<D>(pts); }));
+  print_row(name, "WelzlMtfPivot",
+            1e3 * time_op([&] { seb::welzl_mtf_pivot<D>(pts); }));
+  print_row(name, "Scan",
+            1e3 * time_op([&] { seb::orthant_scan<D>(pts); }));
+  print_row(name, "Sampling",
+            1e3 * time_op([&] { seb::sampling<D>(pts); }));
+  std::printf("%-18s sampling phase scanned %.1f%% of the input\n",
+              name.c_str(), 100.0 * seb::last_sampling_scan_fraction());
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = base_n();
+  const std::size_t big = large_n();
+  print_header("Figure 10: smallest enclosing ball running times",
+               "dataset            method                   time");
+  run_dataset<2>("2D-IS-" + std::to_string(n), datagen::in_sphere<2>(n, 1));
+  run_dataset<2>("2D-OS-" + std::to_string(n), datagen::on_sphere<2>(n, 2));
+  run_dataset<3>("3D-IS-" + std::to_string(n), datagen::in_sphere<3>(n, 3));
+  run_dataset<3>("3D-OS-" + std::to_string(n), datagen::on_sphere<3>(n, 4));
+  run_dataset<2>("2D-U-" + std::to_string(n), datagen::uniform<2>(n, 5));
+  run_dataset<2>("2D-OC-" + std::to_string(n), datagen::on_cube<2>(n, 6));
+  run_dataset<3>("3D-U-" + std::to_string(n), datagen::uniform<3>(n, 7));
+  run_dataset<3>("3D-OC-" + std::to_string(n), datagen::on_cube<3>(n, 8));
+  run_dataset<3>("3D-Thai-proxy", datagen::synthetic_statue(n / 2, 9));
+  run_dataset<3>("3D-Dragon-proxy", datagen::synthetic_statue(n / 3, 10));
+  run_dataset<2>("2D-OS-" + std::to_string(big),
+                 datagen::on_sphere<2>(big, 11));
+  run_dataset<3>("3D-OS-" + std::to_string(big),
+                 datagen::on_sphere<3>(big, 12));
+  return 0;
+}

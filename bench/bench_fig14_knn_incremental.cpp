@@ -1,0 +1,52 @@
+// Reproduces paper Figure 14 (Appendix D): k-NN throughput versus k
+// (2..11) when the trees were built by a sequence of batch insertions
+// (batches of 5%) instead of one bulk construction. B2's lack of
+// rebalancing shows up as a large k-NN throughput loss; B1 is best; BDL
+// is close behind.
+#include "bdltree/baselines.h"
+#include "bdltree/bdl_tree.h"
+#include "bench_common.h"
+#include "datagen/datagen.h"
+
+using namespace pargeo;
+using namespace pargeo::bench;
+using namespace pargeo::bdltree;
+
+namespace {
+
+template <int D, class Tree>
+void run_impl(const char* name, const std::vector<point<D>>& pts) {
+  Tree t(split_policy::object_median);
+  const std::size_t batch = std::max<std::size_t>(1, pts.size() / 20);
+  for (std::size_t off = 0; off < pts.size(); off += batch) {
+    std::vector<point<D>> chunk(
+        pts.begin() + off,
+        pts.begin() + std::min(pts.size(), off + batch));
+    t.insert(chunk);
+  }
+  for (std::size_t k = 2; k <= 11; ++k) {
+    const double s = time_op([&] { t.knn(pts, k); });
+    std::printf("%-12s k=%-3zu %14.0f ops/s\n", name, k,
+                static_cast<double>(pts.size()) / s);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = base_n();
+  print_header("Figure 14(a): k-NN vs k on 2D-V (incremental build)",
+               "impl / k / throughput");
+  auto v2 = datagen::visualvar<2>(n, 1);
+  run_impl<2, b1_tree<2>>("B1-object", v2);
+  run_impl<2, b2_tree<2>>("B2-object", v2);
+  run_impl<2, bdl_tree<2>>("BDL-object", v2);
+
+  print_header("Figure 14(b): k-NN vs k on 7D-U (incremental build)",
+               "impl / k / throughput");
+  auto u7 = datagen::uniform<7>(n, 2);
+  run_impl<7, b1_tree<7>>("B1-object", u7);
+  run_impl<7, b2_tree<7>>("B2-object", u7);
+  run_impl<7, bdl_tree<7>>("BDL-object", u7);
+  return 0;
+}

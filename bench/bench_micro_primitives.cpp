@@ -1,0 +1,73 @@
+// google-benchmark micro suite for the parallel substrate.
+#include <benchmark/benchmark.h>
+
+#include "parallel/parallel.h"
+
+namespace par = pargeo::par;
+
+static void BM_ParallelFor(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<double> v(n, 1.0);
+  for (auto _ : state) {
+    par::parallel_for(0, n, [&](std::size_t i) { v[i] = v[i] * 1.0001; });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_Reduce(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<double> v(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::sum(v));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_Scan(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    std::vector<std::size_t> v(n, 1);
+    benchmark::DoNotOptimize(par::scan_exclusive(v));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scan)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_Filter(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        par::filter(v, [](int x) { return (x & 7) == 0; }));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Filter)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_Sort(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<uint64_t> base(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = par::hash64(i);
+  for (auto _ : state) {
+    auto v = base;
+    par::sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sort)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_RandomPermutation(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par::random_permutation(n, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomPermutation)->Arg(1 << 14)->Arg(1 << 18);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// CLI: clustering of a 2D CSV point set.
+//
+//   pargeo_cluster <in.csv> dbscan <eps> <minpts> [labels.csv]
+//   pargeo_cluster <in.csv> singlelink <cut-height> [labels.csv]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "clustering/clustering.h"
+#include "core/timer.h"
+#include "io/io.h"
+
+using namespace pargeo;
+
+namespace {
+
+void write_labels(const std::string& path,
+                  const std::vector<std::size_t>& labels) {
+  std::ofstream out(path);
+  for (const std::size_t l : labels) {
+    if (l == clustering::kNoise) {
+      out << "noise\n";
+    } else {
+      out << l << '\n';
+    }
+  }
+}
+
+void summarize(const std::vector<std::size_t>& labels) {
+  std::map<std::size_t, std::size_t> sizes;
+  std::size_t noise = 0;
+  for (const std::size_t l : labels) {
+    if (l == clustering::kNoise) {
+      ++noise;
+    } else {
+      sizes[l]++;
+    }
+  }
+  std::printf("%zu clusters, %zu noise points\n", sizes.size(), noise);
+  std::size_t shown = 0;
+  for (const auto& [id, sz] : sizes) {
+    if (++shown > 5) {
+      std::printf("  ...\n");
+      break;
+    }
+    std::printf("  cluster %zu: %zu points\n", id, sz);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <in.csv> dbscan <eps> <minpts> [labels.csv]\n"
+                 "       %s <in.csv> singlelink <cut-height> [labels.csv]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    const auto pts = io::read_csv<2>(argv[1]);
+    const std::string mode = argv[2];
+    timer t;
+    std::vector<std::size_t> labels;
+    std::string out;
+    if (mode == "dbscan") {
+      if (argc < 5) {
+        std::fprintf(stderr, "dbscan needs <eps> <minpts>\n");
+        return 2;
+      }
+      labels = clustering::dbscan<2>(pts, std::atof(argv[3]),
+                                     std::atoll(argv[4]));
+      out = argc > 5 ? argv[5] : "";
+    } else if (mode == "singlelink") {
+      auto dendro = clustering::single_linkage<2>(pts);
+      labels = clustering::cut_dendrogram(pts.size(), dendro,
+                                          std::atof(argv[3]));
+      out = argc > 4 ? argv[4] : "";
+    } else {
+      std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+      return 1;
+    }
+    std::printf("clustered %zu points in %.1f ms\n", pts.size(),
+                1e3 * t.elapsed());
+    summarize(labels);
+    if (!out.empty()) write_labels(out, labels);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

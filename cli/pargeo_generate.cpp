@@ -1,0 +1,77 @@
+// CLI: synthesize benchmark datasets to CSV.
+//
+//   pargeo_generate <kind> <dim> <n> <out.csv> [seed]
+//
+// kinds: uniform | insphere | onsphere | oncube | incube | visualvar |
+//        seedspreader | statue (3D only)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "datagen/datagen.h"
+#include "io/io.h"
+
+using namespace pargeo;
+
+namespace {
+
+template <int D>
+int generate(const std::string& kind, std::size_t n,
+             const std::string& out, uint64_t seed) {
+  std::vector<point<D>> pts;
+  if (kind == "uniform") {
+    pts = datagen::uniform<D>(n, seed);
+  } else if (kind == "insphere") {
+    pts = datagen::in_sphere<D>(n, seed);
+  } else if (kind == "onsphere") {
+    pts = datagen::on_sphere<D>(n, seed);
+  } else if (kind == "oncube") {
+    pts = datagen::on_cube<D>(n, seed);
+  } else if (kind == "incube") {
+    pts = datagen::in_cube<D>(n, seed);
+  } else if (kind == "visualvar") {
+    pts = datagen::visualvar<D>(n, seed);
+  } else if (kind == "seedspreader") {
+    pts = datagen::seed_spreader<D>(n, seed);
+  } else if (kind == "statue") {
+    if constexpr (D == 3) {
+      pts = datagen::synthetic_statue(n, seed);
+    } else {
+      std::fprintf(stderr, "statue is 3D only\n");
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  io::write_csv<D>(out, pts);
+  std::printf("wrote %zu %dD '%s' points to %s\n", pts.size(), D,
+              kind.c_str(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s <kind> <dim 2|3|5|7> <n> <out.csv> [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string kind = argv[1];
+  const int dim = std::atoi(argv[2]);
+  const std::size_t n = std::atoll(argv[3]);
+  const std::string out = argv[4];
+  const uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 1;
+  switch (dim) {
+    case 2: return generate<2>(kind, n, out, seed);
+    case 3: return generate<3>(kind, n, out, seed);
+    case 5: return generate<5>(kind, n, out, seed);
+    case 7: return generate<7>(kind, n, out, seed);
+    default:
+      std::fprintf(stderr, "unsupported dim %d\n", dim);
+      return 2;
+  }
+}

@@ -1,0 +1,64 @@
+// CLI: spatial graph generation from a 2D CSV point set.
+//
+//   pargeo_graph <in.csv> <knn K | delaunay | gabriel | beta B |
+//                 spanner T | emst> [out.csv]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/timer.h"
+#include "emst/emst.h"
+#include "graphgen/graphgen.h"
+#include "io/io.h"
+
+using namespace pargeo;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <in.csv> <knn K|delaunay|gabriel|beta B|"
+                 "spanner T|emst> [out.csv]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const auto pts = io::read_csv<2>(argv[1]);
+    const std::string kind = argv[2];
+    timer t;
+    graphgen::edge_list edges;
+    if (kind == "knn") {
+      const std::size_t k = argc > 3 ? std::atoll(argv[3]) : 5;
+      auto g = graphgen::knn_graph(pts, k);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        for (const std::size_t j : g[i]) edges.push_back({i, j});
+      }
+    } else if (kind == "delaunay") {
+      edges = graphgen::delaunay_graph(pts);
+    } else if (kind == "gabriel") {
+      edges = graphgen::gabriel_graph(pts);
+    } else if (kind == "beta") {
+      edges = graphgen::beta_skeleton(
+          pts, argc > 3 ? std::atof(argv[3]) : 2.0);
+    } else if (kind == "spanner") {
+      edges = graphgen::spanner(pts, argc > 3 ? std::atof(argv[3]) : 2.0);
+    } else if (kind == "emst") {
+      for (const auto& e : emst::emst<2>(pts)) {
+        edges.push_back({e.u, e.v});
+      }
+    } else {
+      std::fprintf(stderr, "unknown graph kind '%s'\n", kind.c_str());
+      return 1;
+    }
+    std::printf("%zu points -> %zu edges in %.1f ms\n", pts.size(),
+                edges.size(), 1e3 * t.elapsed());
+    const std::string out =
+        (kind == "knn" || kind == "beta" || kind == "spanner")
+            ? (argc > 4 ? argv[4] : "")
+            : (argc > 3 ? argv[3] : "");
+    if (!out.empty()) io::write_edges(out, edges);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

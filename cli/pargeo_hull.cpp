@@ -1,0 +1,101 @@
+// CLI: convex hull of a CSV point set.
+//
+//   pargeo_hull <2|3> <in.csv> [method] [out.csv]
+//
+// methods (2D): seq | quickhull | randinc | resquickhull | dc (default)
+// methods (3D): seq | randinc | quickhull | dc (default) | pseudo
+// Writes hull vertex indices (2D: CCW order; 3D: one facet per line).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/timer.h"
+#include "hull/hull2d.h"
+#include "hull/hull3d.h"
+#include "io/io.h"
+
+using namespace pargeo;
+
+namespace {
+
+int run2d(const std::string& in, const std::string& method,
+          const std::string& out) {
+  auto pts = io::read_csv<2>(in);
+  timer t;
+  std::vector<std::size_t> hull;
+  if (method == "seq") {
+    hull = hull2d::sequential_quickhull(pts);
+  } else if (method == "quickhull") {
+    hull = hull2d::quickhull(pts);
+  } else if (method == "randinc") {
+    hull = hull2d::randinc(pts);
+  } else if (method == "resquickhull") {
+    hull = hull2d::reservation_quickhull(pts);
+  } else if (method == "dc") {
+    hull = hull2d::divide_conquer(pts);
+  } else {
+    std::fprintf(stderr, "unknown 2D method '%s'\n", method.c_str());
+    return 1;
+  }
+  std::printf("%zu points -> %zu hull vertices in %.1f ms\n", pts.size(),
+              hull.size(), 1e3 * t.elapsed());
+  if (!out.empty()) {
+    std::ofstream o(out);
+    for (const std::size_t v : hull) o << v << '\n';
+  }
+  return 0;
+}
+
+int run3d(const std::string& in, const std::string& method,
+          const std::string& out) {
+  auto pts = io::read_csv<3>(in);
+  timer t;
+  hull3d::mesh m;
+  if (method == "seq") {
+    m = hull3d::sequential_quickhull(pts);
+  } else if (method == "randinc") {
+    m = hull3d::randinc(pts);
+  } else if (method == "quickhull") {
+    m = hull3d::reservation_quickhull(pts);
+  } else if (method == "dc") {
+    m = hull3d::divide_conquer(pts);
+  } else if (method == "pseudo") {
+    m = hull3d::pseudohull(pts);
+  } else {
+    std::fprintf(stderr, "unknown 3D method '%s'\n", method.c_str());
+    return 1;
+  }
+  std::printf("%zu points -> %zu facets (%zu vertices) in %.1f ms\n",
+              pts.size(), m.facets.size(), hull3d::hull_vertices(m).size(),
+              1e3 * t.elapsed());
+  if (!out.empty()) {
+    std::ofstream o(out);
+    for (const auto& f : m.facets) {
+      o << f[0] << ',' << f[1] << ',' << f[2] << '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <2|3> <in.csv> [method] [out.csv]\n",
+                 argv[0]);
+    return 2;
+  }
+  const int dim = std::atoi(argv[1]);
+  const std::string in = argv[2];
+  const std::string method = argc > 3 ? argv[3] : "dc";
+  const std::string out = argc > 4 ? argv[4] : "";
+  try {
+    return dim == 2   ? run2d(in, method, out)
+           : dim == 3 ? run3d(in, method, out)
+                      : (std::fprintf(stderr, "dim must be 2 or 3\n"), 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

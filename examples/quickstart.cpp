@@ -1,0 +1,62 @@
+// Quickstart: the five-minute tour of the library.
+//
+//   $ ./quickstart [n]
+//
+// Generates a point set, builds a kd-tree, runs k-NN and range queries,
+// computes the convex hull and the smallest enclosing ball, and prints
+// what it found.
+#include <cstdio>
+#include <cstdlib>
+
+#include "pargeo.h"
+
+using namespace pargeo;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::atoll(argv[1]) : 100000;
+  std::printf("ParGeo quickstart with %zu uniform 2D points, %d worker(s)\n",
+              n, par::num_workers());
+
+  // 1. Data: uniform points in a hypercube of side sqrt(n).
+  auto pts = datagen::uniform<2>(n, /*seed=*/42);
+
+  // 2. Spatial index: parallel kd-tree build.
+  timer t;
+  kdtree::tree<2> tree(pts);
+  std::printf("kd-tree built in %.1f ms\n", 1e3 * t.elapsed());
+
+  // 3. k nearest neighbors of the first point (includes itself at d=0).
+  auto nn = tree.knn(pts[0], 6);
+  std::printf("5 nearest neighbors of point 0:\n");
+  for (const auto& e : nn) {
+    if (e.id == 0) continue;
+    std::printf("  point %zu at distance %.3f\n", e.id,
+                std::sqrt(e.dist_sq));
+  }
+
+  // 4. Range search: everything within a small radius.
+  const double radius = std::sqrt(static_cast<double>(n)) * 0.01;
+  auto inRange = tree.range_ball(pts[0], radius);
+  std::printf("%zu points within radius %.2f of point 0\n", inRange.size(),
+              radius);
+
+  // 5. Convex hull (parallel divide-and-conquer).
+  t.reset();
+  auto hull = hull2d::divide_conquer(pts);
+  std::printf("convex hull: %zu vertices in %.1f ms\n", hull.size(),
+              1e3 * t.elapsed());
+
+  // 6. Smallest enclosing ball (sampling algorithm, paper §4).
+  t.reset();
+  auto ball = seb::sampling<2>(pts);
+  std::printf("smallest enclosing ball: center (%.2f, %.2f) radius %.2f "
+              "in %.1f ms\n",
+              ball.center[0], ball.center[1], ball.radius,
+              1e3 * t.elapsed());
+
+  // 7. Closest pair.
+  auto cp = closestpair::closest_pair<2>(pts);
+  std::printf("closest pair: %zu and %zu at distance %.4f\n", cp.i, cp.j,
+              std::sqrt(cp.dist_sq));
+  return 0;
+}

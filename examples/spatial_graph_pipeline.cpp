@@ -1,0 +1,70 @@
+// Spatial-network construction pipeline (the GIS-style workload the
+// paper's introduction motivates): from a clustered point set, build the
+// Delaunay graph, filter it down to the Gabriel graph and a beta-skeleton,
+// extract the EMST, and build a t-spanner; report sizes and total weights.
+//
+//   $ ./spatial_graph_pipeline [n]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pargeo.h"
+
+using namespace pargeo;
+
+namespace {
+
+double total_weight(const std::vector<point<2>>& pts,
+                    const graphgen::edge_list& edges) {
+  double w = 0;
+  for (const auto& [u, v] : edges) w += pts[u].dist(pts[v]);
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::atoll(argv[1]) : 20000;
+  auto pts = datagen::seed_spreader<2>(n, 7);
+  std::printf("spatial graphs over %zu clustered points\n", pts.size());
+
+  timer t;
+  auto del = graphgen::delaunay_graph(pts);
+  std::printf("Delaunay graph   %8zu edges  weight %12.1f  (%.1f ms)\n",
+              del.size(), total_weight(pts, del), 1e3 * t.elapsed());
+
+  t.reset();
+  auto gab = graphgen::gabriel_graph(pts);
+  std::printf("Gabriel graph    %8zu edges  weight %12.1f  (%.1f ms)\n",
+              gab.size(), total_weight(pts, gab), 1e3 * t.elapsed());
+
+  t.reset();
+  auto beta = graphgen::beta_skeleton(pts, 1.8);
+  std::printf("1.8-skeleton     %8zu edges  weight %12.1f  (%.1f ms)\n",
+              beta.size(), total_weight(pts, beta), 1e3 * t.elapsed());
+
+  t.reset();
+  auto knn = graphgen::knn_graph(pts, 4);
+  std::size_t knnEdges = 0;
+  for (const auto& row : knn) knnEdges += row.size();
+  std::printf("4-NN graph       %8zu arcs                        (%.1f ms)\n",
+              knnEdges, 1e3 * t.elapsed());
+
+  t.reset();
+  auto mst = emst::emst<2>(pts);
+  std::printf("EMST             %8zu edges  weight %12.1f  (%.1f ms)\n",
+              mst.size(), emst::total_weight(mst), 1e3 * t.elapsed());
+
+  t.reset();
+  auto span = graphgen::spanner(pts, 2.0);
+  std::printf("2-spanner        %8zu edges  weight %12.1f  (%.1f ms)\n",
+              span.size(), total_weight(pts, span), 1e3 * t.elapsed());
+
+  // Sanity of the structural chain the paper relies on.
+  std::printf("\nEMST weight <= Gabriel weight <= Delaunay weight: %s\n",
+              (emst::total_weight(mst) <= total_weight(pts, gab) &&
+               total_weight(pts, gab) <= total_weight(pts, del))
+                  ? "yes"
+                  : "NO (bug!)");
+  return 0;
+}

@@ -1,0 +1,220 @@
+// BDL-tree: parallel batch-dynamic kd-tree via the logarithmic method
+// (paper §5). A buffer holding up to X points plus a forest of static
+// vEB-layout kd-trees with capacities X*2^i.
+//
+// Batch insertion follows the bitmask cascade of Figure 7 / Algorithm 3:
+// F_new = F + floor(|P|/X); trees set in F but not F_new are destroyed and
+// their points, together with the batch, build the trees set in F_new but
+// not F. Batch deletion (Algorithm 4) erases from every tree and rebuilds
+// any tree that drops below half of its build size by reinserting its
+// points. k-NN queries share one k-NN buffer per query point across all
+// trees and the buffer (Appendix C.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdltree/veb_tree.h"
+
+namespace pargeo::bdltree {
+
+template <int D>
+class bdl_tree {
+ public:
+  static constexpr std::size_t kDefaultBufferSize = 1024;
+
+  explicit bdl_tree(split_policy policy = split_policy::object_median,
+                    std::size_t buffer_size = kDefaultBufferSize)
+      : policy_(policy), x_(std::max<std::size_t>(1, buffer_size)) {}
+
+  std::size_t size() const {
+    std::size_t s = buffer_.size();
+    for (const auto& t : trees_) {
+      if (t) s += t->size();
+    }
+    return s;
+  }
+
+  std::size_t num_static_trees() const {
+    std::size_t c = 0;
+    for (const auto& t : trees_) {
+      if (t && !t->empty()) ++c;
+    }
+    return c;
+  }
+
+  /// Batch insertion (paper Algorithm 3).
+  void insert(const std::vector<point<D>>& batch) {
+    if (batch.empty()) return;
+    // Stage |P| mod X points into the buffer first; overflow promotes the
+    // whole buffer into the rebuild pool.
+    std::vector<point<D>> pool;
+    pool.reserve(batch.size() + buffer_.size());
+    pool.insert(pool.end(), batch.begin(), batch.end());
+    pool.insert(pool.end(), buffer_.begin(), buffer_.end());
+    buffer_.clear();
+    const std::size_t keep = pool.size() % x_;
+    buffer_.assign(pool.end() - keep, pool.end());
+    pool.resize(pool.size() - keep);
+    if (pool.empty()) return;
+
+    const uint64_t add = pool.size() / x_;
+    const uint64_t f = full_mask();
+    const uint64_t fnew = f + add;
+    const uint64_t destroy = f & ~fnew;
+    const uint64_t create = fnew & ~f;
+
+    // Gather points of destroyed trees into the pool.
+    for (int i = 0; i < 64; ++i) {
+      if ((destroy >> i) & 1) {
+        auto pts = trees_[i]->gather();
+        pool.insert(pool.end(), pts.begin(), pts.end());
+        trees_[i].reset();
+      }
+    }
+    // Build the new trees in parallel over contiguous pool slices, largest
+    // first so slice sizes match capacities X*2^i as closely as possible.
+    std::vector<int> slots;
+    for (int i = 63; i >= 0; --i) {
+      if ((create >> i) & 1) slots.push_back(i);
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    std::size_t off = 0;
+    for (const int slot : slots) {
+      const std::size_t cap = x_ << slot;
+      const std::size_t take = std::min(cap, pool.size() - off);
+      ranges.emplace_back(off, off + take);
+      off += take;
+    }
+    // Any residue (possible when destroyed trees were not full) goes into
+    // the last created tree.
+    if (off < pool.size() && !ranges.empty()) {
+      ranges.back().second = pool.size();
+    }
+    if (static_cast<std::size_t>(trees_.size()) < 64) trees_.resize(64);
+    par::parallel_for(
+        0, slots.size(),
+        [&](std::size_t i) {
+          std::vector<point<D>> slice(pool.begin() + ranges[i].first,
+                                      pool.begin() + ranges[i].second);
+          trees_[slots[i]] =
+              std::make_unique<veb_tree<D>>(std::move(slice), policy_);
+        },
+        1);
+  }
+
+  /// Batch deletion (paper Algorithm 4). Points not present are ignored.
+  void erase(const std::vector<point<D>>& batch) {
+    if (batch.empty()) return;
+    // Erase from the buffer.
+    for (const auto& q : batch) {
+      for (std::size_t i = 0; i < buffer_.size(); ++i) {
+        if (buffer_[i] == q) {
+          buffer_[i] = buffer_.back();
+          buffer_.pop_back();
+          break;
+        }
+      }
+    }
+    // Erase from every non-empty tree in parallel.
+    std::vector<int> occupied;
+    for (int i = 0; i < static_cast<int>(trees_.size()); ++i) {
+      if (trees_[i] && !trees_[i]->empty()) occupied.push_back(i);
+    }
+    par::parallel_for(
+        0, occupied.size(),
+        [&](std::size_t i) {
+          trees_[occupied[i]]->erase(batch);
+        },
+        1);
+    // Gather trees that fell below half their build capacity; reinsert.
+    std::vector<point<D>> reinsert;
+    for (const int i : occupied) {
+      const std::size_t cap = x_ << i;
+      if (trees_[i]->size() < (cap + 1) / 2) {
+        auto pts = trees_[i]->gather();
+        reinsert.insert(reinsert.end(), pts.begin(), pts.end());
+        trees_[i].reset();
+      }
+    }
+    if (!reinsert.empty()) insert(reinsert);
+  }
+
+  /// Data-parallel k-NN: row i holds the k nearest stored points to
+  /// queries[i], sorted by distance.
+  std::vector<std::vector<point<D>>> knn(
+      const std::vector<point<D>>& queries, std::size_t k) const {
+    std::vector<std::vector<point<D>>> out(queries.size());
+    const std::size_t kk = std::min(k, size());
+    par::parallel_for(
+        0, queries.size(),
+        [&](std::size_t qi) {
+          kdtree::knn_buffer buf(kk);
+          for (const auto& t : trees_) {
+            if (t) t->knn(queries[qi], buf);
+          }
+          for (const auto& p : buffer_) {
+            buf.insert(p.dist_sq(queries[qi]),
+                       reinterpret_cast<std::size_t>(&p));
+          }
+          auto entries = buf.finish();
+          out[qi].reserve(entries.size());
+          for (const auto& e : entries) {
+            out[qi].push_back(veb_tree<D>::decode_id(e.id));
+          }
+        },
+        16);
+    return out;
+  }
+
+  /// Data-parallel range search: row i holds every stored point within
+  /// `radius` of queries[i] (unordered).
+  std::vector<std::vector<point<D>>> range_ball(
+      const std::vector<point<D>>& queries, double radius) const {
+    std::vector<std::vector<point<D>>> out(queries.size());
+    const double r_sq = radius * radius;
+    par::parallel_for(
+        0, queries.size(),
+        [&](std::size_t qi) {
+          for (const auto& t : trees_) {
+            if (t) t->range_ball(queries[qi], radius, out[qi]);
+          }
+          for (const auto& p : buffer_) {
+            if (p.dist_sq(queries[qi]) <= r_sq) out[qi].push_back(p);
+          }
+        },
+        16);
+    return out;
+  }
+
+  /// All stored points (buffer + every tree).
+  std::vector<point<D>> gather() const {
+    std::vector<point<D>> out(buffer_);
+    for (const auto& t : trees_) {
+      if (t) {
+        auto pts = t->gather();
+        out.insert(out.end(), pts.begin(), pts.end());
+      }
+    }
+    return out;
+  }
+
+  std::size_t buffer_capacity() const { return x_; }
+
+ private:
+  uint64_t full_mask() const {
+    uint64_t f = 0;
+    for (std::size_t i = 0; i < trees_.size(); ++i) {
+      if (trees_[i] && !trees_[i]->empty()) f |= uint64_t{1} << i;
+    }
+    return f;
+  }
+
+  split_policy policy_;
+  std::size_t x_;
+  std::vector<point<D>> buffer_;
+  std::vector<std::unique_ptr<veb_tree<D>>> trees_;
+};
+
+}  // namespace pargeo::bdltree

@@ -1,0 +1,16 @@
+// Anchor translation unit; pins common instantiations of the BDL-tree and
+// its baselines.
+#include "bdltree/baselines.h"
+#include "bdltree/bdl_tree.h"
+#include "bdltree/veb_tree.h"
+
+namespace pargeo::bdltree {
+template class veb_tree<2>;
+template class veb_tree<5>;
+template class veb_tree<7>;
+template class bdl_tree<2>;
+template class bdl_tree<5>;
+template class bdl_tree<7>;
+template class b1_tree<7>;
+template class b2_tree<7>;
+}  // namespace pargeo::bdltree

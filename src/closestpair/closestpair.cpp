@@ -1,0 +1,136 @@
+#include "closestpair/closestpair.h"
+
+#include <algorithm>
+
+#include "parallel/parallel.h"
+
+namespace pargeo::closestpair {
+
+namespace {
+
+template <int D>
+using node_t = typename kdtree::tree<D>::node;
+
+// Dual-tree branch and bound between nodes of (possibly distinct) trees.
+// `self` skips identical slots when both nodes come from the same tree.
+template <int D>
+void bccp_rec(const kdtree::tree<D>& ta, const kdtree::tree<D>& tb,
+              const node_t<D>* a, const node_t<D>* b, bool self,
+              pair_result& best) {
+  if (a->box.dist_sq(b->box) >= best.dist_sq) return;
+  if (a->is_leaf() && b->is_leaf()) {
+    for (std::size_t i = a->lo; i < a->hi; ++i) {
+      for (std::size_t j = b->lo; j < b->hi; ++j) {
+        if (self && i == j) continue;
+        const double d = ta.point_at(i).dist_sq(tb.point_at(j));
+        if (d < best.dist_sq) best = {i, j, d};
+      }
+    }
+    return;
+  }
+  // Split the node with the larger diameter; visit the closer child first
+  // so pruning kicks in early.
+  const bool splitA =
+      !a->is_leaf() &&
+      (b->is_leaf() || a->box.diameter_sq() >= b->box.diameter_sq());
+  if (splitA) {
+    const node_t<D>* c1 = a->left;
+    const node_t<D>* c2 = a->right;
+    if (c2->box.dist_sq(b->box) < c1->box.dist_sq(b->box)) std::swap(c1, c2);
+    bccp_rec(ta, tb, c1, b, self, best);
+    bccp_rec(ta, tb, c2, b, self, best);
+  } else {
+    const node_t<D>* c1 = b->left;
+    const node_t<D>* c2 = b->right;
+    if (a->box.dist_sq(c2->box) < a->box.dist_sq(c1->box)) std::swap(c1, c2);
+    bccp_rec(ta, tb, a, c1, self, best);
+    bccp_rec(ta, tb, a, c2, self, best);
+  }
+}
+
+}  // namespace
+
+template <int D>
+pair_result closest_pair(const std::vector<point<D>>& pts) {
+  const std::size_t n = pts.size();
+  kdtree::tree<D> t(pts);
+  std::vector<pair_result> local(n);
+  // The closest pair is some point's nearest neighbor: take 2-NN of every
+  // point (the first hit is the point itself) in data-parallel fashion.
+  par::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        auto nn = t.knn(pts[i], 2);
+        for (const auto& e : nn) {
+          if (e.id != i) {
+            local[i] = {i, e.id, e.dist_sq};
+            return;
+          }
+        }
+        // Duplicate of i shadowing both slots: distance 0 to that point.
+        local[i] = {i, nn[0].id != i ? nn[0].id : nn[1].id, 0.0};
+      },
+      64);
+  const std::size_t b = par::min_element_index(
+      local, [](const pair_result& x, const pair_result& y) {
+        return x.dist_sq < y.dist_sq;
+      });
+  return local[b];
+}
+
+template <int D>
+pair_result bichromatic_closest_pair(const std::vector<point<D>>& red,
+                                     const std::vector<point<D>>& blue) {
+  kdtree::tree<D> ta(red), tb(blue);
+  // Parallelize by seeding a branch-and-bound per red leaf against the
+  // blue root, each with a locally improving bound, then reduce.
+  std::vector<const node_t<D>*> leaves;
+  std::vector<const node_t<D>*> stack{ta.root()};
+  while (!stack.empty()) {
+    const node_t<D>* nd = stack.back();
+    stack.pop_back();
+    if (nd->is_leaf()) {
+      leaves.push_back(nd);
+    } else {
+      stack.push_back(nd->left);
+      stack.push_back(nd->right);
+    }
+  }
+  std::vector<pair_result> local(leaves.size());
+  par::parallel_for(
+      0, leaves.size(),
+      [&](std::size_t i) {
+        pair_result best;
+        bccp_rec(ta, tb, leaves[i], tb.root(), false, best);
+        local[i] = best;
+      },
+      1);
+  pair_result best;
+  for (const auto& r : local) {
+    if (r.dist_sq < best.dist_sq) best = r;
+  }
+  return {ta.id_of(best.i), tb.id_of(best.j), best.dist_sq};
+}
+
+template <int D>
+pair_result bccp_nodes(const kdtree::tree<D>& t, const node_t<D>* a,
+                       const node_t<D>* b) {
+  pair_result best;
+  bccp_rec(t, t, a, b, /*self=*/true, best);
+  return {t.id_of(best.i), t.id_of(best.j), best.dist_sq};
+}
+
+#define PARGEO_CP_INSTANTIATE(D)                                            \
+  template pair_result closest_pair<D>(const std::vector<point<D>>&);       \
+  template pair_result bichromatic_closest_pair<D>(                         \
+      const std::vector<point<D>>&, const std::vector<point<D>>&);          \
+  template pair_result bccp_nodes<D>(const kdtree::tree<D>&,                \
+                                     const typename kdtree::tree<D>::node*, \
+                                     const typename kdtree::tree<D>::node*);
+
+PARGEO_CP_INSTANTIATE(2)
+PARGEO_CP_INSTANTIATE(3)
+PARGEO_CP_INSTANTIATE(5)
+PARGEO_CP_INSTANTIATE(7)
+
+}  // namespace pargeo::closestpair

@@ -1,0 +1,48 @@
+// Geometric clustering built on the library's spatial primitives (the
+// paper's Module 2 pipeline: kd-tree -> WSPD -> EMST -> hierarchical
+// clustering, citing Wang et al. [56]; plus density clustering via
+// kd-tree range search).
+//
+//   * single_linkage — exact single-linkage dendrogram obtained by
+//     processing EMST edges in weight order (equivalent to HDBSCAN with
+//     min_pts = 1).
+//   * cut_dendrogram — flat clusters at a distance threshold.
+//   * dbscan         — classic DBSCAN; neighborhoods from parallel
+//     kd-tree range queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::clustering {
+
+/// One agglomeration step: clusters `a` and `b` merge at `height` into a
+/// new cluster with id `n + step_index`.
+struct merge {
+  std::size_t a;
+  std::size_t b;
+  double height;
+};
+
+/// Single-linkage dendrogram: n-1 merges in nondecreasing height order.
+/// Cluster ids: 0..n-1 are singletons, n+i is the result of merges[i].
+template <int D>
+std::vector<merge> single_linkage(const std::vector<point<D>>& pts);
+
+/// Flat clustering from a dendrogram: labels in [0, k) for the clusters
+/// obtained by stopping all merges with height > threshold.
+std::vector<std::size_t> cut_dendrogram(std::size_t n,
+                                        const std::vector<merge>& dendro,
+                                        double threshold);
+
+/// DBSCAN labels: >= 0 cluster id, kNoise for noise points.
+inline constexpr std::size_t kNoise = static_cast<std::size_t>(-1);
+
+template <int D>
+std::vector<std::size_t> dbscan(const std::vector<point<D>>& pts,
+                                double eps, std::size_t min_pts);
+
+}  // namespace pargeo::clustering

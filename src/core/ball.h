@@ -1,0 +1,96 @@
+// Balls and circumball construction from boundary (support) point sets.
+//
+// The smallest-enclosing-ball algorithms (Welzl, orthant scan, sampling)
+// all reduce to: given a set S of at most D+1 affinely independent points,
+// find the smallest ball with S on its boundary. That ball's center lies in
+// the affine hull of S and is found by solving a small linear system.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "core/point.h"
+
+namespace pargeo {
+
+template <int D>
+struct ball {
+  point<D> center{};
+  double radius = -1.0;  // negative radius == empty ball
+
+  ball() = default;
+  ball(const point<D>& c, double r) : center(c), radius(r) {}
+
+  bool is_empty() const { return radius < 0; }
+
+  bool contains(const point<D>& p, double slack = 1e-9) const {
+    if (is_empty()) return false;
+    const double r = radius * (1.0 + slack) + slack;
+    return center.dist_sq(p) <= r * r;
+  }
+};
+
+namespace detail {
+
+/// Solve the m-by-m linear system A·x = b in place (partial pivoting).
+/// Returns false if the system is (numerically) singular.
+template <int M>
+bool solve_linear(std::array<std::array<double, M>, M>& A,
+                  std::array<double, M>& b, int m) {
+  for (int col = 0; col < m; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < m; ++r) {
+      if (std::abs(A[r][col]) > std::abs(A[piv][col])) piv = r;
+    }
+    if (std::abs(A[piv][col]) < 1e-30) return false;
+    std::swap(A[piv], A[col]);
+    std::swap(b[piv], b[col]);
+    for (int r = col + 1; r < m; ++r) {
+      const double f = A[r][col] / A[col][col];
+      for (int c = col; c < m; ++c) A[r][c] -= f * A[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int col = m - 1; col >= 0; --col) {
+    double s = b[col];
+    for (int c = col + 1; c < m; ++c) s -= A[col][c] * b[c];
+    b[col] = s / A[col][col];
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Smallest ball whose boundary passes through the k points in `support`
+/// (1 <= k <= D+1). For k=1 this is a zero-radius ball. Returns an empty
+/// ball if the support points are affinely degenerate.
+template <int D>
+ball<D> circumball(const point<D>* support, int k) {
+  if (k <= 0) return {};
+  if (k == 1) return {support[0], 0.0};
+  // Center = q0 + sum_i lambda_i (q_i - q0); equidistance to q0 and q_i
+  // gives (q_i - q0)·(center - q0) = |q_i - q0|^2 / 2.
+  const int m = k - 1;
+  std::array<std::array<double, D>, D> A{};
+  std::array<double, D> b{};
+  std::array<point<D>, D> v{};
+  for (int i = 0; i < m; ++i) {
+    v[i] = support[i + 1] - support[0];
+    b[i] = 0.5 * v[i].length_sq();
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) A[i][j] = v[i].dot(v[j]);
+  }
+  if (!detail::solve_linear<D>(A, b, m)) return {};
+  point<D> c = support[0];
+  for (int i = 0; i < m; ++i) c = c + v[i] * b[i];
+  return {c, c.dist(support[0])};
+}
+
+/// Convenience overload for a small array-backed support set.
+template <int D>
+ball<D> circumball(const std::array<point<D>, D + 1>& support, int k) {
+  return circumball<D>(support.data(), k);
+}
+
+}  // namespace pargeo

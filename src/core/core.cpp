@@ -1,0 +1,6 @@
+// Anchor translation unit for the pargeo_core static library.
+#include "core/aabb.h"
+#include "core/ball.h"
+#include "core/point.h"
+#include "core/predicates.h"
+#include "core/timer.h"

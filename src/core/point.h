@@ -1,0 +1,94 @@
+// Fixed-dimension point type used throughout the library.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace pargeo {
+
+/// A point (equivalently, a vector) in D-dimensional Euclidean space.
+/// Aggregate-like value type; coordinates are doubles as in ParGeo.
+template <int D>
+struct point {
+  static_assert(D >= 1);
+  static constexpr int dim = D;
+  using coord_t = double;
+
+  std::array<double, D> x{};
+
+  point() = default;
+  explicit point(const std::array<double, D>& coords) : x(coords) {}
+
+  double& operator[](int i) { return x[i]; }
+  double operator[](int i) const { return x[i]; }
+
+  point operator+(const point& o) const {
+    point r;
+    for (int i = 0; i < D; ++i) r.x[i] = x[i] + o.x[i];
+    return r;
+  }
+  point operator-(const point& o) const {
+    point r;
+    for (int i = 0; i < D; ++i) r.x[i] = x[i] - o.x[i];
+    return r;
+  }
+  point operator*(double s) const {
+    point r;
+    for (int i = 0; i < D; ++i) r.x[i] = x[i] * s;
+    return r;
+  }
+  point operator/(double s) const { return *this * (1.0 / s); }
+
+  bool operator==(const point& o) const { return x == o.x; }
+  bool operator!=(const point& o) const { return !(*this == o); }
+
+  double dot(const point& o) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) s += x[i] * o.x[i];
+    return s;
+  }
+
+  double length_sq() const { return dot(*this); }
+  double length() const { return std::sqrt(length_sq()); }
+
+  double dist_sq(const point& o) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      const double d = x[i] - o.x[i];
+      s += d * d;
+    }
+    return s;
+  }
+  double dist(const point& o) const { return std::sqrt(dist_sq(o)); }
+
+  /// Lexicographic order; used for deterministic tie-breaking.
+  bool operator<(const point& o) const { return x < o.x; }
+};
+
+/// Cross product in R^3.
+inline point<3> cross(const point<3>& a, const point<3>& b) {
+  point<3> r;
+  r[0] = a[1] * b[2] - a[2] * b[1];
+  r[1] = a[2] * b[0] - a[0] * b[2];
+  r[2] = a[0] * b[1] - a[1] * b[0];
+  return r;
+}
+
+/// z-component of the 2D cross product (a × b).
+inline double cross2(const point<2>& a, const point<2>& b) {
+  return a[0] * b[1] - a[1] * b[0];
+}
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const point<D>& p) {
+  os << '(';
+  for (int i = 0; i < D; ++i) os << (i ? "," : "") << p[i];
+  return os << ')';
+}
+
+using point2 = point<2>;
+using point3 = point<3>;
+
+}  // namespace pargeo

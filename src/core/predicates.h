@@ -1,0 +1,105 @@
+// Geometric orientation predicates with static floating-point filters.
+//
+// Each predicate is evaluated in double precision together with an error
+// bound on the computed determinant; if the magnitude of the result is
+// below the bound, the computation is redone in 80-bit long double. This
+// is not Shewchuk-exact, but matches the engineering level of ParGeo and
+// is robust for the well-conditioned inputs the generators produce.
+#pragma once
+
+#include <cmath>
+
+#include "core/point.h"
+
+namespace pargeo {
+
+namespace detail {
+inline constexpr double kEps = 2.220446049250313e-16;  // 2^-52
+
+template <class T>
+T orient2d_det(T ax, T ay, T bx, T by, T cx, T cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+template <class T>
+T orient3d_det(const point<3>& a, const point<3>& b, const point<3>& c,
+               const point<3>& d) {
+  const T adx = T(a[0]) - T(d[0]), ady = T(a[1]) - T(d[1]),
+          adz = T(a[2]) - T(d[2]);
+  const T bdx = T(b[0]) - T(d[0]), bdy = T(b[1]) - T(d[1]),
+          bdz = T(b[2]) - T(d[2]);
+  const T cdx = T(c[0]) - T(d[0]), cdy = T(c[1]) - T(d[1]),
+          cdz = T(c[2]) - T(d[2]);
+  return adx * (bdy * cdz - bdz * cdy) - ady * (bdx * cdz - bdz * cdx) +
+         adz * (bdx * cdy - bdy * cdx);
+}
+}  // namespace detail
+
+/// Signed double area of triangle (a,b,c): > 0 iff counter-clockwise.
+inline double orient2d(const point<2>& a, const point<2>& b,
+                       const point<2>& c) {
+  const double det =
+      detail::orient2d_det(a[0], a[1], b[0], b[1], c[0], c[1]);
+  const double errBound =
+      8 * detail::kEps *
+      (std::abs((b[0] - a[0]) * (c[1] - a[1])) +
+       std::abs((b[1] - a[1]) * (c[0] - a[0])));
+  if (std::abs(det) > errBound) return det;
+  return static_cast<double>(detail::orient2d_det<long double>(
+      a[0], a[1], b[0], b[1], c[0], c[1]));
+}
+
+/// Signed volume (×6) of tetrahedron (a,b,c,d): > 0 iff d is below the
+/// plane through (a,b,c) oriented counter-clockwise seen from above.
+inline double orient3d(const point<3>& a, const point<3>& b,
+                       const point<3>& c, const point<3>& d) {
+  const double det = detail::orient3d_det<double>(a, b, c, d);
+  // Conservative bound on the rounding error of the 3x3 determinant.
+  const double adx = std::abs(a[0] - d[0]), ady = std::abs(a[1] - d[1]),
+               adz = std::abs(a[2] - d[2]);
+  const double bdx = std::abs(b[0] - d[0]), bdy = std::abs(b[1] - d[1]),
+               bdz = std::abs(b[2] - d[2]);
+  const double cdx = std::abs(c[0] - d[0]), cdy = std::abs(c[1] - d[1]),
+               cdz = std::abs(c[2] - d[2]);
+  const double permanent = adx * (bdy * cdz + bdz * cdy) +
+                           ady * (bdx * cdz + bdz * cdx) +
+                           adz * (bdx * cdy + bdy * cdx);
+  const double errBound = 16 * detail::kEps * permanent;
+  if (std::abs(det) > errBound) return det;
+  return static_cast<double>(detail::orient3d_det<long double>(a, b, c, d));
+}
+
+/// In-circle test: > 0 iff d is strictly inside the circumcircle of the
+/// counter-clockwise triangle (a,b,c).
+inline double incircle(const point<2>& a, const point<2>& b,
+                       const point<2>& c, const point<2>& d) {
+  auto det = [&](auto adx, auto ady, auto bdx, auto bdy, auto cdx, auto cdy) {
+    const auto alift = adx * adx + ady * ady;
+    const auto blift = bdx * bdx + bdy * bdy;
+    const auto clift = cdx * cdx + cdy * cdy;
+    return alift * (bdx * cdy - bdy * cdx) - blift * (adx * cdy - ady * cdx) +
+           clift * (adx * bdy - ady * bdx);
+  };
+  const double adx = a[0] - d[0], ady = a[1] - d[1];
+  const double bdx = b[0] - d[0], bdy = b[1] - d[1];
+  const double cdx = c[0] - d[0], cdy = c[1] - d[1];
+  const double r = det(adx, ady, bdx, bdy, cdx, cdy);
+  const double alift = adx * adx + ady * ady;
+  const double blift = bdx * bdx + bdy * bdy;
+  const double clift = cdx * cdx + cdy * cdy;
+  const double permanent =
+      alift * (std::abs(bdx * cdy) + std::abs(bdy * cdx)) +
+      blift * (std::abs(adx * cdy) + std::abs(ady * cdx)) +
+      clift * (std::abs(adx * bdy) + std::abs(ady * bdx));
+  const double errBound = 32 * detail::kEps * permanent;
+  if (std::abs(r) > errBound) return r;
+  const long double ADX = (long double)a[0] - d[0],
+                    ADY = (long double)a[1] - d[1];
+  const long double BDX = (long double)b[0] - d[0],
+                    BDY = (long double)b[1] - d[1];
+  const long double CDX = (long double)c[0] - d[0],
+                    CDY = (long double)c[1] - d[1];
+  return static_cast<double>(det(ADX, ADY, BDX, BDY, CDX, CDY));
+}
+
+}  // namespace pargeo

@@ -1,0 +1,22 @@
+// Lightweight wall-clock timer used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace pargeo {
+
+class timer {
+ public:
+  timer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pargeo

@@ -1,0 +1,2 @@
+// Anchor translation unit for the pargeo_datagen static library.
+#include "datagen/datagen.h"

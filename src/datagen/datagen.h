@@ -1,0 +1,215 @@
+// Synthetic point-set generators (paper Module 4), plus proxies for the
+// real-world scan datasets used in the evaluation.
+//
+// Naming follows the paper: Uniform (U) in a hypercube of side sqrt(n);
+// InSphere (IS) uniform in a ball; OnSphere (OS) / OnCube (OC) on a shell
+// of thickness 0.1x the diameter / side; VisualVar (V) random-walk clusters
+// of varying density; seed spreader clustered data (Gan & Tao style).
+// All generators are deterministic functions of (n, seed) and parallel.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/point.h"
+#include "parallel/parallel.h"
+
+namespace pargeo::datagen {
+
+/// Uniform points in a hypercube [0, sqrt(n)]^D (paper's "U").
+template <int D>
+std::vector<point<D>> uniform(std::size_t n, uint64_t seed = 1) {
+  const double side = std::sqrt(static_cast<double>(n));
+  std::vector<point<D>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    for (int d = 0; d < D; ++d) {
+      pts[i][d] = side * par::rand_double(seed + d, i);
+    }
+  });
+  return pts;
+}
+
+namespace detail {
+
+/// Standard-normal via Box–Muller on counter-based uniforms.
+inline double normal(uint64_t seed, uint64_t i) {
+  const double u1 = par::rand_double(seed, 2 * i) + 1e-300;
+  const double u2 = par::rand_double(seed, 2 * i + 1);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+/// Uniform direction on the unit (D-1)-sphere.
+template <int D>
+point<D> unit_direction(uint64_t seed, uint64_t i) {
+  point<D> v;
+  double len2 = 0;
+  for (int d = 0; d < D; ++d) {
+    v[d] = normal(seed + 101 * d, i);
+    len2 += v[d] * v[d];
+  }
+  const double len = std::sqrt(len2);
+  if (len < 1e-12) {
+    point<D> e{};
+    e[0] = 1;
+    return e;
+  }
+  return v / len;
+}
+
+}  // namespace detail
+
+/// Uniform points inside a ball of radius sqrt(n)/2 (paper's "IS").
+template <int D>
+std::vector<point<D>> in_sphere(std::size_t n, uint64_t seed = 1) {
+  const double radius = std::sqrt(static_cast<double>(n)) / 2.0;
+  std::vector<point<D>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const auto dir = detail::unit_direction<D>(seed, i);
+    // r ~ radius * U^(1/D) gives uniform density in the ball.
+    const double u = par::rand_double(seed + 7770, i);
+    const double r = radius * std::pow(u, 1.0 / D);
+    pts[i] = dir * r;
+  });
+  return pts;
+}
+
+/// Points on a spherical shell of thickness `0.1 * diameter` (paper's "OS").
+template <int D>
+std::vector<point<D>> on_sphere(std::size_t n, uint64_t seed = 1) {
+  const double radius = std::sqrt(static_cast<double>(n)) / 2.0;
+  const double thickness = 0.1 * (2.0 * radius);
+  std::vector<point<D>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const auto dir = detail::unit_direction<D>(seed, i);
+    const double r =
+        radius - thickness * par::rand_double(seed + 7771, i);
+    pts[i] = dir * r;
+  });
+  return pts;
+}
+
+/// Points on the shell of a hypercube of side sqrt(n), thickness 0.1*side
+/// (paper's "OC"). Each point picks a face, lands uniformly on it, then is
+/// perturbed inward by up to the shell thickness.
+template <int D>
+std::vector<point<D>> on_cube(std::size_t n, uint64_t seed = 1) {
+  const double side = std::sqrt(static_cast<double>(n));
+  const double thickness = 0.1 * side;
+  std::vector<point<D>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const uint64_t face = par::rand_range(seed + 5550, i, 2 * D);
+    const int axis = static_cast<int>(face / 2);
+    const bool high = (face % 2) == 1;
+    point<D> p;
+    for (int d = 0; d < D; ++d) {
+      p[d] = side * par::rand_double(seed + d, i);
+    }
+    const double inward = thickness * par::rand_double(seed + 5551, i);
+    p[axis] = high ? side - inward : inward;
+    pts[i] = p;
+  });
+  return pts;
+}
+
+/// Uniform points inside a hypercube centered at the origin ("IC" in the
+/// paper's Fig. 12); equals `uniform` up to translation.
+template <int D>
+std::vector<point<D>> in_cube(std::size_t n, uint64_t seed = 1) {
+  const double side = std::sqrt(static_cast<double>(n));
+  std::vector<point<D>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    for (int d = 0; d < D; ++d) {
+      pts[i][d] = side * (par::rand_double(seed + d, i) - 0.5);
+    }
+  });
+  return pts;
+}
+
+/// VisualVar ("V"): clusters produced by random walks with varying step
+/// sizes, giving regions of varying density (PBBS-style).
+template <int D>
+std::vector<point<D>> visualvar(std::size_t n, uint64_t seed = 1,
+                                std::size_t num_walks = 10) {
+  const double side = std::sqrt(static_cast<double>(n));
+  std::vector<point<D>> pts(n);
+  const std::size_t per = (n + num_walks - 1) / num_walks;
+  par::parallel_for(
+      0, num_walks,
+      [&](std::size_t w) {
+        const std::size_t lo = w * per;
+        const std::size_t hi = std::min(n, lo + per);
+        if (lo >= hi) return;
+        point<D> cur;
+        for (int d = 0; d < D; ++d) {
+          cur[d] = side * par::rand_double(seed + 31 * d, w);
+        }
+        // Walk step shrinks with the walk index -> varying density.
+        const double step = side / (10.0 * (1.0 + static_cast<double>(w)));
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto dir = detail::unit_direction<D>(seed + 909, i);
+          cur = cur + dir * (step * par::rand_double(seed + 910, i));
+          pts[i] = cur;
+        }
+      },
+      1);
+  return pts;
+}
+
+/// Seed spreader (Gan & Tao style): a spreader walks and drops clustered
+/// points, teleporting occasionally; `restart_prob` controls cluster count.
+template <int D>
+std::vector<point<D>> seed_spreader(std::size_t n, uint64_t seed = 1,
+                                    double restart_prob = 0.0005,
+                                    double local_radius = 10.0) {
+  const double side = std::sqrt(static_cast<double>(n)) * 2;
+  std::vector<point<D>> centers(n);
+  // Phase 1 (sequential): spreader trajectory — inherently a chain.
+  point<D> cur;
+  for (int d = 0; d < D; ++d) cur[d] = side * par::rand_double(seed + d, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (par::rand_double(seed + 42, i) < restart_prob) {
+      for (int d = 0; d < D; ++d) {
+        cur[d] = side * par::rand_double(seed + 100 + d, i);
+      }
+    } else {
+      const auto dir = detail::unit_direction<D>(seed + 43, i);
+      cur = cur + dir * (local_radius * 0.05);
+    }
+    centers[i] = cur;
+  }
+  // Phase 2 (parallel): jitter each dropped point around its center.
+  std::vector<point<D>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const auto dir = detail::unit_direction<D>(seed + 44, i);
+    pts[i] = centers[i] +
+             dir * (local_radius * par::rand_double(seed + 45, i));
+  });
+  return pts;
+}
+
+/// Proxy for the Stanford Thai-statue / Dragon scans: points sampled on a
+/// closed "bumpy sphere" surface (radius modulated by multi-frequency
+/// sinusoids). Like a scan, nearly all points are extreme in some local
+/// patch, the hull output is a small fraction of n, and the data is far
+/// from both the U and OS regimes. 3D only.
+inline std::vector<point<3>> synthetic_statue(std::size_t n,
+                                              uint64_t seed = 1) {
+  const double base = std::sqrt(static_cast<double>(n)) / 2.0;
+  std::vector<point<3>> pts(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const auto dir = detail::unit_direction<3>(seed, i);
+    const double theta = std::atan2(dir[1], dir[0]);
+    const double phi = std::acos(std::clamp(dir[2], -1.0, 1.0));
+    // Bumps at several angular frequencies; amplitudes < base/4 keep the
+    // surface closed and star-shaped.
+    const double bump = 0.15 * std::sin(5 * theta) * std::sin(4 * phi) +
+                        0.08 * std::cos(11 * theta + 2 * phi) +
+                        0.05 * std::sin(23 * phi);
+    const double r = base * (1.0 + bump);
+    pts[i] = dir * r;
+  });
+  return pts;
+}
+
+}  // namespace pargeo::datagen

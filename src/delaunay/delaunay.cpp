@@ -1,0 +1,219 @@
+#include "delaunay/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/predicates.h"
+#include "mortonsort/mortonsort.h"
+#include "parallel/parallel.h"
+
+namespace pargeo::delaunay {
+
+namespace {
+
+using pt = point<2>;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+struct tri {
+  std::array<std::size_t, 3> v;    // CCW vertex ids
+  std::array<std::size_t, 3> nbr;  // neighbor across edge (v[i], v[i+1])
+  bool dead = false;
+};
+
+class builder {
+ public:
+  explicit builder(const std::vector<pt>& pts) : in_(pts) {
+    // Working vertex array: input points then the three super vertices.
+    verts_ = pts;
+    double span = 1;
+    pt lo = pts[0], hi = pts[0];
+    for (const auto& p : pts) {
+      lo[0] = std::min(lo[0], p[0]);
+      lo[1] = std::min(lo[1], p[1]);
+      hi[0] = std::max(hi[0], p[0]);
+      hi[1] = std::max(hi[1], p[1]);
+    }
+    span = std::max({hi[0] - lo[0], hi[1] - lo[1], 1.0});
+    const pt c = (lo + hi) / 2.0;
+    const double m = 64 * span;
+    super_ = verts_.size();
+    verts_.push_back(pt{{c[0] - 2 * m, c[1] - m}});
+    verts_.push_back(pt{{c[0] + 2 * m, c[1] - m}});
+    verts_.push_back(pt{{c[0], c[1] + 2 * m}});
+    tris_.push_back({{super_, super_ + 1, super_ + 2},
+                     {kNone, kNone, kNone},
+                     false});
+    last_ = 0;
+  }
+
+  void insert_all() {
+    const auto order = mortonsort::morton_order<2>(in_);
+    for (const std::size_t i : order) insert(i);
+  }
+
+  triangulation finish() {
+    triangulation out;
+    out.triangles.reserve(tris_.size() / 2);
+    for (const auto& t : tris_) {
+      if (t.dead) continue;
+      if (t.v[0] >= super_ || t.v[1] >= super_ || t.v[2] >= super_) {
+        continue;  // touches the super-triangle
+      }
+      out.triangles.push_back(t.v);
+    }
+    return out;
+  }
+
+ private:
+  // Walk from the last-touched triangle toward p; returns a triangle that
+  // contains p (or on whose boundary p lies).
+  std::size_t locate(const pt& p) const {
+    std::size_t cur = last_;
+    std::size_t prevEdgeNbr = kNone;
+    for (std::size_t steps = 0; steps < 4 * tris_.size() + 16; ++steps) {
+      const tri& t = tris_[cur];
+      std::size_t next = kNone;
+      for (int e = 0; e < 3; ++e) {
+        const std::size_t nb = t.nbr[e];
+        if (nb == prevEdgeNbr && nb != kNone) continue;
+        if (orient2d(verts_[t.v[e]], verts_[t.v[(e + 1) % 3]], p) < 0) {
+          next = nb;
+          break;
+        }
+      }
+      if (next == kNone) {
+        // No strictly-violated crossable edge: p is inside or on boundary.
+        bool inside = true;
+        for (int e = 0; e < 3; ++e) {
+          if (orient2d(verts_[t.v[e]], verts_[t.v[(e + 1) % 3]], p) < 0) {
+            inside = false;
+          }
+        }
+        if (inside) return cur;
+        // Stuck against the hull (numerically); restart a full scan.
+        break;
+      }
+      prevEdgeNbr = cur;
+      cur = next;
+    }
+    // Fallback: linear scan (rare; guarantees termination).
+    for (std::size_t i = 0; i < tris_.size(); ++i) {
+      if (tris_[i].dead) continue;
+      bool inside = true;
+      for (int e = 0; e < 3; ++e) {
+        if (orient2d(verts_[tris_[i].v[e]], verts_[tris_[i].v[(e + 1) % 3]],
+                     p) < 0) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) return i;
+    }
+    return kNone;
+  }
+
+  bool in_circle(const tri& t, const pt& p) const {
+    return incircle(verts_[t.v[0]], verts_[t.v[1]], verts_[t.v[2]], p) > 0;
+  }
+
+  void insert(std::size_t pid) {
+    const pt& p = verts_[pid];
+    const std::size_t t0 = locate(p);
+    if (t0 == kNone) return;  // numerically unlocatable; skip
+    // Duplicate detection: p equal to a vertex of the containing triangle.
+    for (const std::size_t v : tris_[t0].v) {
+      if (verts_[v] == p) return;
+    }
+    // Grow the cavity: BFS over circumcircle-violating triangles.
+    cavity_.clear();
+    boundary_.clear();
+    stack_.clear();
+    stack_.push_back(t0);
+    tris_[t0].dead = true;
+    cavity_.push_back(t0);
+    while (!stack_.empty()) {
+      const std::size_t ti = stack_.back();
+      stack_.pop_back();
+      for (int e = 0; e < 3; ++e) {
+        const std::size_t nb = tris_[ti].nbr[e];
+        if (nb == kNone || !tris_[nb].dead) {
+          if (nb == kNone || !in_circle(tris_[nb], p)) {
+            boundary_.push_back({ti, e});
+            continue;
+          }
+          tris_[nb].dead = true;
+          cavity_.push_back(nb);
+          stack_.push_back(nb);
+        }
+      }
+    }
+    // Re-fan: one triangle per boundary edge (u, w) -> (u, w, pid).
+    byStart_.clear();
+    byEnd_.clear();
+    const std::size_t base = tris_.size();
+    for (std::size_t b = 0; b < boundary_.size(); ++b) {
+      const auto [ti, e] = boundary_[b];
+      const std::size_t u = tris_[ti].v[e];
+      const std::size_t w = tris_[ti].v[(e + 1) % 3];
+      const std::size_t outside = tris_[ti].nbr[e];
+      const std::size_t nt = base + b;
+      tris_.push_back({{u, w, pid}, {outside, kNone, kNone}, false});
+      if (outside != kNone) {
+        tri& o = tris_[outside];
+        for (int e2 = 0; e2 < 3; ++e2) {
+          if (o.v[e2] == w && o.v[(e2 + 1) % 3] == u) {
+            o.nbr[e2] = nt;
+            break;
+          }
+        }
+      }
+      byStart_[u] = nt;
+      byEnd_[w] = nt;
+    }
+    for (std::size_t b = 0; b < boundary_.size(); ++b) {
+      tri& t = tris_[base + b];
+      t.nbr[1] = byStart_.at(t.v[1]);  // edge (w, pid)
+      t.nbr[2] = byEnd_.at(t.v[0]);    // edge (pid, u)
+    }
+    last_ = base;
+  }
+
+  const std::vector<pt>& in_;
+  std::vector<pt> verts_;
+  std::vector<tri> tris_;
+  std::size_t super_ = 0;
+  std::size_t last_ = 0;
+  // Scratch buffers reused across insertions.
+  std::vector<std::size_t> cavity_, stack_;
+  std::vector<std::pair<std::size_t, int>> boundary_;
+  std::unordered_map<std::size_t, std::size_t> byStart_, byEnd_;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> triangulation::edges()
+    const {
+  std::vector<std::pair<std::size_t, std::size_t>> es;
+  es.reserve(3 * triangles.size());
+  for (const auto& t : triangles) {
+    for (int e = 0; e < 3; ++e) {
+      const std::size_t u = t[e];
+      const std::size_t v = t[(e + 1) % 3];
+      es.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  par::sort(es);
+  es.erase(std::unique(es.begin(), es.end()), es.end());
+  return es;
+}
+
+triangulation triangulate(const std::vector<point<2>>& pts) {
+  if (pts.size() < 3) return {};
+  builder b(pts);
+  b.insert_all();
+  return b.finish();
+}
+
+}  // namespace pargeo::delaunay

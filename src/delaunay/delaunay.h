@@ -1,0 +1,33 @@
+// 2D Delaunay triangulation (paper Module 3's Delaunay graph generator).
+//
+// Bowyer–Watson incremental construction: points are inserted in Morton
+// order (locality for the walk-based point location), each insertion
+// carves the cavity of circumcircle-violating triangles and re-fans it
+// around the new vertex. Predicates are the filtered orient2d / incircle
+// from core. The paper does not claim a novel parallel Delaunay; ParGeo
+// "also generates the Delaunay graph" — graph extraction and all
+// downstream filters (Gabriel, beta-skeleton) are parallel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::delaunay {
+
+struct triangulation {
+  /// Triangles as CCW triples of input-point indices (super-triangle
+  /// artifacts removed).
+  std::vector<std::array<std::size_t, 3>> triangles;
+
+  /// Unique undirected edges (u < v), sorted lexicographically.
+  std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+};
+
+/// Triangulates `pts`. Duplicate points are ignored (first copy wins).
+/// Inputs whose points are all collinear yield an empty triangulation.
+triangulation triangulate(const std::vector<point<2>>& pts);
+
+}  // namespace pargeo::delaunay

@@ -1,0 +1,102 @@
+#include "emst/emst.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "closestpair/closestpair.h"
+#include "parallel/parallel.h"
+#include "wspd/wspd.h"
+
+namespace pargeo::emst {
+
+namespace {
+
+/// Union-find with path halving; sequential (the Kruskal scan is the only
+/// sequential stage of the pipeline and is cheap relative to BCCPs).
+class union_find {
+ public:
+  explicit union_find(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+template <int D>
+std::vector<edge> emst(const std::vector<point<D>>& pts) {
+  const std::size_t n = pts.size();
+  if (n < 2) return {};
+  // leaf_size = 1: the EMST-subset-of-BCCP-edges guarantee needs a
+  // point-level WSPD (multi-point leaves can hide MST edges).
+  kdtree::tree<D> t(pts, kdtree::split_policy::object_median, 1);
+  auto pairs = wspd::decompose<D>(t, 2.0);
+
+  // One BCCP edge per separated pair; leaf self-pairs contribute their
+  // full internal clique (leaves are tiny) so intra-leaf MST edges exist.
+  std::vector<std::vector<edge>> per(pairs.size());
+  par::parallel_for(
+      0, pairs.size(),
+      [&](std::size_t i) {
+        const auto* a = pairs[i].a;
+        const auto* b = pairs[i].b;
+        if (a == b) {
+          for (std::size_t x = a->lo; x < a->hi; ++x) {
+            for (std::size_t y = x + 1; y < a->hi; ++y) {
+              per[i].push_back({t.id_of(x), t.id_of(y),
+                                t.point_at(x).dist(t.point_at(y))});
+            }
+          }
+        } else {
+          auto r = closestpair::bccp_nodes<D>(t, a, b);
+          per[i].push_back({r.i, r.j, std::sqrt(r.dist_sq)});
+        }
+      },
+      8);
+  auto cand = par::flatten(per);
+  par::sort(cand, [](const edge& a, const edge& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  union_find uf(n);
+  std::vector<edge> mst;
+  mst.reserve(n - 1);
+  for (const edge& e : cand) {
+    if (uf.unite(e.u, e.v)) {
+      mst.push_back(e);
+      if (mst.size() == n - 1) break;
+    }
+  }
+  return mst;
+}
+
+double total_weight(const std::vector<edge>& edges) {
+  double s = 0;
+  for (const auto& e : edges) s += e.weight;
+  return s;
+}
+
+template std::vector<edge> emst<2>(const std::vector<point<2>>&);
+template std::vector<edge> emst<3>(const std::vector<point<3>>&);
+template std::vector<edge> emst<5>(const std::vector<point<5>>&);
+template std::vector<edge> emst<7>(const std::vector<point<7>>&);
+
+}  // namespace pargeo::emst

@@ -1,0 +1,30 @@
+// Euclidean minimum spanning tree via WSPD + Kruskal (paper Module 3).
+//
+// For separation s >= 2 the EMST is a subset of the BCCP edges of the
+// WSPD pairs (Callahan–Kosaraju), so the pipeline is: build kd-tree ->
+// WSPD -> one BCCP per pair (in parallel) -> parallel sort by weight ->
+// Kruskal with union-find.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::emst {
+
+struct edge {
+  std::size_t u, v;
+  double weight;  // Euclidean distance
+};
+
+/// EMST edges (n-1 of them for n >= 1 distinct-point inputs; duplicate
+/// points yield zero-weight edges). Deterministic output order (sorted by
+/// weight, ties by endpoints).
+template <int D>
+std::vector<edge> emst(const std::vector<point<D>>& pts);
+
+/// Sum of EMST edge weights.
+double total_weight(const std::vector<edge>& edges);
+
+}  // namespace pargeo::emst

@@ -1,0 +1,43 @@
+// Spatial graph generators (paper Module 3).
+//
+//   * knn_graph       — directed k-NN edges from kd-tree batch queries.
+//   * delaunay_graph  — edges of the 2D Delaunay triangulation.
+//   * gabriel_graph   — Delaunay edges whose diametral circle is empty
+//     (beta-skeleton with beta = 1), tested with kd-tree range search.
+//   * beta_skeleton   — lune-based beta-skeleton for beta >= 1 (subset of
+//     the Delaunay graph), emptiness tested with kd-tree range search.
+//   * spanner         — WSPD-based t-spanner (re-exported from wspd).
+//
+// Edges are undirected pairs (u < v), sorted, except knn_graph which is
+// directed (i -> each of its k neighbors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::graphgen {
+
+using edge_list = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Directed k-NN graph: row i lists the k nearest neighbors of point i
+/// (excluding i itself).
+std::vector<std::vector<std::size_t>> knn_graph(
+    const std::vector<point<2>>& pts, std::size_t k);
+std::vector<std::vector<std::size_t>> knn_graph3(
+    const std::vector<point<3>>& pts, std::size_t k);
+
+/// Undirected Delaunay edges.
+edge_list delaunay_graph(const std::vector<point<2>>& pts);
+
+/// Gabriel graph (beta-skeleton, beta = 1).
+edge_list gabriel_graph(const std::vector<point<2>>& pts);
+
+/// Lune-based beta-skeleton for beta in [1, 2].
+edge_list beta_skeleton(const std::vector<point<2>>& pts, double beta);
+
+/// WSPD t-spanner edges (stretch > 1).
+edge_list spanner(const std::vector<point<2>>& pts, double stretch);
+
+}  // namespace pargeo::graphgen

@@ -1,0 +1,147 @@
+// Pseudohull point culling (Tang et al., adapted for multicore — paper §3).
+//
+// Starting from the initial tetrahedron, each facet is recursively grown
+// toward the furthest point among the points above it, splitting its point
+// set across three child facets. Points below all children are interior to
+// the growing pseudohull and are discarded. Recursion stops when a facet
+// owns at most `threshold` points (stack-depth safeguard from the paper);
+// the survivors plus all pseudohull vertices feed the final parallel
+// reservation-based quickhull.
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "hull/hull3d.h"
+#include "hull/hull3d_impl.h"
+#include "parallel/parallel.h"
+
+namespace pargeo::hull3d {
+
+using namespace detail;
+
+namespace {
+
+struct cull_context {
+  const std::vector<pt>& pts;
+  std::size_t threshold;
+  std::mutex out_mutex;
+  std::vector<std::size_t> survivors;
+
+  void emit(const std::vector<std::size_t>& ids, std::size_t a,
+            std::size_t b, std::size_t c) {
+    std::lock_guard<std::mutex> g(out_mutex);
+    survivors.insert(survivors.end(), ids.begin(), ids.end());
+    survivors.push_back(a);
+    survivors.push_back(b);
+    survivors.push_back(c);
+  }
+};
+
+// A point q is above the oriented plane (a, b, c) iff orient3d < 0 (our
+// outward-facet convention from hull3d_impl.h).
+inline bool above(const std::vector<pt>& pts, std::size_t a, std::size_t b,
+                  std::size_t c, std::size_t q) {
+  return orient3d(pts[a], pts[b], pts[c], pts[q]) < 0;
+}
+
+void grow(cull_context& ctx, std::size_t a, std::size_t b, std::size_t c,
+          std::vector<std::size_t> own) {
+  if (own.size() <= ctx.threshold) {
+    ctx.emit(own, a, b, c);
+    return;
+  }
+  const auto& pts = ctx.pts;
+  // Furthest point from the facet plane (unnormalized distance suffices).
+  const pt normal = cross(pts[b] - pts[a], pts[c] - pts[a]);
+  const double offset = normal.dot(pts[a]);
+  std::size_t p = own[0];
+  double bd = normal.dot(pts[p]) - offset;
+  for (const std::size_t q : own) {
+    const double d = normal.dot(pts[q]) - offset;
+    if (d > bd || (d == bd && q < p)) {
+      bd = d;
+      p = q;
+    }
+  }
+  // Split the points among the three child facets; points below all three
+  // are inside tetra(a, b, c, p) and hence interior -> dropped.
+  std::vector<std::size_t> s0, s1, s2;
+  for (const std::size_t q : own) {
+    if (q == p) continue;
+    if (above(pts, a, b, p, q)) {
+      s0.push_back(q);
+    } else if (above(pts, b, c, p, q)) {
+      s1.push_back(q);
+    } else if (above(pts, c, a, p, q)) {
+      s2.push_back(q);
+    }
+  }
+  own.clear();
+  own.shrink_to_fit();
+  const bool spawn = s0.size() + s1.size() + s2.size() > 4096;
+  if (spawn) {
+    par::par_do3([&] { grow(ctx, a, b, p, std::move(s0)); },
+                 [&] { grow(ctx, b, c, p, std::move(s1)); },
+                 [&] { grow(ctx, c, a, p, std::move(s2)); });
+  } else {
+    grow(ctx, a, b, p, std::move(s0));
+    grow(ctx, b, c, p, std::move(s1));
+    grow(ctx, c, a, p, std::move(s2));
+  }
+}
+
+std::vector<std::size_t> cull(const std::vector<pt>& pts,
+                              std::size_t threshold) {
+  cull_context ctx{pts, threshold, {}, {}};
+  const auto simplex = initial_simplex(pts);
+  // Build the four outward root facets (reusing the tetrahedron helper via
+  // a throwaway arena just for orientation/adjacency bookkeeping).
+  facet_arena arena;
+  auto tetra = make_tetrahedron(pts, arena, simplex);
+  std::array<std::vector<std::size_t>, 4> own;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i == simplex[0] || i == simplex[1] || i == simplex[2] ||
+        i == simplex[3]) {
+      continue;
+    }
+    for (int t = 0; t < 4; ++t) {
+      if (visible(pts, tetra[t], pts[i])) {
+        own[t].push_back(i);
+        break;
+      }
+    }
+  }
+  for (const std::size_t s : simplex) ctx.survivors.push_back(s);
+  par::parallel_for(
+      0, 4,
+      [&](std::size_t t) {
+        grow(ctx, tetra[t]->v[0], tetra[t]->v[1], tetra[t]->v[2],
+             std::move(own[t]));
+      },
+      1);
+  auto& sv = ctx.survivors;
+  std::sort(sv.begin(), sv.end());
+  sv.erase(std::unique(sv.begin(), sv.end()), sv.end());
+  return sv;
+}
+
+}  // namespace
+
+std::size_t pseudohull_survivors(const std::vector<pt>& pts,
+                                 std::size_t threshold) {
+  return cull(pts, threshold).size();
+}
+
+mesh pseudohull(const std::vector<pt>& pts, std::size_t threshold) {
+  auto survivors = cull(pts, threshold);
+  std::vector<pt> sub(survivors.size());
+  par::parallel_for(0, survivors.size(),
+                    [&](std::size_t i) { sub[i] = pts[survivors[i]]; });
+  auto m = reservation_quickhull(sub);
+  par::parallel_for(0, m.facets.size(), [&](std::size_t i) {
+    for (auto& v : m.facets[i]) v = survivors[v];
+  });
+  return m;
+}
+
+}  // namespace pargeo::hull3d

@@ -1,0 +1,125 @@
+#include "io/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pargeo::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("io: " + path + ": " + why);
+}
+
+}  // namespace
+
+template <int D>
+void write_csv(const std::string& path, const std::vector<point<D>>& pts) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out.precision(17);
+  for (const auto& p : pts) {
+    for (int d = 0; d < D; ++d) {
+      if (d) out << ',';
+      out << p[d];
+    }
+    out << '\n';
+  }
+  if (!out) fail(path, "write error");
+}
+
+template <int D>
+std::vector<point<D>> read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::vector<point<D>> pts;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    point<D> p;
+    std::string cell;
+    for (int d = 0; d < D; ++d) {
+      if (!std::getline(ss, cell, ',')) {
+        fail(path, "line " + std::to_string(lineno) + ": expected " +
+                       std::to_string(D) + " coordinates");
+      }
+      try {
+        p[d] = std::stod(cell);
+      } catch (const std::exception&) {
+        fail(path, "line " + std::to_string(lineno) + ": bad number '" +
+                       cell + "'");
+      }
+    }
+    if (std::getline(ss, cell, ',')) {
+      fail(path, "line " + std::to_string(lineno) + ": too many columns");
+    }
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+template <int D>
+void write_binary(const std::string& path,
+                  const std::vector<point<D>>& pts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  const int64_t dim = D;
+  const int64_t count = static_cast<int64_t>(pts.size());
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : pts) {
+    out.write(reinterpret_cast<const char*>(p.x.data()),
+              D * sizeof(double));
+  }
+  if (!out) fail(path, "write error");
+}
+
+template <int D>
+std::vector<point<D>> read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  int64_t dim = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || dim != D) {
+    fail(path, "dimension mismatch (file " + std::to_string(dim) +
+                   ", expected " + std::to_string(D) + ")");
+  }
+  if (count < 0) fail(path, "negative count");
+  std::vector<point<D>> pts(static_cast<std::size_t>(count));
+  for (auto& p : pts) {
+    in.read(reinterpret_cast<char*>(p.x.data()), D * sizeof(double));
+  }
+  if (!in) fail(path, "truncated payload");
+  return pts;
+}
+
+void write_edges(
+    const std::string& path,
+    const std::vector<std::pair<std::size_t, std::size_t>>& es) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  for (const auto& [u, v] : es) out << u << ',' << v << '\n';
+  if (!out) fail(path, "write error");
+}
+
+#define PARGEO_IO_INSTANTIATE(D)                                       \
+  template void write_csv<D>(const std::string&,                       \
+                             const std::vector<point<D>>&);            \
+  template std::vector<point<D>> read_csv<D>(const std::string&);      \
+  template void write_binary<D>(const std::string&,                    \
+                                const std::vector<point<D>>&);         \
+  template std::vector<point<D>> read_binary<D>(const std::string&);
+
+PARGEO_IO_INSTANTIATE(2)
+PARGEO_IO_INSTANTIATE(3)
+PARGEO_IO_INSTANTIATE(5)
+PARGEO_IO_INSTANTIATE(7)
+
+}  // namespace pargeo::io

@@ -1,0 +1,36 @@
+// Point-set and graph I/O: a CSV format interoperable with the original
+// ParGeo's benchmark files (one point per line, comma-separated
+// coordinates) and a fast binary format (header: dim, count; payload:
+// row-major doubles).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::io {
+
+/// Writes one point per line: "x0,x1,...,xD-1\n".
+template <int D>
+void write_csv(const std::string& path, const std::vector<point<D>>& pts);
+
+/// Reads the CSV format above. Throws std::runtime_error on malformed
+/// input or dimension mismatch.
+template <int D>
+std::vector<point<D>> read_csv(const std::string& path);
+
+/// Binary: int64 dim, int64 count, then count*dim little-endian doubles.
+template <int D>
+void write_binary(const std::string& path,
+                  const std::vector<point<D>>& pts);
+
+template <int D>
+std::vector<point<D>> read_binary(const std::string& path);
+
+/// Writes an edge list as "u,v\n" rows.
+void write_edges(const std::string& path,
+                 const std::vector<std::pair<std::size_t, std::size_t>>& es);
+
+}  // namespace pargeo::io

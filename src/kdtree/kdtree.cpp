@@ -1,0 +1,10 @@
+// Anchor translation unit; also pins common instantiations so downstream
+// targets don't each pay the template cost.
+#include "kdtree/kdtree.h"
+
+namespace pargeo::kdtree {
+template class tree<2>;
+template class tree<3>;
+template class tree<5>;
+template class tree<7>;
+}  // namespace pargeo::kdtree

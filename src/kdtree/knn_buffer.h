@@ -1,0 +1,81 @@
+// Bounded k-nearest-neighbor candidate buffer (paper Appendix C.1.3).
+//
+// Maintains the k best (smallest squared distance) candidates seen so far
+// using an internal buffer of size 2k: inserts are O(1) appends, and when
+// the buffer fills up a selection partition keeps the k smallest —
+// amortized O(1) per insert.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pargeo::kdtree {
+
+class knn_buffer {
+ public:
+  struct entry {
+    double dist_sq;
+    std::size_t id;
+    bool operator<(const entry& o) const {
+      return dist_sq < o.dist_sq ||
+             (dist_sq == o.dist_sq && id < o.id);
+    }
+  };
+
+  explicit knn_buffer(std::size_t k)
+      : k_(k), bound_(std::numeric_limits<double>::infinity()) {
+    buf_.reserve(2 * k);
+  }
+
+  std::size_t k() const { return k_; }
+
+  /// Current pruning bound: squared distance of the k-th best candidate,
+  /// or +inf while fewer than k candidates have been seen.
+  double bound() const { return bound_; }
+
+  bool full() const { return seen_ >= k_; }
+
+  void insert(double dist_sq, std::size_t id) {
+    // Accept candidates tied with the bound so distance ties resolve to
+    // the smallest ids (compaction orders by (dist, id)).
+    if (dist_sq > bound_) return;
+    buf_.push_back({dist_sq, id});
+    ++seen_;
+    if (buf_.size() >= 2 * k_) compact();
+    // Once k candidates exist, the bound is only refreshed on compaction;
+    // keep it tight when cheap:
+    if (seen_ >= k_ && buf_.size() == k_) {
+      bound_ = std::max_element(buf_.begin(), buf_.end())->dist_sq;
+    }
+  }
+
+  /// The k nearest candidates, sorted by distance (ties by id).
+  std::vector<entry> finish() {
+    if (buf_.size() > k_) compact();
+    std::sort(buf_.begin(), buf_.end());
+    return buf_;
+  }
+
+  void reset() {
+    buf_.clear();
+    seen_ = 0;
+    bound_ = std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  void compact() {
+    if (buf_.size() <= k_) return;
+    std::nth_element(buf_.begin(), buf_.begin() + (k_ - 1), buf_.end());
+    buf_.resize(k_);
+    bound_ = std::max_element(buf_.begin(), buf_.end())->dist_sq;
+  }
+
+  std::size_t k_;
+  std::size_t seen_ = 0;
+  double bound_;
+  std::vector<entry> buf_;
+};
+
+}  // namespace pargeo::kdtree

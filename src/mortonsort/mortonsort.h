@@ -1,0 +1,33 @@
+// Morton (Z-order) sorting of point sets (paper Module 2).
+//
+// Coordinates are quantized onto a 2^b grid over the bounding box with
+// b = 64/D bits per dimension, interleaved into a 64-bit key, and sorted
+// with the parallel sort. Morton order is also used by the Delaunay
+// module (insertion locality) and the Zd-tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::mortonsort {
+
+/// Morton code of p within bounding box [lo, hi] (per-dimension).
+template <int D>
+uint64_t morton_code(const point<D>& p, const point<D>& lo,
+                     const point<D>& hi);
+
+/// Morton codes of all points over their common bounding box (parallel).
+template <int D>
+std::vector<uint64_t> morton_codes(const std::vector<point<D>>& pts);
+
+/// Indices of pts in Morton order (stable for equal codes).
+template <int D>
+std::vector<std::size_t> morton_order(const std::vector<point<D>>& pts);
+
+/// Points reordered into Morton order.
+template <int D>
+std::vector<point<D>> morton_sort(const std::vector<point<D>>& pts);
+
+}  // namespace pargeo::mortonsort

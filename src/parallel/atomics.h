@@ -1,0 +1,41 @@
+// Priority-update primitives (Shun et al., "Reducing contention through
+// priority updates"). The reservation-based hull algorithm relies on
+// write_min: concurrent writers race to leave the minimum value behind.
+#pragma once
+
+#include <atomic>
+
+namespace pargeo::par {
+
+/// Atomically set `*a = min(*a, v)`. Returns true iff `v` was written
+/// (i.e., v was strictly smaller than the previous value at some point).
+template <class T>
+bool write_min(std::atomic<T>* a, T v) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (v < cur) {
+    if (a->compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically set `*a = max(*a, v)`. Returns true iff `v` was written.
+template <class T>
+bool write_max(std::atomic<T>* a, T v) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (cur < v) {
+    if (a->compare_exchange_weak(cur, v, std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Fetch-and-add convenience wrapper.
+template <class T>
+T fetch_add(std::atomic<T>* a, T v) {
+  return a->fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace pargeo::par

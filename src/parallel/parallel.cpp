@@ -1,0 +1,7 @@
+// Anchor translation unit for the pargeo_parallel static library.
+#include "parallel/parallel.h"
+
+namespace pargeo::par {
+// Everything in the substrate is header-only; this TU exists so the
+// subsystem builds as a normal static library like its siblings.
+}  // namespace pargeo::par

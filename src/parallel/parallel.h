@@ -1,0 +1,8 @@
+// Umbrella header for the parallel substrate.
+#pragma once
+
+#include "parallel/atomics.h"     // IWYU pragma: export
+#include "parallel/primitives.h"  // IWYU pragma: export
+#include "parallel/random.h"      // IWYU pragma: export
+#include "parallel/scheduler.h"   // IWYU pragma: export
+#include "parallel/sort.h"        // IWYU pragma: export

@@ -1,0 +1,226 @@
+// Data-parallel sequence primitives: reduce, scan, pack, filter, flatten.
+//
+// These mirror the ParlayLib operations the ParGeo paper's pseudocode uses
+// (e.g. ParallelPack on line 17 of the hull algorithm). All primitives are
+// deterministic regardless of worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace pargeo::par {
+
+namespace detail {
+inline std::size_t num_blocks(std::size_t n, std::size_t block) {
+  return (n + block - 1) / block;
+}
+inline constexpr std::size_t kBlock = 4096;
+}  // namespace detail
+
+/// reduce(seq, id, op): op must be associative with identity `id`.
+template <class Seq, class T, class Op>
+T reduce(const Seq& s, T id, Op op) {
+  const std::size_t n = s.size();
+  if (n == 0) return id;
+  const std::size_t block = detail::kBlock;
+  const std::size_t nb = detail::num_blocks(n, block);
+  if (nb <= 1) {
+    T acc = id;
+    for (std::size_t i = 0; i < n; ++i) acc = op(acc, s[i]);
+    return acc;
+  }
+  std::vector<T> partial(nb, id);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        T acc = id;
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        for (std::size_t i = lo; i < hi; ++i) acc = op(acc, s[i]);
+        partial[b] = acc;
+      },
+      1);
+  T acc = id;
+  for (std::size_t b = 0; b < nb; ++b) acc = op(acc, partial[b]);
+  return acc;
+}
+
+/// Sum of a sequence.
+template <class Seq>
+auto sum(const Seq& s) {
+  using T = std::decay_t<decltype(s[0])>;
+  return reduce(s, T{}, std::plus<T>{});
+}
+
+/// Index of the "best" element under strict-weak comparator `less`
+/// (returns the first such index; n must be > 0).
+template <class Seq, class Less>
+std::size_t min_element_index(const Seq& s, Less less) {
+  const std::size_t n = s.size();
+  const std::size_t block = detail::kBlock;
+  const std::size_t nb = detail::num_blocks(n, block);
+  std::vector<std::size_t> best(nb);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        std::size_t m = lo;
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+          if (less(s[i], s[m])) m = i;
+        }
+        best[b] = m;
+      },
+      1);
+  std::size_t m = best[0];
+  for (std::size_t b = 1; b < nb; ++b) {
+    if (less(s[best[b]], s[m])) m = best[b];
+  }
+  return m;
+}
+
+/// Exclusive prefix sum in place; returns the total.
+template <class T>
+T scan_exclusive(std::vector<T>& s) {
+  const std::size_t n = s.size();
+  if (n == 0) return T{};
+  const std::size_t block = detail::kBlock;
+  const std::size_t nb = detail::num_blocks(n, block);
+  if (nb <= 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = s[i];
+      s[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  std::vector<T> sums(nb);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        T acc{};
+        for (std::size_t i = lo; i < hi; ++i) acc += s[i];
+        sums[b] = acc;
+      },
+      1);
+  T total{};
+  for (std::size_t b = 0; b < nb; ++b) {
+    T v = sums[b];
+    sums[b] = total;
+    total += v;
+  }
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+          T v = s[i];
+          s[i] = acc;
+          acc += v;
+        }
+      },
+      1);
+  return total;
+}
+
+/// pack(seq, flags): elements with flags[i] != 0, in order.
+template <class Seq, class Flags>
+auto pack(const Seq& s, const Flags& flags) {
+  using T = std::decay_t<decltype(s[0])>;
+  const std::size_t n = s.size();
+  std::vector<std::size_t> offs(n);
+  parallel_for(0, n, [&](std::size_t i) { offs[i] = flags[i] ? 1 : 0; });
+  const std::size_t total = scan_exclusive(offs);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offs[i]] = s[i];
+  });
+  return out;
+}
+
+/// Indices i where flags[i] != 0, in order.
+template <class Flags>
+std::vector<std::size_t> pack_index(const Flags& flags) {
+  const std::size_t n = flags.size();
+  std::vector<std::size_t> offs(n);
+  parallel_for(0, n, [&](std::size_t i) { offs[i] = flags[i] ? 1 : 0; });
+  const std::size_t total = scan_exclusive(offs);
+  std::vector<std::size_t> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (flags[i]) out[offs[i]] = i;
+  });
+  return out;
+}
+
+/// filter(seq, pred): elements satisfying pred, in order.
+template <class Seq, class Pred>
+auto filter(const Seq& s, Pred pred) {
+  using T = std::decay_t<decltype(s[0])>;
+  const std::size_t n = s.size();
+  std::vector<std::size_t> offs(n);
+  parallel_for(0, n, [&](std::size_t i) { offs[i] = pred(s[i]) ? 1 : 0; });
+  const std::size_t total = scan_exclusive(offs);
+  std::vector<T> out(total);
+  parallel_for(0, n, [&](std::size_t i) {
+    if (pred(s[i])) out[offs[i]] = s[i];
+  });
+  return out;
+}
+
+/// Count elements satisfying pred.
+template <class Seq, class Pred>
+std::size_t count_if(const Seq& s, Pred pred) {
+  const std::size_t n = s.size();
+  const std::size_t block = detail::kBlock;
+  const std::size_t nb = detail::num_blocks(n, block);
+  if (nb == 0) return 0;
+  std::vector<std::size_t> partial(nb, 0);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        std::size_t c = 0;
+        for (std::size_t i = lo; i < hi; ++i) c += pred(s[i]) ? 1 : 0;
+        partial[b] = c;
+      },
+      1);
+  return std::accumulate(partial.begin(), partial.end(), std::size_t{0});
+}
+
+/// flatten(vector<vector<T>>): concatenation, preserving order.
+template <class T>
+std::vector<T> flatten(const std::vector<std::vector<T>>& nested) {
+  const std::size_t m = nested.size();
+  std::vector<std::size_t> offs(m);
+  parallel_for(0, m, [&](std::size_t i) { offs[i] = nested[i].size(); });
+  const std::size_t total = scan_exclusive(offs);
+  std::vector<T> out(total);
+  parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        std::copy(nested[i].begin(), nested[i].end(), out.begin() + offs[i]);
+      },
+      1);
+  return out;
+}
+
+/// tabulate(n, f): vector {f(0), ..., f(n-1)} built in parallel.
+template <class F>
+auto tabulate(std::size_t n, F f) {
+  using T = std::decay_t<decltype(f(std::size_t{0}))>;
+  std::vector<T> out(n);
+  parallel_for(0, n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+}  // namespace pargeo::par

@@ -1,0 +1,80 @@
+// Fork-join scheduling substrate over OpenMP.
+//
+// ParGeo's algorithms are written against ParlayLib-style primitives:
+// a flat `parallel_for`, binary fork `par_do`, and a worker count. This
+// header provides those on top of OpenMP, handling nesting with tasks so
+// recursive divide-and-conquer (kd-tree build, merge sort, hull D&C)
+// composes with data-parallel loops.
+#pragma once
+
+#include <omp.h>
+
+#include <cstddef>
+#include <utility>
+
+namespace pargeo::par {
+
+/// Number of workers the runtime will use for parallel regions.
+inline int num_workers() { return omp_get_max_threads(); }
+
+/// True if called from inside an active parallel region.
+inline bool in_parallel() { return omp_in_parallel() != 0; }
+
+/// Default grain size for parallel loops; chosen so per-task overhead is
+/// amortized over a few microseconds of work.
+inline constexpr std::size_t kDefaultGrain = 2048;
+
+/// Run `f(i)` for i in [lo, hi). Parallel when profitable; safe to call
+/// from inside other parallel constructs (falls back to tasks).
+template <class F>
+void parallel_for(std::size_t lo, std::size_t hi, F f,
+                  std::size_t grain = kDefaultGrain) {
+  if (hi <= lo) return;
+  const std::size_t n = hi - lo;
+  if (n <= grain || num_workers() == 1) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  if (in_parallel()) {
+#pragma omp taskloop grainsize(grain) default(shared) untied
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+  } else {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+  }
+}
+
+namespace detail {
+template <class A, class B>
+void par_do_task(A& a, B& b) {
+#pragma omp task default(shared) untied
+  a();
+  b();
+#pragma omp taskwait
+}
+}  // namespace detail
+
+/// Run `a()` and `b()` potentially in parallel; returns when both finish.
+template <class A, class B>
+void par_do(A a, B b) {
+  if (num_workers() == 1) {
+    a();
+    b();
+    return;
+  }
+  if (in_parallel()) {
+    detail::par_do_task(a, b);
+  } else {
+#pragma omp parallel
+#pragma omp single nowait
+    detail::par_do_task(a, b);
+  }
+}
+
+/// Three-way fork.
+template <class A, class B, class C>
+void par_do3(A a, B b, C c) {
+  par_do([&] { a(); }, [&] { par_do(b, c); });
+}
+
+}  // namespace pargeo::par

@@ -1,0 +1,30 @@
+// ParGeo reproduction — umbrella public header.
+//
+// Include this to get the whole library; each subsystem header can also be
+// included individually (they are self-contained).
+#pragma once
+
+#include "bdltree/baselines.h"        // IWYU pragma: export
+#include "bdltree/bdl_tree.h"         // IWYU pragma: export
+#include "bdltree/veb_tree.h"         // IWYU pragma: export
+#include "closestpair/closestpair.h"  // IWYU pragma: export
+#include "clustering/clustering.h"    // IWYU pragma: export
+#include "core/aabb.h"                // IWYU pragma: export
+#include "core/ball.h"                // IWYU pragma: export
+#include "core/point.h"               // IWYU pragma: export
+#include "core/predicates.h"          // IWYU pragma: export
+#include "core/timer.h"               // IWYU pragma: export
+#include "datagen/datagen.h"          // IWYU pragma: export
+#include "delaunay/delaunay.h"        // IWYU pragma: export
+#include "emst/emst.h"                // IWYU pragma: export
+#include "graphgen/graphgen.h"        // IWYU pragma: export
+#include "hull/hull2d.h"              // IWYU pragma: export
+#include "hull/hull3d.h"              // IWYU pragma: export
+#include "io/io.h"                    // IWYU pragma: export
+#include "kdtree/kdtree.h"            // IWYU pragma: export
+#include "kdtree/knn_buffer.h"        // IWYU pragma: export
+#include "mortonsort/mortonsort.h"    // IWYU pragma: export
+#include "parallel/parallel.h"        // IWYU pragma: export
+#include "seb/seb.h"                  // IWYU pragma: export
+#include "wspd/wspd.h"                // IWYU pragma: export
+#include "zdtree/zdtree.h"            // IWYU pragma: export

@@ -1,0 +1,446 @@
+#include "seb/seb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/parallel.h"
+
+namespace pargeo::seb {
+
+namespace {
+
+constexpr double kSlack = 1e-9;  // relative containment tolerance
+
+/// Support ("basis") set: at most D+1 points on the ball boundary.
+template <int D>
+struct basis {
+  std::array<point<D>, D + 1> pts{};
+  int size = 0;
+
+  void push(const point<D>& p) { pts[size++] = p; }
+};
+
+template <int D>
+ball<D> ball_of(const basis<D>& b) {
+  ball<D> B = circumball<D>(b.pts.data(), b.size);
+  if (B.is_empty() && b.size > 0) {
+    // Degenerate (affinely dependent) support — only reachable through
+    // floating-point edge cases. Fall back to a sane enclosing ball of the
+    // support points themselves.
+    point<D> c{};
+    for (int i = 0; i < b.size; ++i) c = c + b.pts[i];
+    c = c / static_cast<double>(b.size);
+    double r2 = 0;
+    for (int i = 0; i < b.size; ++i) r2 = std::max(r2, c.dist_sq(b.pts[i]));
+    B = {c, std::sqrt(r2)};
+  }
+  return B;
+}
+
+// ---------------------------------------------------------------------
+// Small sequential Welzl with move-to-front (used on tiny candidate sets
+// and as the recursion leaf); L is reordered in place.
+// ---------------------------------------------------------------------
+
+// `out_basis`, when non-null, receives the exact support set that
+// generated the returned ball (every returned ball originates from a
+// circumball of some basis; the last one computed is the final support).
+template <int D>
+ball<D> welzl_small(std::vector<point<D>>& L, std::size_t n, basis<D> R,
+                    basis<D>* out_basis = nullptr) {
+  ball<D> B = ball_of(R);
+  if (out_basis != nullptr) *out_basis = R;
+  if (R.size == D + 1) return B;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!B.contains(L[i], kSlack)) {
+      basis<D> R2 = R;
+      R2.push(L[i]);
+      B = welzl_small(L, i, R2, out_basis);
+      // Move-to-front: L[i] will be met early in future passes.
+      const point<D> p = L[i];
+      for (std::size_t j = i; j > 0; --j) L[j] = L[j - 1];
+      L[0] = p;
+    }
+  }
+  return B;
+}
+
+/// SEB of a small point set plus the exact support set that defines it.
+template <int D>
+std::pair<ball<D>, basis<D>> miniball_small(std::vector<point<D>> L) {
+  basis<D> sup;
+  ball<D> B = welzl_small(L, L.size(), basis<D>{}, &sup);
+  return {B, sup};
+}
+
+// ---------------------------------------------------------------------
+// Parallel reductions over the input
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// First index in [lo, hi) outside B, or kNone.
+template <int D>
+std::size_t first_violator(const std::vector<point<D>>& pts, std::size_t lo,
+                           std::size_t hi, const ball<D>& B) {
+  const std::size_t n = hi - lo;
+  constexpr std::size_t kBlock = 4096;
+  if (n <= 2 * kBlock || par::num_workers() == 1) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!B.contains(pts[i], kSlack)) return i;
+    }
+    return kNone;
+  }
+  const std::size_t nb = (n + kBlock - 1) / kBlock;
+  std::vector<std::size_t> partial(nb, kNone);
+  par::parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t s = lo + b * kBlock;
+        const std::size_t e = std::min(hi, s + kBlock);
+        for (std::size_t i = s; i < e; ++i) {
+          if (!B.contains(pts[i], kSlack)) {
+            partial[b] = i;
+            return;
+          }
+        }
+      },
+      1);
+  for (const std::size_t v : partial) {
+    if (v != kNone) return v;
+  }
+  return kNone;
+}
+
+/// Index in [0, n) of the point furthest from `c` (parallel max reduce).
+template <int D>
+std::size_t furthest_from(const std::vector<point<D>>& pts,
+                          const point<D>& c,
+                          std::size_t n = std::size_t(-1)) {
+  n = std::min(n, pts.size());
+  constexpr std::size_t kBlock = 8192;
+  const std::size_t nb = (n + kBlock - 1) / kBlock;
+  if (nb <= 1 || par::num_workers() == 1) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (pts[i].dist_sq(c) > pts[best].dist_sq(c)) best = i;
+    }
+    return best;
+  }
+  std::vector<std::size_t> partial(nb);
+  par::parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t s = b * kBlock;
+        const std::size_t e = std::min(n, s + kBlock);
+        std::size_t m = s;
+        for (std::size_t i = s + 1; i < e; ++i) {
+          if (pts[i].dist_sq(c) > pts[m].dist_sq(c)) m = i;
+        }
+        partial[b] = m;
+      },
+      1);
+  std::size_t best = partial[0];
+  for (std::size_t b = 1; b < nb; ++b) {
+    if (pts[partial[b]].dist_sq(c) > pts[best].dist_sq(c)) {
+      best = partial[b];
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Parallel Welzl engine (prefix scanning, Blelloch et al. style) with the
+// paper's optional move-to-front and pivoting heuristics.
+// ---------------------------------------------------------------------
+
+template <int D>
+class welzl_engine {
+ public:
+  welzl_engine(std::vector<point<D>> pts, bool mtf, bool pivot)
+      : pts_(std::move(pts)), mtf_(mtf), pivot_(pivot) {}
+
+  ball<D> run() {
+    if (!pivot_) return solve(pts_.size(), basis<D>{});
+    // Gärtner-style pivoting: repeatedly find the globally furthest
+    // outlier (parallel max), force it onto the boundary, and re-solve
+    // the prefix before it. Each round strictly grows the radius (the
+    // pivot is outside the current ball) so the loop terminates quickly,
+    // and move-to-front gathers the support candidates at the head of
+    // the array. The pivoted fixed point can be slightly non-minimal
+    // (the last pivot need not belong to the true support), so a final
+    // plain Welzl pass over the now well-conditioned order produces the
+    // exact ball — it only scans past the front until the first
+    // non-violator chunk, which is cheap after conditioning.
+    const std::size_t n = pts_.size();
+    ball<D> B = solve(std::min<std::size_t>(n, D + 2), basis<D>{});
+    constexpr int kMaxPivots = 256;
+    for (int it = 0; it < kMaxPivots; ++it) {
+      const std::size_t k = furthest_from(pts_, B.center, n);
+      if (B.contains(pts_[k], kSlack)) break;
+      basis<D> R;
+      R.push(pts_[k]);
+      ball<D> nb = solve(k, R);
+      const point<D> pk = pts_[k];
+      for (std::size_t t = k; t > 0; --t) pts_[t] = pts_[t - 1];
+      pts_[0] = pk;
+      if (nb.radius <= B.radius) break;  // fp stall: finish exactly below
+      B = nb;
+    }
+    return solve(n, basis<D>{});
+  }
+
+ private:
+  // Sequential prefixes below this size (paper §4: limited parallelism and
+  // many violators early on make parallel primitives counterproductive).
+  static constexpr std::size_t kSeqPrefix = 500000;
+
+  ball<D> solve(std::size_t n, basis<D> R) {
+    ball<D> B = ball_of(R);
+    if (R.size == D + 1) return B;
+    std::size_t i = 0;
+    std::size_t chunk = 1024;
+    while (i < n) {
+      const std::size_t hi = std::min(n, i + chunk);
+      std::size_t j;
+      if (n < kSeqPrefix) {
+        j = kNone;
+        for (std::size_t t = i; t < hi; ++t) {
+          if (!B.contains(pts_[t], kSlack)) {
+            j = t;
+            break;
+          }
+        }
+      } else {
+        j = first_violator(pts_, i, hi, B);
+      }
+      if (j == kNone) {
+        i = hi;
+        chunk *= 2;  // exponentially growing prefixes
+        continue;
+      }
+      const point<D> pj = pts_[j];
+      basis<D> R2 = R;
+      R2.push(pj);
+      B = solve(j, R2);
+      if (mtf_) {
+        for (std::size_t t = j; t > 0; --t) pts_[t] = pts_[t - 1];
+        pts_[0] = pj;
+      }
+      i = j + 1;
+    }
+    return B;
+  }
+
+  std::vector<point<D>> pts_;
+  bool mtf_, pivot_;
+};
+
+// ---------------------------------------------------------------------
+// Orthant scan (Larsson et al.) and the paper's sampling algorithm
+// ---------------------------------------------------------------------
+
+template <int D>
+int orthant_of(const point<D>& p, const point<D>& c) {
+  int o = 0;
+  for (int d = 0; d < D; ++d) {
+    o |= (p[d] > c[d]) ? (1 << d) : 0;
+  }
+  return o;
+}
+
+template <int D>
+struct orthant_extrema {
+  static constexpr int kOrthants = 1 << D;
+  // Furthest outlier per orthant; dist < 0 means none.
+  std::array<double, kOrthants> dist;
+  std::array<point<D>, kOrthants> pt;
+
+  orthant_extrema() { dist.fill(-1.0); }
+
+  void offer(const point<D>& p, const point<D>& center, double r_sq) {
+    const double d2 = center.dist_sq(p);
+    if (d2 <= r_sq) return;
+    const int o = orthant_of(p, center);
+    if (d2 > dist[o]) {
+      dist[o] = d2;
+      pt[o] = p;
+    }
+  }
+
+  void merge(const orthant_extrema& o) {
+    for (int i = 0; i < kOrthants; ++i) {
+      if (o.dist[i] > dist[i]) {
+        dist[i] = o.dist[i];
+        pt[i] = o.pt[i];
+      }
+    }
+  }
+
+  bool has_outlier() const {
+    for (const double d : dist) {
+      if (d >= 0) return true;
+    }
+    return false;
+  }
+};
+
+/// One parallel scan pass over pts[lo, hi): furthest outlier per orthant.
+template <int D>
+orthant_extrema<D> scan_pass(const std::vector<point<D>>& pts,
+                             std::size_t lo, std::size_t hi,
+                             const ball<D>& B) {
+  const double r = B.radius * (1 + kSlack) + kSlack;
+  const double r_sq = r * r;
+  const std::size_t n = hi - lo;
+  constexpr std::size_t kBlock = 8192;
+  const std::size_t nb = (n + kBlock - 1) / kBlock;
+  if (nb <= 1 || par::num_workers() == 1) {
+    orthant_extrema<D> ex;
+    for (std::size_t i = lo; i < hi; ++i) ex.offer(pts[i], B.center, r_sq);
+    return ex;
+  }
+  std::vector<orthant_extrema<D>> partial(nb);
+  par::parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t s = lo + b * kBlock;
+        const std::size_t e = std::min(hi, s + kBlock);
+        for (std::size_t i = s; i < e; ++i) {
+          partial[b].offer(pts[i], B.center, r_sq);
+        }
+      },
+      1);
+  orthant_extrema<D> ex;
+  for (const auto& p : partial) ex.merge(p);
+  return ex;
+}
+
+/// Recompute the ball from its current support plus the scan extrema.
+template <int D>
+std::pair<ball<D>, basis<D>> update_ball(const basis<D>& support,
+                                         const orthant_extrema<D>& ex) {
+  std::vector<point<D>> cand;
+  cand.reserve(support.size + orthant_extrema<D>::kOrthants);
+  for (int i = 0; i < orthant_extrema<D>::kOrthants; ++i) {
+    if (ex.dist[i] >= 0) cand.push_back(ex.pt[i]);
+  }
+  for (int i = 0; i < support.size; ++i) cand.push_back(support.pts[i]);
+  return miniball_small<D>(std::move(cand));
+}
+
+template <int D>
+ball<D> orthant_scan_from(const std::vector<point<D>>& pts, ball<D> B,
+                          basis<D> support) {
+  constexpr int kMaxIters = 1000;
+  for (int it = 0; it < kMaxIters; ++it) {
+    auto ex = scan_pass(pts, 0, pts.size(), B);
+    if (!ex.has_outlier()) return B;
+    auto [nb, ns] = update_ball(support, ex);
+    // The radius cannot shrink in exact arithmetic; nudging it monotone
+    // guards against floating-point cycling.
+    if (nb.radius <= B.radius) {
+      nb.radius = B.radius * (1 + 1e-12) + 1e-300;
+    }
+    B = nb;
+    support = ns;
+  }
+  // Safety net: force enclosure (unreachable in practice).
+  const std::size_t far = furthest_from(pts, B.center);
+  B.radius = std::max(B.radius, B.center.dist(pts[far]));
+  return B;
+}
+
+thread_local double g_sampling_fraction = 0.0;
+
+}  // namespace
+
+double last_sampling_scan_fraction() { return g_sampling_fraction; }
+
+template <int D>
+ball<D> welzl_seq(const std::vector<point<D>>& pts, uint64_t seed) {
+  // Sequential Welzl with move-to-front (the classic practical variant);
+  // random shuffle first for the expected-linear-time guarantee.
+  auto L = par::random_shuffle(pts, seed);
+  return welzl_small(L, L.size(), basis<D>{});
+}
+
+template <int D>
+ball<D> welzl(const std::vector<point<D>>& pts, uint64_t seed) {
+  welzl_engine<D> e(par::random_shuffle(pts, seed), false, false);
+  return e.run();
+}
+
+template <int D>
+ball<D> welzl_mtf(const std::vector<point<D>>& pts, uint64_t seed) {
+  welzl_engine<D> e(par::random_shuffle(pts, seed), true, false);
+  return e.run();
+}
+
+template <int D>
+ball<D> welzl_mtf_pivot(const std::vector<point<D>>& pts, uint64_t seed) {
+  welzl_engine<D> e(par::random_shuffle(pts, seed), true, true);
+  return e.run();
+}
+
+template <int D>
+ball<D> orthant_scan(const std::vector<point<D>>& pts) {
+  if (pts.empty()) return {};
+  basis<D> support;
+  support.push(pts[0]);
+  ball<D> B = ball_of(support);
+  return orthant_scan_from(pts, B, support);
+}
+
+template <int D>
+ball<D> sampling(const std::vector<point<D>>& pts, uint64_t seed,
+                 std::size_t sample_size) {
+  if (pts.empty()) return {};
+  basis<D> support;
+  support.push(pts[0]);
+  ball<D> B = ball_of(support);
+  // Sampling phase: constant-size random samples drawn through a
+  // counter-based index stream — the whole point of the algorithm is to
+  // touch only a small fraction of the input, so no permutation is
+  // materialized. Stop as soon as one sample has no outlier.
+  std::size_t scanned = 0;
+  const std::size_t n = pts.size();
+  std::vector<point<D>> block;
+  block.reserve(sample_size);
+  while (scanned < n) {
+    const std::size_t take = std::min(sample_size, n - scanned);
+    block.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      block.push_back(pts[par::rand_range(seed, scanned + i, n)]);
+    }
+    scanned += take;
+    auto ex = scan_pass(block, 0, block.size(), B);
+    if (!ex.has_outlier()) break;
+    auto [nb, ns] = update_ball(support, ex);
+    if (nb.radius > B.radius) {
+      B = nb;
+      support = ns;
+    }
+  }
+  g_sampling_fraction = static_cast<double>(scanned) / n;
+  // Final phase: full orthant scans from the (near-optimal) sampled ball.
+  return orthant_scan_from(pts, B, support);
+}
+
+#define PARGEO_SEB_INSTANTIATE(D)                                         \
+  template ball<D> welzl_seq<D>(const std::vector<point<D>>&, uint64_t);  \
+  template ball<D> welzl<D>(const std::vector<point<D>>&, uint64_t);      \
+  template ball<D> welzl_mtf<D>(const std::vector<point<D>>&, uint64_t);  \
+  template ball<D> welzl_mtf_pivot<D>(const std::vector<point<D>>&,       \
+                                      uint64_t);                          \
+  template ball<D> orthant_scan<D>(const std::vector<point<D>>&);         \
+  template ball<D> sampling<D>(const std::vector<point<D>>&, uint64_t,    \
+                               std::size_t);
+
+PARGEO_SEB_INSTANTIATE(2)
+PARGEO_SEB_INSTANTIATE(3)
+PARGEO_SEB_INSTANTIATE(5)
+PARGEO_SEB_INSTANTIATE(7)
+
+}  // namespace pargeo::seb

@@ -1,0 +1,53 @@
+// Smallest enclosing ball algorithms (paper §4).
+//
+// Methods benchmarked in Figure 10:
+//   * welzl_seq          — sequential Welzl with move-to-front + pivoting;
+//     stands in for the CGAL baseline.
+//   * welzl / welzl_mtf / welzl_mtf_pivot — parallel Welzl variants
+//     (Blelloch et al.'s prefix-doubling scheme with the paper's
+//     optimizations: sequential small prefixes, move-to-front, parallel
+//     pivot selection).
+//   * orthant_scan       — Larsson et al.'s iterative orthant scan,
+//     parallelized over input blocks.
+//   * sampling           — the paper's new two-phase sampling algorithm:
+//     constant-size orthant scans over a random permutation until a sample
+//     produces no outlier, then full orthant scans to finish.
+//
+// All functions return a ball containing every input point, within a 1e-9
+// relative tolerance (floating-point support solves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ball.h"
+#include "core/point.h"
+
+namespace pargeo::seb {
+
+template <int D>
+ball<D> welzl_seq(const std::vector<point<D>>& pts, uint64_t seed = 1);
+
+template <int D>
+ball<D> welzl(const std::vector<point<D>>& pts, uint64_t seed = 1);
+
+template <int D>
+ball<D> welzl_mtf(const std::vector<point<D>>& pts, uint64_t seed = 1);
+
+template <int D>
+ball<D> welzl_mtf_pivot(const std::vector<point<D>>& pts,
+                        uint64_t seed = 1);
+
+template <int D>
+ball<D> orthant_scan(const std::vector<point<D>>& pts);
+
+/// `sample_size` is the paper's constant-size sample block c.
+template <int D>
+ball<D> sampling(const std::vector<point<D>>& pts, uint64_t seed = 1,
+                 std::size_t sample_size = 1000);
+
+/// Fraction of the input scanned during the sampling phase of the last
+/// `sampling` call on this thread (instrumentation for §6.2's "~5%" claim).
+double last_sampling_scan_fraction();
+
+}  // namespace pargeo::seb

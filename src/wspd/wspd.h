@@ -1,0 +1,50 @@
+// Well-separated pair decomposition (Callahan–Kosaraju) over the kd-tree
+// (paper Module 2). Used by the EMST, spanner, and clustering pipelines.
+//
+// Two tree nodes are s-well-separated when the distance between their
+// bounding boxes is at least s times the larger box radius (half-diameter).
+// The decomposition covers every unordered point pair exactly once.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kdtree/kdtree.h"
+
+namespace pargeo::wspd {
+
+template <int D>
+struct node_pair {
+  const typename kdtree::tree<D>::node* a;
+  const typename kdtree::tree<D>::node* b;
+};
+
+template <int D>
+bool well_separated(const typename kdtree::tree<D>::node* a,
+                    const typename kdtree::tree<D>::node* b, double s) {
+  const double ra_sq = a->box.diameter_sq() / 4.0;
+  const double rb_sq = b->box.diameter_sq() / 4.0;
+  const double r_sq = std::max(ra_sq, rb_sq);
+  return a->box.dist_sq(b->box) >= s * s * r_sq;
+}
+
+/// Computes the s-WSPD of the tree's point set. Parallel recursion; the
+/// result order is deterministic.
+///
+/// Leaves are not split further, so (a) a leaf holding more than one point
+/// yields a *self-pair* (a == b) covering its internal point pairs, and
+/// (b) two non-separated leaves (duplicate or near-duplicate points) are
+/// emitted as a regular pair even though they violate the separation
+/// criterion. Build the tree with leaf_size = 1 for a textbook WSPD.
+template <int D>
+std::vector<node_pair<D>> decompose(const kdtree::tree<D>& t,
+                                    double s = 2.0);
+
+/// A t-spanner edge set from the WSPD: one representative edge per pair
+/// (indices are the tree's original input-point ids). Guarantees spanning
+/// ratio t for t > 1.
+template <int D>
+std::vector<std::pair<std::size_t, std::size_t>> spanner(
+    const kdtree::tree<D>& t, double stretch);
+
+}  // namespace pargeo::wspd

@@ -1,0 +1,172 @@
+// Tests for geometric clustering: single-linkage dendrogram vs reference,
+// dendrogram cuts, and DBSCAN vs a brute-force implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "clustering/clustering.h"
+#include "datagen/datagen.h"
+
+using namespace pargeo;
+using clustering::kNoise;
+
+namespace {
+
+// Brute-force DBSCAN for cross-checking (n^2).
+template <int D>
+std::vector<std::size_t> brute_dbscan(const std::vector<point<D>>& pts,
+                                      double eps, std::size_t min_pts) {
+  const std::size_t n = pts.size();
+  std::vector<std::vector<std::size_t>> nbrs(n);
+  std::vector<bool> core(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (pts[i].dist_sq(pts[j]) <= eps * eps) nbrs[i].push_back(j);
+    }
+    core[i] = nbrs[i].size() >= min_pts;
+  }
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    for (const std::size_t j : nbrs[i]) {
+      if (core[j]) parent[find(i)] = find(j);
+    }
+  }
+  std::vector<std::size_t> labels(n, kNoise);
+  std::map<std::size_t, std::size_t> remap;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!core[i]) continue;
+    const std::size_t r = find(i);
+    if (!remap.count(r)) remap[r] = remap.size();
+    labels[i] = remap[r];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (core[i] || labels[i] != kNoise) continue;
+    for (const std::size_t j : nbrs[i]) {
+      if (core[j]) {
+        labels[i] = labels[j];
+        break;
+      }
+    }
+  }
+  return labels;
+}
+
+// Partition equality up to label renaming (border-point assignment may
+// legitimately differ between implementations, so compare core points).
+template <int D>
+void expect_same_partition(const std::vector<point<D>>& pts,
+                           const std::vector<std::size_t>& a,
+                           const std::vector<std::size_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::map<std::size_t, std::size_t> fwd;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i] == kNoise, b[i] == kNoise) << "noise mismatch at " << i;
+    if (a[i] == kNoise) continue;
+    auto [it, fresh] = fwd.try_emplace(a[i], b[i]);
+    if (!fresh) EXPECT_EQ(it->second, b[i]) << "partition mismatch at " << i;
+  }
+}
+
+}  // namespace
+
+TEST(SingleLinkage, DendrogramShapeAndMonotoneHeights) {
+  auto pts = datagen::uniform<2>(500, 3);
+  auto dendro = clustering::single_linkage<2>(pts);
+  ASSERT_EQ(dendro.size(), pts.size() - 1);
+  for (std::size_t i = 1; i < dendro.size(); ++i) {
+    EXPECT_LE(dendro[i - 1].height, dendro[i].height);
+  }
+  // Every cluster id is used as a merge input at most once.
+  std::vector<int> used(2 * pts.size(), 0);
+  for (const auto& m : dendro) {
+    ASSERT_LT(m.a, m.b);
+    used[m.a]++;
+    used[m.b]++;
+  }
+  for (const int u : used) EXPECT_LE(u, 1);
+}
+
+TEST(SingleLinkage, CutRecoversWellSeparatedClusters) {
+  // Three clearly separated clusters.
+  std::vector<point<2>> pts;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) {
+      pts.push_back(point<2>{{c * 1000.0 + par::rand_double(1, c * 100 + i),
+                              par::rand_double(2, c * 100 + i)}});
+    }
+  }
+  auto dendro = clustering::single_linkage<2>(pts);
+  auto labels = clustering::cut_dendrogram(pts.size(), dendro, 50.0);
+  std::set<std::size_t> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  // Points in the same spatial cluster share a label.
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 1; i < 100; ++i) {
+      EXPECT_EQ(labels[c * 100], labels[c * 100 + i]);
+    }
+  }
+}
+
+TEST(SingleLinkage, CutAtZeroAndInfinity) {
+  auto pts = datagen::uniform<2>(100, 5);
+  auto dendro = clustering::single_linkage<2>(pts);
+  auto all = clustering::cut_dendrogram(pts.size(), dendro, 1e18);
+  std::set<std::size_t> one(all.begin(), all.end());
+  EXPECT_EQ(one.size(), 1u);
+  auto none = clustering::cut_dendrogram(pts.size(), dendro, -1.0);
+  std::set<std::size_t> n(none.begin(), none.end());
+  EXPECT_EQ(n.size(), pts.size());
+}
+
+TEST(Dbscan, MatchesBruteForceUniform) {
+  auto pts = datagen::uniform<2>(800, 7);
+  const double eps = 2.0;
+  auto fast = clustering::dbscan<2>(pts, eps, 4);
+  auto ref = brute_dbscan<2>(pts, eps, 4);
+  expect_same_partition<2>(pts, ref, fast);
+}
+
+TEST(Dbscan, MatchesBruteForceClustered) {
+  auto pts = datagen::seed_spreader<2>(800, 8);
+  const double eps = 5.0;
+  auto fast = clustering::dbscan<2>(pts, eps, 5);
+  auto ref = brute_dbscan<2>(pts, eps, 5);
+  expect_same_partition<2>(pts, ref, fast);
+}
+
+TEST(Dbscan, AllNoiseWhenEpsTiny) {
+  auto pts = datagen::uniform<2>(200, 9);
+  auto labels = clustering::dbscan<2>(pts, 1e-9, 3);
+  for (const auto l : labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(Dbscan, OneClusterWhenEpsHuge) {
+  auto pts = datagen::uniform<2>(200, 10);
+  auto labels = clustering::dbscan<2>(pts, 1e9, 3);
+  for (const auto l : labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(Dbscan, ThreeDimensional) {
+  auto pts = datagen::visualvar<3>(600, 11);
+  const double eps = 3.0;
+  auto fast = clustering::dbscan<3>(pts, eps, 4);
+  auto ref = brute_dbscan<3>(pts, eps, 4);
+  expect_same_partition<3>(pts, ref, fast);
+}
+
+TEST(SingleLinkage, TrivialInputs) {
+  std::vector<point<2>> empty;
+  EXPECT_TRUE(clustering::single_linkage<2>(empty).empty());
+  std::vector<point<2>> one{point<2>{{1, 1}}};
+  EXPECT_TRUE(clustering::single_linkage<2>(one).empty());
+}

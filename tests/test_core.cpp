@@ -1,0 +1,145 @@
+// Tests for geometry core: points, boxes, predicates, circumballs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aabb.h"
+#include "core/ball.h"
+#include "core/point.h"
+#include "core/predicates.h"
+
+using namespace pargeo;
+
+TEST(Point, Arithmetic) {
+  point<3> a{{1, 2, 3}}, b{{4, 6, 8}};
+  EXPECT_EQ((a + b)[0], 5);
+  EXPECT_EQ((b - a)[2], 5);
+  EXPECT_EQ((a * 2.0)[1], 4);
+  EXPECT_DOUBLE_EQ(a.dot(b), 4 + 12 + 24);
+  EXPECT_DOUBLE_EQ(a.dist_sq(b), 9 + 16 + 25);
+}
+
+TEST(Point, LexicographicOrder) {
+  point<2> a{{1, 5}}, b{{1, 6}}, c{{2, 0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(Point, Cross3) {
+  point<3> x{{1, 0, 0}}, y{{0, 1, 0}};
+  auto z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(Aabb, ExtendAndContains) {
+  aabb<2> b;
+  EXPECT_TRUE(b.empty());
+  b.extend(point<2>{{0, 0}});
+  b.extend(point<2>{{2, 3}});
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains(point<2>{{1, 1}}));
+  EXPECT_FALSE(b.contains(point<2>{{3, 1}}));
+  EXPECT_EQ(b.widest_dim(), 1);
+}
+
+TEST(Aabb, Distances) {
+  aabb<2> b(point<2>{{0, 0}}, point<2>{{1, 1}});
+  EXPECT_DOUBLE_EQ(b.dist_sq(point<2>{{3, 0.5}}), 4.0);
+  EXPECT_DOUBLE_EQ(b.dist_sq(point<2>{{0.5, 0.5}}), 0.0);
+  EXPECT_DOUBLE_EQ(b.max_dist_sq(point<2>{{0, 0}}), 2.0);
+  aabb<2> c(point<2>{{3, 0}}, point<2>{{4, 1}});
+  EXPECT_DOUBLE_EQ(b.dist_sq(c), 4.0);
+  EXPECT_TRUE(b.intersects(aabb<2>(point<2>{{1, 1}}, point<2>{{2, 2}})));
+  EXPECT_FALSE(b.intersects(c));
+}
+
+TEST(Aabb, InsideRelation) {
+  aabb<2> outer(point<2>{{0, 0}}, point<2>{{10, 10}});
+  aabb<2> inner(point<2>{{1, 1}}, point<2>{{2, 2}});
+  EXPECT_TRUE(inner.inside(outer));
+  EXPECT_FALSE(outer.inside(inner));
+}
+
+TEST(Predicates, Orient2dSigns) {
+  point<2> a{{0, 0}}, b{{1, 0}};
+  EXPECT_GT(orient2d(a, b, point<2>{{0, 1}}), 0);   // left
+  EXPECT_LT(orient2d(a, b, point<2>{{0, -1}}), 0);  // right
+  EXPECT_EQ(orient2d(a, b, point<2>{{2, 0}}), 0);   // collinear
+}
+
+TEST(Predicates, Orient2dNearDegenerate) {
+  // Points nearly collinear: the filter must escalate and still give a
+  // consistent sign for symmetric arguments.
+  point<2> a{{0, 0}}, b{{1e7, 1e7}};
+  point<2> c{{5e6, 5e6 + 1e-9}};
+  const double s1 = orient2d(a, b, c);
+  const double s2 = orient2d(b, a, c);
+  EXPECT_GT(s1 * s2, -1);  // defined
+  EXPECT_TRUE((s1 > 0) == (s2 < 0));
+}
+
+TEST(Predicates, Orient3dSigns) {
+  point<3> a{{0, 0, 0}}, b{{1, 0, 0}}, c{{0, 1, 0}};
+  // (a,b,c) CCW seen from +z; point below the plane has positive orient.
+  EXPECT_GT(orient3d(a, b, c, point<3>{{0, 0, -1}}), 0);
+  EXPECT_LT(orient3d(a, b, c, point<3>{{0, 0, 1}}), 0);
+  EXPECT_EQ(orient3d(a, b, c, point<3>{{5, 5, 0}}), 0);
+}
+
+TEST(Predicates, InCircleSigns) {
+  point<2> a{{0, 0}}, b{{1, 0}}, c{{0, 1}};  // CCW
+  EXPECT_GT(incircle(a, b, c, point<2>{{0.3, 0.3}}), 0);
+  EXPECT_LT(incircle(a, b, c, point<2>{{2, 2}}), 0);
+  // (1,1) lies exactly on the circumcircle of this right triangle.
+  EXPECT_EQ(incircle(a, b, c, point<2>{{1, 1}}), 0);
+}
+
+TEST(Ball, CircumballOfTwoPointsIsDiametral) {
+  point<2> s[2] = {point<2>{{0, 0}}, point<2>{{2, 0}}};
+  auto b = circumball<2>(s, 2);
+  EXPECT_DOUBLE_EQ(b.radius, 1.0);
+  EXPECT_DOUBLE_EQ(b.center[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.center[1], 0.0);
+}
+
+TEST(Ball, CircumballOfTriangle) {
+  point<2> s[3] = {point<2>{{0, 0}}, point<2>{{2, 0}}, point<2>{{1, 1}}};
+  auto b = circumball<2>(s, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(b.center.dist(s[i]), b.radius, 1e-12);
+  }
+}
+
+TEST(Ball, CircumballDegenerateReturnsEmpty) {
+  point<2> s[3] = {point<2>{{0, 0}}, point<2>{{1, 0}}, point<2>{{2, 0}}};
+  auto b = circumball<2>(s, 3);
+  EXPECT_TRUE(b.is_empty());
+}
+
+TEST(Ball, CircumballFullSupport3d) {
+  point<3> s[4] = {point<3>{{1, 0, 0}}, point<3>{{-1, 0, 0}},
+                   point<3>{{0, 1, 0}}, point<3>{{0, 0, 1}}};
+  auto b = circumball<3>(s, 4);
+  ASSERT_FALSE(b.is_empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(b.center.dist(s[i]), b.radius, 1e-12);
+  }
+}
+
+TEST(Ball, ContainsUsesRelativeSlack) {
+  ball<2> b(point<2>{{0, 0}}, 1.0);
+  EXPECT_TRUE(b.contains(point<2>{{1.0 + 1e-12, 0}}));
+  EXPECT_FALSE(b.contains(point<2>{{1.1, 0}}));
+  ball<2> empty;
+  EXPECT_TRUE(empty.is_empty());
+  EXPECT_FALSE(empty.contains(point<2>{{0, 0}}));
+}
+
+TEST(Ball, SinglePointSupport) {
+  point<2> s[1] = {point<2>{{3, 4}}};
+  auto b = circumball<2>(s, 1);
+  EXPECT_DOUBLE_EQ(b.radius, 0.0);
+  EXPECT_TRUE(b.contains(point<2>{{3, 4}}));
+}

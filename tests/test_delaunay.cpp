@@ -1,0 +1,135 @@
+// Tests for 2D Delaunay triangulation: empty-circumcircle property,
+// combinatorial counts, orientation, and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/predicates.h"
+#include "datagen/datagen.h"
+#include "delaunay/delaunay.h"
+#include "hull/hull2d.h"
+
+using namespace pargeo;
+
+namespace {
+
+void check_delaunay(const std::vector<point<2>>& pts,
+                    const delaunay::triangulation& tr,
+                    std::size_t point_stride = 1,
+                    std::size_t tri_stride = 1) {
+  for (std::size_t t = 0; t < tr.triangles.size(); t += tri_stride) {
+    const auto& tri = tr.triangles[t];
+    ASSERT_GT(orient2d(pts[tri[0]], pts[tri[1]], pts[tri[2]]), 0)
+        << "triangle not CCW";
+    for (std::size_t p = 0; p < pts.size(); p += point_stride) {
+      if (p == tri[0] || p == tri[1] || p == tri[2]) continue;
+      ASSERT_LE(incircle(pts[tri[0]], pts[tri[1]], pts[tri[2]], pts[p]), 0)
+          << "circumcircle not empty";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Delaunay, SingleTriangle) {
+  std::vector<point<2>> pts{point<2>{{0, 0}}, point<2>{{1, 0}},
+                            point<2>{{0, 1}}};
+  auto tr = delaunay::triangulate(pts);
+  ASSERT_EQ(tr.triangles.size(), 1u);
+  EXPECT_EQ(tr.edges().size(), 3u);
+}
+
+TEST(Delaunay, SquareHasTwoTriangles) {
+  std::vector<point<2>> pts{point<2>{{0, 0}}, point<2>{{1, 0}},
+                            point<2>{{1, 1}}, point<2>{{0, 1}}};
+  auto tr = delaunay::triangulate(pts);
+  EXPECT_EQ(tr.triangles.size(), 2u);
+  EXPECT_EQ(tr.edges().size(), 5u);
+  check_delaunay(pts, tr);
+}
+
+TEST(Delaunay, EmptyCircumcirclePropertySmall) {
+  auto pts = datagen::uniform<2>(300, 3);
+  auto tr = delaunay::triangulate(pts);
+  check_delaunay(pts, tr);
+}
+
+TEST(Delaunay, EmptyCircumcirclePropertySampledLarge) {
+  auto pts = datagen::uniform<2>(20000, 4);
+  auto tr = delaunay::triangulate(pts);
+  check_delaunay(pts, tr, /*point_stride=*/97, /*tri_stride=*/53);
+}
+
+TEST(Delaunay, CombinatorialCountsMatchEuler) {
+  // For a triangulation of n points with h hull vertices (no interior
+  // duplicates): T = 2n - h - 2, E = 3n - h - 3.
+  auto pts = datagen::in_sphere<2>(5000, 5);
+  auto tr = delaunay::triangulate(pts);
+  const std::size_t h = hull2d::sequential_quickhull(pts).size();
+  const std::size_t n = pts.size();
+  EXPECT_EQ(tr.triangles.size(), 2 * n - h - 2);
+  EXPECT_EQ(tr.edges().size(), 3 * n - h - 3);
+}
+
+TEST(Delaunay, EveryPointAppears) {
+  auto pts = datagen::visualvar<2>(2000, 6);
+  auto tr = delaunay::triangulate(pts);
+  std::set<std::size_t> used;
+  for (const auto& t : tr.triangles) used.insert(t.begin(), t.end());
+  EXPECT_EQ(used.size(), pts.size());
+}
+
+TEST(Delaunay, DuplicatePointsIgnored) {
+  auto pts = datagen::uniform<2>(500, 7);
+  const std::size_t n = pts.size();
+  pts.insert(pts.end(), pts.begin(), pts.begin() + 100);
+  auto tr = delaunay::triangulate(pts);
+  std::set<std::size_t> used;
+  for (const auto& t : tr.triangles) used.insert(t.begin(), t.end());
+  // One copy of each duplicated point is used; the triangulation is still
+  // over n distinct sites.
+  EXPECT_EQ(used.size(), n);
+  check_delaunay(pts, tr, 1, 13);
+}
+
+TEST(Delaunay, CollinearInputYieldsNothing) {
+  std::vector<point<2>> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(point<2>{{static_cast<double>(i), 3.0}});
+  }
+  auto tr = delaunay::triangulate(pts);
+  EXPECT_TRUE(tr.triangles.empty());
+}
+
+TEST(Delaunay, TooFewPoints) {
+  std::vector<point<2>> pts{point<2>{{0, 0}}, point<2>{{1, 1}}};
+  EXPECT_TRUE(delaunay::triangulate(pts).triangles.empty());
+}
+
+TEST(Delaunay, EdgesAreUniqueAndSorted) {
+  auto pts = datagen::uniform<2>(3000, 8);
+  auto es = delaunay::triangulate(pts).edges();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_LT(es[i].first, es[i].second);
+    if (i > 0) EXPECT_LT(es[i - 1], es[i]);
+  }
+}
+
+TEST(Delaunay, GridInputWithManyCocircularities) {
+  // A regular grid is maximally degenerate (4 cocircular points
+  // everywhere); the triangulation must still be valid.
+  std::vector<point<2>> pts;
+  for (int x = 0; x < 20; ++x) {
+    for (int y = 0; y < 20; ++y) {
+      pts.push_back(point<2>{{static_cast<double>(x),
+                              static_cast<double>(y)}});
+    }
+  }
+  auto tr = delaunay::triangulate(pts);
+  // 400 points, 76 on the boundary: T = 2n - h - 2 = 722.
+  EXPECT_EQ(tr.triangles.size(), 2 * pts.size() - 76 - 2);
+  for (const auto& t : tr.triangles) {
+    EXPECT_GT(orient2d(pts[t[0]], pts[t[1]], pts[t[2]]), 0);
+  }
+}

@@ -1,0 +1,128 @@
+// Tests for the Euclidean minimum spanning tree vs Prim's algorithm.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/datagen.h"
+#include "emst/emst.h"
+#include "test_util.h"
+
+using namespace pargeo;
+
+namespace {
+
+// Union-find for spanning-ness checks.
+struct dsu {
+  std::vector<std::size_t> p;
+  explicit dsu(std::size_t n) : p(n) {
+    std::iota(p.begin(), p.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (p[x] != x) x = p[x] = p[p[x]];
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    p[a] = b;
+    return true;
+  }
+};
+
+template <int D>
+void check_spanning_tree(const std::vector<point<D>>& pts,
+                         const std::vector<emst::edge>& mst) {
+  ASSERT_EQ(mst.size(), pts.size() - 1);
+  dsu uf(pts.size());
+  for (const auto& e : mst) {
+    ASSERT_LT(e.u, pts.size());
+    ASSERT_LT(e.v, pts.size());
+    ASSERT_NE(e.u, e.v);
+    ASSERT_NEAR(e.weight, pts[e.u].dist(pts[e.v]), 1e-9);
+    ASSERT_TRUE(uf.unite(e.u, e.v)) << "cycle in MST";
+  }
+}
+
+}  // namespace
+
+struct EmstParam {
+  int dim;
+  int dist;
+  std::size_t n;
+};
+
+class EmstSweep : public ::testing::TestWithParam<EmstParam> {};
+
+template <int D>
+void run_emst(int dist, std::size_t n) {
+  std::vector<point<D>> pts;
+  switch (dist) {
+    case 0: pts = datagen::uniform<D>(n, 61); break;
+    case 1: pts = datagen::seed_spreader<D>(n, 62); break;
+    default: pts = datagen::on_sphere<D>(n, 63); break;
+  }
+  auto mst = emst::emst<D>(pts);
+  check_spanning_tree(pts, mst);
+  const double ref = testutil::prim_weight(pts);
+  EXPECT_NEAR(emst::total_weight(mst), ref, 1e-8 * ref);
+}
+
+TEST_P(EmstSweep, MatchesPrimWeight) {
+  const auto p = GetParam();
+  switch (p.dim) {
+    case 2: run_emst<2>(p.dist, p.n); break;
+    case 3: run_emst<3>(p.dist, p.n); break;
+    case 5: run_emst<5>(p.dist, p.n); break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimDistSize, EmstSweep,
+    ::testing::Values(EmstParam{2, 0, 600}, EmstParam{2, 1, 600},
+                      EmstParam{2, 2, 400}, EmstParam{3, 0, 500},
+                      EmstParam{3, 1, 400}, EmstParam{5, 0, 300},
+                      EmstParam{2, 0, 5}, EmstParam{2, 0, 2}),
+    [](const ::testing::TestParamInfo<EmstParam>& info) {
+      return "d" + std::to_string(info.param.dim) + "_dist" +
+             std::to_string(info.param.dist) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Emst, TrivialInputs) {
+  std::vector<point<2>> empty;
+  EXPECT_TRUE(emst::emst<2>(empty).empty());
+  std::vector<point<2>> one{point<2>{{1, 1}}};
+  EXPECT_TRUE(emst::emst<2>(one).empty());
+  std::vector<point<2>> two{point<2>{{0, 0}}, point<2>{{3, 4}}};
+  auto mst = emst::emst<2>(two);
+  ASSERT_EQ(mst.size(), 1u);
+  EXPECT_NEAR(mst[0].weight, 5.0, 1e-12);
+}
+
+TEST(Emst, DuplicatePointsYieldZeroEdges) {
+  auto pts = datagen::uniform<2>(200, 71);
+  pts.push_back(pts[0]);
+  pts.push_back(pts[1]);
+  auto mst = emst::emst<2>(pts);
+  check_spanning_tree(pts, mst);
+  std::size_t zeros = 0;
+  for (const auto& e : mst) zeros += e.weight == 0.0 ? 1 : 0;
+  EXPECT_EQ(zeros, 2u);
+}
+
+TEST(Emst, EdgesSortedByWeight) {
+  auto pts = datagen::uniform<2>(500, 72);
+  auto mst = emst::emst<2>(pts);
+  for (std::size_t i = 1; i < mst.size(); ++i) {
+    EXPECT_LE(mst[i - 1].weight, mst[i].weight);
+  }
+}
+
+TEST(Emst, ClusteredDataLargerScale) {
+  auto pts = datagen::seed_spreader<2>(1200, 73);
+  auto mst = emst::emst<2>(pts);
+  check_spanning_tree(pts, mst);
+  const double ref = testutil::prim_weight(pts);
+  EXPECT_NEAR(emst::total_weight(mst), ref, 1e-8 * ref);
+}

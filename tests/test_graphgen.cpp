@@ -1,0 +1,154 @@
+// Tests for the spatial graph generators: k-NN graph vs brute force,
+// Gabriel/beta-skeleton filtering invariants, and spanner construction.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "datagen/datagen.h"
+#include "graphgen/graphgen.h"
+#include "test_util.h"
+
+using namespace pargeo;
+
+TEST(KnnGraph, MatchesBruteForce) {
+  auto pts = datagen::uniform<2>(1000, 3);
+  const std::size_t k = 4;
+  auto g = graphgen::knn_graph(pts, k);
+  ASSERT_EQ(g.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); i += 37) {
+    ASSERT_EQ(g[i].size(), k);
+    auto brute = testutil::brute_knn_dists(pts, pts[i], k + 1);
+    // brute[0] is the self-distance 0.
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(pts[g[i][j]].dist_sq(pts[i]), brute[j + 1]);
+      EXPECT_NE(g[i][j], i);
+    }
+  }
+}
+
+TEST(KnnGraph, ThreeDimensional) {
+  auto pts = datagen::in_sphere<3>(800, 4);
+  auto g = graphgen::knn_graph3(pts, 3);
+  for (std::size_t i = 0; i < pts.size(); i += 53) {
+    auto brute = testutil::brute_knn_dists(pts, pts[i], 4);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(pts[g[i][j]].dist_sq(pts[i]), brute[j + 1]);
+    }
+  }
+}
+
+TEST(KnnGraph, KEqualsNMinusOne) {
+  auto pts = datagen::uniform<2>(20, 5);
+  auto g = graphgen::knn_graph(pts, 19);
+  for (const auto& row : g) EXPECT_EQ(row.size(), 19u);
+}
+
+TEST(GraphFilters, SubsetChain) {
+  // beta-skeleton(2) ⊆ Gabriel = beta-skeleton(1) ⊆ Delaunay.
+  auto pts = datagen::uniform<2>(2000, 6);
+  auto del = graphgen::delaunay_graph(pts);
+  auto gab = graphgen::gabriel_graph(pts);
+  auto b15 = graphgen::beta_skeleton(pts, 1.5);
+  auto b20 = graphgen::beta_skeleton(pts, 2.0);
+  std::set<std::pair<std::size_t, std::size_t>> dset(del.begin(), del.end());
+  std::set<std::pair<std::size_t, std::size_t>> gset(gab.begin(), gab.end());
+  std::set<std::pair<std::size_t, std::size_t>> b15set(b15.begin(),
+                                                       b15.end());
+  for (const auto& e : gab) ASSERT_TRUE(dset.count(e));
+  for (const auto& e : b15) ASSERT_TRUE(gset.count(e));
+  for (const auto& e : b20) ASSERT_TRUE(b15set.count(e));
+  EXPECT_LT(b20.size(), gab.size());
+  EXPECT_LT(gab.size(), del.size());
+  EXPECT_GT(b20.size(), 0u);
+}
+
+TEST(GraphFilters, GabrielBruteForceSmall) {
+  // Check the Gabriel emptiness test exactly on a small set: an edge is
+  // kept iff no other point lies strictly inside the diametral circle.
+  auto pts = datagen::uniform<2>(150, 7);
+  auto gab = graphgen::gabriel_graph(pts);
+  std::set<std::pair<std::size_t, std::size_t>> gset(gab.begin(), gab.end());
+  auto del = graphgen::delaunay_graph(pts);
+  for (const auto& [u, v] : del) {
+    const point<2> mid = (pts[u] + pts[v]) / 2.0;
+    const double r = pts[u].dist(pts[v]) / 2.0;
+    bool empty = true;
+    for (std::size_t w = 0; w < pts.size(); ++w) {
+      if (w == u || w == v) continue;
+      if (mid.dist(pts[w]) < r * (1 - 1e-12)) {
+        empty = false;
+        break;
+      }
+    }
+    EXPECT_EQ(gset.count({u, v}) == 1, empty)
+        << "edge " << u << "," << v;
+  }
+}
+
+TEST(GraphFilters, GabrielContainsEmst) {
+  // Classic inclusion: EMST ⊆ Gabriel graph (for distinct points).
+  auto pts = datagen::uniform<2>(400, 8);
+  auto gab = graphgen::gabriel_graph(pts);
+  std::set<std::pair<std::size_t, std::size_t>> gset(gab.begin(), gab.end());
+  // Prim-based reference MST edges.
+  const std::size_t n = pts.size();
+  std::vector<double> dist(n, 1e300);
+  std::vector<std::size_t> parent(n, 0);
+  std::vector<bool> in(n, false);
+  dist[0] = 0;
+  for (std::size_t it = 0; it < n; ++it) {
+    std::size_t u = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in[i] && (u == n || dist[i] < dist[u])) u = i;
+    }
+    in[u] = true;
+    if (u != 0) {
+      auto e = std::minmax(u, parent[u]);
+      EXPECT_TRUE(gset.count({e.first, e.second}))
+          << "MST edge missing from Gabriel";
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in[v] && pts[u].dist_sq(pts[v]) < dist[v]) {
+        dist[v] = pts[u].dist_sq(pts[v]);
+        parent[v] = u;
+      }
+    }
+  }
+}
+
+TEST(Spanner, EdgesAreValidAndConnected) {
+  auto pts = datagen::uniform<2>(500, 9);
+  auto edges = graphgen::spanner(pts, 2.0);
+  ASSERT_GT(edges.size(), pts.size() / 2);
+  // Connectivity via union-find.
+  std::vector<std::size_t> p(pts.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (p[x] != x) x = p[x] = p[p[x]];
+    return x;
+  };
+  for (const auto& [u, v] : edges) {
+    ASSERT_LT(u, pts.size());
+    ASSERT_LT(v, pts.size());
+    p[find(u)] = find(v);
+  }
+  std::set<std::size_t> roots;
+  for (std::size_t i = 0; i < p.size(); ++i) roots.insert(find(i));
+  EXPECT_EQ(roots.size(), 1u);
+}
+
+TEST(Spanner, TighterStretchMeansMoreEdges) {
+  auto pts = datagen::uniform<2>(1000, 10);
+  const auto loose = graphgen::spanner(pts, 4.0).size();
+  const auto tight = graphgen::spanner(pts, 1.2).size();
+  EXPECT_GT(tight, loose);
+}
+
+TEST(GraphFilters, ClusteredData) {
+  auto pts = datagen::seed_spreader<2>(1500, 11);
+  auto del = graphgen::delaunay_graph(pts);
+  auto gab = graphgen::gabriel_graph(pts);
+  EXPECT_GT(del.size(), 0u);
+  EXPECT_LE(gab.size(), del.size());
+}

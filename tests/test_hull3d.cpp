@@ -1,0 +1,190 @@
+// Tests for 3D convex hull: method agreement, mesh validity (outward
+// facets, containment, Euler characteristic), instrumentation, and
+// degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/predicates.h"
+#include "datagen/datagen.h"
+#include "hull/hull3d.h"
+
+using namespace pargeo;
+
+namespace {
+
+void check_valid_mesh(const std::vector<point<3>>& pts,
+                      const hull3d::mesh& m) {
+  ASSERT_GE(m.facets.size(), 4u);
+  // Containment + outward orientation: no point strictly outside a facet.
+  for (const auto& f : m.facets) {
+    for (std::size_t p = 0; p < pts.size(); ++p) {
+      ASSERT_GE(orient3d(pts[f[0]], pts[f[1]], pts[f[2]], pts[p]), 0)
+          << "point " << p << " outside facet";
+    }
+  }
+  // Topology: closed 2-manifold triangle mesh. Each directed edge appears
+  // exactly once; undirected edges exactly twice; Euler V - E + F = 2.
+  std::set<std::pair<std::size_t, std::size_t>> directed;
+  std::map<std::pair<std::size_t, std::size_t>, int> undirected;
+  std::set<std::size_t> verts;
+  for (const auto& f : m.facets) {
+    for (int e = 0; e < 3; ++e) {
+      const std::size_t u = f[e];
+      const std::size_t w = f[(e + 1) % 3];
+      ASSERT_NE(u, w);
+      ASSERT_TRUE(directed.insert({u, w}).second)
+          << "duplicate directed edge";
+      undirected[{std::min(u, w), std::max(u, w)}]++;
+      verts.insert(u);
+    }
+  }
+  for (const auto& [e, c] : undirected) {
+    ASSERT_EQ(c, 2) << "edge not shared by exactly two facets";
+  }
+  const long V = static_cast<long>(verts.size());
+  const long E = static_cast<long>(undirected.size());
+  const long F = static_cast<long>(m.facets.size());
+  EXPECT_EQ(V - E + F, 2);
+}
+
+std::vector<point<3>> dataset(int which, std::size_t n, uint64_t seed) {
+  switch (which) {
+    case 0: return datagen::uniform<3>(n, seed);
+    case 1: return datagen::in_sphere<3>(n, seed);
+    case 2: return datagen::on_sphere<3>(n, seed);
+    case 3: return datagen::on_cube<3>(n, seed);
+    default: return datagen::synthetic_statue(n, seed);
+  }
+}
+
+}  // namespace
+
+struct Hull3dParam {
+  int dist;
+  std::size_t n;
+  uint64_t seed;
+};
+
+class Hull3dSweep : public ::testing::TestWithParam<Hull3dParam> {};
+
+TEST_P(Hull3dSweep, AllMethodsAgreeAndValid) {
+  const auto p = GetParam();
+  auto pts = dataset(p.dist, p.n, p.seed);
+  auto m0 = hull3d::sequential_quickhull(pts);
+  check_valid_mesh(pts, m0);
+  auto v0 = hull3d::hull_vertices(m0);
+  EXPECT_EQ(v0, hull3d::hull_vertices(hull3d::randinc(pts)));
+  EXPECT_EQ(v0, hull3d::hull_vertices(hull3d::reservation_quickhull(pts)));
+  EXPECT_EQ(v0, hull3d::hull_vertices(hull3d::divide_conquer(pts)));
+  EXPECT_EQ(v0, hull3d::hull_vertices(hull3d::pseudohull(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistSizeSeed, Hull3dSweep,
+    ::testing::Values(Hull3dParam{0, 2000, 1}, Hull3dParam{0, 20000, 2},
+                      Hull3dParam{1, 20000, 3}, Hull3dParam{2, 2000, 4},
+                      Hull3dParam{2, 20000, 5}, Hull3dParam{3, 20000, 6},
+                      Hull3dParam{4, 20000, 7}, Hull3dParam{0, 50, 8},
+                      Hull3dParam{1, 300, 9}),
+    [](const ::testing::TestParamInfo<Hull3dParam>& info) {
+      return "dist" + std::to_string(info.param.dist) + "_n" +
+             std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Hull3d, ParallelMeshesAreValidToo) {
+  auto pts = datagen::on_sphere<3>(5000, 21);
+  check_valid_mesh(pts, hull3d::randinc(pts));
+  check_valid_mesh(pts, hull3d::reservation_quickhull(pts));
+  check_valid_mesh(pts, hull3d::divide_conquer(pts));
+  check_valid_mesh(pts, hull3d::pseudohull(pts));
+}
+
+TEST(Hull3d, ThrowsOnDegenerateInputs) {
+  std::vector<point<3>> few{point<3>{{0, 0, 0}}, point<3>{{1, 0, 0}},
+                            point<3>{{0, 1, 0}}};
+  EXPECT_THROW(hull3d::sequential_quickhull(few), std::invalid_argument);
+
+  std::vector<point<3>> identical(100, point<3>{{1, 2, 3}});
+  EXPECT_THROW(hull3d::sequential_quickhull(identical),
+               std::invalid_argument);
+
+  std::vector<point<3>> collinear;
+  for (int i = 0; i < 50; ++i) {
+    collinear.push_back(point<3>{{1.0 * i, 2.0 * i, 3.0 * i}});
+  }
+  EXPECT_THROW(hull3d::sequential_quickhull(collinear),
+               std::invalid_argument);
+
+  std::vector<point<3>> coplanar;
+  for (int i = 0; i < 50; ++i) {
+    coplanar.push_back(point<3>{{par::rand_double(1, i) * 10,
+                                 par::rand_double(2, i) * 10, 0.0}});
+  }
+  EXPECT_THROW(hull3d::sequential_quickhull(coplanar),
+               std::invalid_argument);
+  EXPECT_THROW(hull3d::randinc(coplanar), std::invalid_argument);
+}
+
+TEST(Hull3d, MinimalTetrahedron) {
+  std::vector<point<3>> pts{point<3>{{0, 0, 0}}, point<3>{{1, 0, 0}},
+                            point<3>{{0, 1, 0}}, point<3>{{0, 0, 1}}};
+  auto m = hull3d::sequential_quickhull(pts);
+  EXPECT_EQ(m.facets.size(), 4u);
+  check_valid_mesh(pts, m);
+  EXPECT_EQ(hull3d::hull_vertices(m).size(), 4u);
+  auto m2 = hull3d::randinc(pts);
+  EXPECT_EQ(m2.facets.size(), 4u);
+}
+
+TEST(Hull3d, InteriorPointsNeverOnHull) {
+  auto pts = datagen::in_sphere<3>(5000, 33);
+  pts.push_back(point<3>{{0, 0, 0}});  // center: strictly interior
+  auto vs = hull3d::hull_vertices(hull3d::sequential_quickhull(pts));
+  EXPECT_FALSE(std::binary_search(vs.begin(), vs.end(), pts.size() - 1));
+}
+
+TEST(Hull3d, StatsCountersPopulated) {
+  auto pts = datagen::in_sphere<3>(10000, 34);
+  hull3d::stats seq_st, par_st;
+  hull3d::sequential_quickhull(pts, &seq_st);
+  hull3d::reservation_quickhull(pts, 8, &par_st);
+  EXPECT_GT(seq_st.facets_touched, 0u);
+  EXPECT_GT(seq_st.points_touched, 0u);
+  EXPECT_GT(par_st.facets_touched, 0u);
+  // Appendix B: reservation overhead is modest — the reservation run
+  // should not touch wildly more facets than the sequential run.
+  EXPECT_LT(par_st.facets_touched, 50 * seq_st.facets_touched + 1000);
+}
+
+TEST(Hull3d, PseudohullCullsInteriorPoints) {
+  auto uni = datagen::uniform<3>(20000, 35);
+  const std::size_t survivors = hull3d::pseudohull_survivors(uni);
+  EXPECT_LT(survivors, uni.size() / 4);  // most interior points culled
+  // On-sphere data culls far less (paper §6.1: large output => slower).
+  auto osp = datagen::on_sphere<3>(20000, 35);
+  EXPECT_GT(hull3d::pseudohull_survivors(osp), survivors);
+}
+
+TEST(Hull3d, RandincSeedInvariance) {
+  auto pts = datagen::uniform<3>(5000, 36);
+  auto v1 = hull3d::hull_vertices(hull3d::randinc(pts, 8, 1));
+  auto v2 = hull3d::hull_vertices(hull3d::randinc(pts, 8, 12345));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Hull3d, BatchFactorInvariance) {
+  auto pts = datagen::on_cube<3>(5000, 37);
+  auto v1 = hull3d::hull_vertices(hull3d::reservation_quickhull(pts, 1));
+  auto v2 = hull3d::hull_vertices(hull3d::reservation_quickhull(pts, 32));
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Hull3d, PseudohullThresholdInvariance) {
+  auto pts = datagen::uniform<3>(10000, 38);
+  auto v1 = hull3d::hull_vertices(hull3d::pseudohull(pts, 16));
+  auto v2 = hull3d::hull_vertices(hull3d::pseudohull(pts, 512));
+  EXPECT_EQ(v1, v2);
+}

@@ -1,0 +1,160 @@
+// Cross-module integration tests: the multi-stage pipelines a downstream
+// user would build out of the library, checked end to end.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pargeo.h"
+#include "test_util.h"
+
+using namespace pargeo;
+
+TEST(Integration, HullVerticesAreSebSupportCandidates) {
+  // The smallest enclosing ball of a point set equals the SEB of its
+  // convex hull vertices.
+  auto pts = datagen::synthetic_statue(20000, 3);
+  auto mesh = hull3d::divide_conquer(pts);
+  auto vs = hull3d::hull_vertices(mesh);
+  std::vector<point<3>> hullPts;
+  hullPts.reserve(vs.size());
+  for (const std::size_t v : vs) hullPts.push_back(pts[v]);
+  const auto full = seb::sampling<3>(pts);
+  const auto onHull = seb::welzl_seq<3>(hullPts);
+  EXPECT_NEAR(full.radius, onHull.radius, 1e-6 * full.radius);
+}
+
+TEST(Integration, EmstWeightWithinGraphChain) {
+  // EMST <= Gabriel <= Delaunay in total weight, and the EMST is a
+  // subgraph of the Gabriel graph.
+  auto pts = datagen::uniform<2>(3000, 4);
+  auto mst = emst::emst<2>(pts);
+  auto gab = graphgen::gabriel_graph(pts);
+  auto del = graphgen::delaunay_graph(pts);
+  auto weightOf = [&](const graphgen::edge_list& es) {
+    double w = 0;
+    for (const auto& [u, v] : es) w += pts[u].dist(pts[v]);
+    return w;
+  };
+  const double wMst = emst::total_weight(mst);
+  const double wGab = weightOf(gab);
+  const double wDel = weightOf(del);
+  EXPECT_LE(wMst, wGab * (1 + 1e-12));
+  EXPECT_LE(wGab, wDel * (1 + 1e-12));
+  std::set<std::pair<std::size_t, std::size_t>> gset(gab.begin(),
+                                                     gab.end());
+  for (const auto& e : mst) {
+    EXPECT_TRUE(gset.count({std::min(e.u, e.v), std::max(e.u, e.v)}));
+  }
+}
+
+TEST(Integration, DbscanRecoversSeparatedClustersLikeDendrogramCut) {
+  // On well-separated blobs, DBSCAN (suitable eps) and a single-linkage
+  // dendrogram cut give the same partition.
+  std::vector<point<2>> pts;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      pts.push_back(point<2>{{c * 500.0 + 3 * par::rand_double(1, c * 80 + i),
+                              3 * par::rand_double(2, c * 80 + i)}});
+    }
+  }
+  auto db = clustering::dbscan<2>(pts, 10.0, 3);
+  auto dendro = clustering::single_linkage<2>(pts);
+  auto sl = clustering::cut_dendrogram(pts.size(), dendro, 10.0);
+  std::set<std::size_t> dbIds(db.begin(), db.end());
+  std::set<std::size_t> slIds(sl.begin(), sl.end());
+  EXPECT_EQ(dbIds.size(), 4u);
+  EXPECT_EQ(slIds.size(), 4u);
+  // Same partition up to renaming.
+  std::map<std::size_t, std::size_t> fwd;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    auto [it, fresh] = fwd.try_emplace(db[i], sl[i]);
+    EXPECT_EQ(it->second, sl[i]);
+  }
+}
+
+TEST(Integration, BdlTreeTracksKdtreeOnStaticData) {
+  // For a static point set, BDL k-NN must agree with the plain kd-tree.
+  auto pts = datagen::visualvar<2>(5000, 6);
+  kdtree::tree<2> st(pts);
+  bdltree::bdl_tree<2> dyn;
+  dyn.insert(pts);
+  for (int q = 0; q < 30; ++q) {
+    const auto& qp = pts[(q * 167) % pts.size()];
+    auto a = st.knn(qp, 4);
+    auto b = dyn.knn({qp}, 4)[0];
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].dist_sq, b[k].dist_sq(qp));
+    }
+  }
+}
+
+TEST(Integration, ZdAndBdlAgreeUnderSameWorkload) {
+  auto pts = datagen::uniform<3>(4000, 7);
+  std::vector<point<3>> first(pts.begin(), pts.begin() + 3000);
+  std::vector<point<3>> more(pts.begin() + 3000, pts.end());
+  std::vector<point<3>> del(pts.begin(), pts.begin() + 1000);
+
+  bdltree::bdl_tree<3> bdl;
+  bdl.insert(first);
+  bdl.insert(more);
+  bdl.erase(del);
+  zdtree::zd_tree<3> zd(first);
+  zd.insert(more);
+  zd.erase(del);
+  ASSERT_EQ(bdl.size(), zd.size());
+
+  std::vector<point<3>> queries(pts.begin() + 1000, pts.begin() + 1020);
+  auto a = bdl.knn(queries, 3);
+  auto b = zd.knn(queries, 3);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    ASSERT_EQ(a[qi].size(), b[qi].size());
+    for (std::size_t k = 0; k < a[qi].size(); ++k) {
+      EXPECT_EQ(a[qi][k].dist_sq(queries[qi]),
+                b[qi][k].dist_sq(queries[qi]));
+    }
+  }
+}
+
+TEST(Integration, IoRoundTripFeedsAlgorithms) {
+  auto pts = datagen::in_sphere<2>(2000, 8);
+  const auto path = testing::TempDir() + "pargeo_integration.csv";
+  io::write_csv<2>(path, pts);
+  auto back = io::read_csv<2>(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(hull2d::sequential_quickhull(pts),
+            hull2d::sequential_quickhull(back));
+  EXPECT_NEAR(seb::welzl_seq<2>(pts).radius,
+              seb::welzl_seq<2>(back).radius, 1e-12);
+}
+
+TEST(Integration, ClosestPairIsShortestEmstEdge) {
+  auto pts = datagen::uniform<2>(2000, 9);
+  auto cp = closestpair::closest_pair<2>(pts);
+  auto mst = emst::emst<2>(pts);
+  // The shortest MST edge realizes the closest pair distance.
+  EXPECT_NEAR(mst.front().weight, std::sqrt(cp.dist_sq), 1e-9);
+}
+
+TEST(Integration, SpannerPreservesEmstConnectivityCheaply) {
+  auto pts = datagen::seed_spreader<2>(1000, 10);
+  auto mst = emst::emst<2>(pts);
+  auto span = graphgen::spanner(pts, 1.5);
+  // A 1.5-spanner must weigh at least the MST but contain a spanning
+  // structure: check it has >= n-1 edges and total weight >= MST weight.
+  EXPECT_GE(span.size(), pts.size() - 1);
+  double w = 0;
+  for (const auto& [u, v] : span) w += pts[u].dist(pts[v]);
+  EXPECT_GE(w, emst::total_weight(mst) * (1 - 1e-12));
+}
+
+TEST(Integration, MortonOrderSpeedsDelaunayLocality) {
+  // The Delaunay builder inserts in Morton order internally; verify the
+  // result is order-independent by shuffling the input.
+  auto pts = datagen::uniform<2>(2000, 11);
+  auto shuffled = par::random_shuffle(pts, 99);
+  auto t1 = delaunay::triangulate(pts);
+  auto t2 = delaunay::triangulate(shuffled);
+  EXPECT_EQ(t1.triangles.size(), t2.triangles.size());
+  EXPECT_EQ(t1.edges().size(), t2.edges().size());
+}

@@ -1,0 +1,98 @@
+// Tests for the amortized-O(1) k-NN candidate buffer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "kdtree/knn_buffer.h"
+
+using pargeo::kdtree::knn_buffer;
+
+TEST(KnnBuffer, KeepsKSmallest) {
+  knn_buffer buf(3);
+  for (int i = 10; i >= 1; --i) {
+    buf.insert(static_cast<double>(i), static_cast<std::size_t>(i));
+  }
+  auto out = buf.finish();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].dist_sq, 1.0);
+  EXPECT_EQ(out[1].dist_sq, 2.0);
+  EXPECT_EQ(out[2].dist_sq, 3.0);
+}
+
+TEST(KnnBuffer, BoundIsInfUntilKSeen) {
+  knn_buffer buf(4);
+  EXPECT_TRUE(std::isinf(buf.bound()));
+  buf.insert(1.0, 1);
+  buf.insert(2.0, 2);
+  buf.insert(3.0, 3);
+  EXPECT_TRUE(std::isinf(buf.bound()));
+  buf.insert(4.0, 4);
+  EXPECT_LE(buf.bound(), 4.0);
+}
+
+TEST(KnnBuffer, BoundNeverBelowTrueKth) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0, 1);
+  knn_buffer buf(10);
+  std::vector<double> all;
+  for (int i = 0; i < 5000; ++i) {
+    const double d = dist(rng);
+    all.push_back(d);
+    buf.insert(d, static_cast<std::size_t>(i));
+    std::vector<double> sorted(all);
+    std::sort(sorted.begin(), sorted.end());
+    if (all.size() >= 10) {
+      ASSERT_GE(buf.bound(), sorted[9]);
+    }
+  }
+  auto out = buf.finish();
+  std::sort(all.begin(), all.end());
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(out[k].dist_sq, all[k]);
+}
+
+TEST(KnnBuffer, FewerThanKCandidates) {
+  knn_buffer buf(5);
+  buf.insert(2.0, 0);
+  buf.insert(1.0, 1);
+  auto out = buf.finish();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(KnnBuffer, TiesBrokenById) {
+  knn_buffer buf(2);
+  buf.insert(1.0, 9);
+  buf.insert(1.0, 3);
+  buf.insert(1.0, 5);
+  auto out = buf.finish();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 5u);
+}
+
+TEST(KnnBuffer, ResetClearsState) {
+  knn_buffer buf(2);
+  buf.insert(1.0, 1);
+  buf.insert(2.0, 2);
+  buf.insert(3.0, 3);
+  buf.reset();
+  EXPECT_TRUE(std::isinf(buf.bound()));
+  buf.insert(7.0, 7);
+  auto out = buf.finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 7u);
+}
+
+TEST(KnnBuffer, ManyInsertsExerciseCompaction) {
+  knn_buffer buf(16);
+  // Strictly decreasing distances force every insert through the buffer.
+  for (int i = 0; i < 100000; ++i) {
+    buf.insert(1e6 - i, static_cast<std::size_t>(i));
+  }
+  auto out = buf.finish();
+  ASSERT_EQ(out.size(), 16u);
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_EQ(out[k].dist_sq, 1e6 - 99999 + k);
+  }
+}

@@ -1,0 +1,99 @@
+// Tests for Morton-code computation and Z-order sorting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/datagen.h"
+#include "mortonsort/mortonsort.h"
+
+using namespace pargeo;
+
+TEST(Morton, CodeMonotoneAlongDiagonal) {
+  const point<2> lo{{0, 0}}, hi{{100, 100}};
+  uint64_t prev = 0;
+  for (int i = 0; i <= 100; ++i) {
+    const point<2> p{{static_cast<double>(i), static_cast<double>(i)}};
+    const uint64_t c = mortonsort::morton_code<2>(p, lo, hi);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Morton, CornerCodes) {
+  const point<2> lo{{0, 0}}, hi{{1, 1}};
+  EXPECT_EQ(mortonsort::morton_code<2>(lo, lo, hi), 0u);
+  const uint64_t maxCode = mortonsort::morton_code<2>(hi, lo, hi);
+  EXPECT_EQ(maxCode, ~uint64_t{0});  // 32 bits per dim, all ones
+}
+
+TEST(Morton, QuantizationClampsOutOfRange) {
+  const point<2> lo{{0, 0}}, hi{{1, 1}};
+  const point<2> below{{-5, -5}}, above{{7, 7}};
+  EXPECT_EQ(mortonsort::morton_code<2>(below, lo, hi), 0u);
+  EXPECT_EQ(mortonsort::morton_code<2>(above, lo, hi),
+            mortonsort::morton_code<2>(hi, lo, hi));
+}
+
+TEST(Morton, OrderIsPermutation) {
+  auto pts = datagen::uniform<3>(5000, 5);
+  auto ord = mortonsort::morton_order<3>(pts);
+  std::vector<uint8_t> seen(pts.size(), 0);
+  for (const std::size_t i : ord) {
+    ASSERT_LT(i, pts.size());
+    ASSERT_FALSE(seen[i]);
+    seen[i] = 1;
+  }
+}
+
+TEST(Morton, SortedCodesAreNondecreasing) {
+  auto pts = datagen::visualvar<2>(10000, 6);
+  auto sorted = mortonsort::morton_sort<2>(pts);
+  auto codes = mortonsort::morton_codes<2>(sorted);
+  EXPECT_TRUE(std::is_sorted(codes.begin(), codes.end()));
+}
+
+TEST(Morton, SortPreservesMultiset) {
+  auto pts = datagen::uniform<2>(3000, 7);
+  auto sorted = mortonsort::morton_sort<2>(pts);
+  auto a = pts, b = sorted;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Morton, LocalityConsecutiveCloserThanRandom) {
+  // Z-order locality: average distance between consecutive points in
+  // Morton order is much smaller than between random pairs.
+  auto pts = datagen::uniform<2>(20000, 8);
+  auto sorted = mortonsort::morton_sort<2>(pts);
+  double consecutive = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    consecutive += sorted[i].dist(sorted[i - 1]);
+  }
+  consecutive /= sorted.size() - 1;
+  double random = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    random += pts[par::rand_range(1, i, pts.size())].dist(
+        pts[par::rand_range(2, i, pts.size())]);
+  }
+  random /= 1000;
+  EXPECT_LT(consecutive, random / 4);
+}
+
+TEST(Morton, HigherDims) {
+  auto pts5 = datagen::uniform<5>(2000, 9);
+  auto codes5 = mortonsort::morton_codes<5>(pts5);
+  EXPECT_EQ(codes5.size(), pts5.size());
+  auto pts7 = datagen::uniform<7>(2000, 10);
+  auto sorted7 = mortonsort::morton_sort<7>(pts7);
+  auto codes7 = mortonsort::morton_codes<7>(sorted7);
+  EXPECT_TRUE(std::is_sorted(codes7.begin(), codes7.end()));
+}
+
+TEST(Morton, DegenerateSingleValue) {
+  std::vector<point<2>> pts(100, point<2>{{5, 5}});
+  auto codes = mortonsort::morton_codes<2>(pts);
+  for (const auto c : codes) EXPECT_EQ(c, codes[0]);
+  auto sorted = mortonsort::morton_sort<2>(pts);
+  EXPECT_EQ(sorted.size(), pts.size());
+}

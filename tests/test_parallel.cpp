@@ -1,0 +1,235 @@
+// Tests for the OpenMP-backed parallel substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "parallel/parallel.h"
+
+namespace par = pargeo::par;
+
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  par::parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Scheduler, ParallelForEmptyAndSingle) {
+  int count = 0;
+  par::parallel_for(5, 5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  par::parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, ParDoRunsBoth) {
+  int a = 0, b = 0;
+  par::par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, NestedParDoInsideParallelFor) {
+  std::vector<int> out(64, 0);
+  par::parallel_for(
+      0, 16,
+      [&](std::size_t i) {
+        par::par_do([&] { out[4 * i] = 1; out[4 * i + 1] = 1; },
+                    [&] { out[4 * i + 2] = 1; out[4 * i + 3] = 1; });
+      },
+      1);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+}
+
+TEST(Primitives, ReduceSum) {
+  std::vector<int64_t> v(100000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i);
+  const int64_t n = static_cast<int64_t>(v.size());
+  EXPECT_EQ(par::sum(v), n * (n - 1) / 2);
+}
+
+TEST(Primitives, ReduceEmpty) {
+  std::vector<int> v;
+  EXPECT_EQ(par::reduce(v, 0, std::plus<int>{}), 0);
+}
+
+TEST(Primitives, MinElementIndexFindsFirstMinimum) {
+  std::vector<int> v{5, 3, 9, 3, 7};
+  EXPECT_EQ(par::min_element_index(v, std::less<int>{}), 1u);
+}
+
+TEST(Primitives, ScanExclusiveMatchesSerial) {
+  for (const std::size_t n : {1u, 7u, 4096u, 100001u}) {
+    std::vector<std::size_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = (i * 7) % 13;
+    std::vector<std::size_t> expect(n);
+    std::size_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expect[i] = acc;
+      acc += v[i];
+    }
+    const std::size_t total = par::scan_exclusive(v);
+    EXPECT_EQ(total, acc);
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST(Primitives, PackAndPackIndex) {
+  std::vector<int> v(1000);
+  std::vector<uint8_t> flags(1000);
+  for (int i = 0; i < 1000; ++i) {
+    v[i] = i;
+    flags[i] = (i % 3 == 0) ? 1 : 0;
+  }
+  auto packed = par::pack(v, flags);
+  auto idx = par::pack_index(flags);
+  ASSERT_EQ(packed.size(), 334u);
+  ASSERT_EQ(idx.size(), 334u);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(packed[i] % 3, 0);
+    EXPECT_EQ(static_cast<std::size_t>(packed[i]), idx[i]);
+  }
+}
+
+TEST(Primitives, FilterPreservesOrder) {
+  std::vector<int> v(5000);
+  for (int i = 0; i < 5000; ++i) v[i] = i;
+  auto evens = par::filter(v, [](int x) { return x % 2 == 0; });
+  ASSERT_EQ(evens.size(), 2500u);
+  for (std::size_t i = 0; i < evens.size(); ++i) {
+    EXPECT_EQ(evens[i], static_cast<int>(2 * i));
+  }
+}
+
+TEST(Primitives, CountIf) {
+  std::vector<int> v(99999);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  EXPECT_EQ(par::count_if(v, [](int x) { return x % 10 == 0; }), 10000u);
+}
+
+TEST(Primitives, FlattenConcatenatesInOrder) {
+  std::vector<std::vector<int>> nested{{1, 2}, {}, {3}, {4, 5, 6}};
+  auto flat = par::flatten(nested);
+  EXPECT_EQ(flat, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Primitives, Tabulate) {
+  auto sq = par::tabulate(100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sq[i], i * i);
+}
+
+TEST(Sort, SortsLargeArrays) {
+  std::vector<uint64_t> v(200000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = par::hash64(i);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  par::sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Sort, StableForEqualKeys) {
+  struct kv {
+    int key;
+    int idx;
+  };
+  std::vector<kv> v(50000);
+  for (int i = 0; i < 50000; ++i) v[i] = {i % 7, i};
+  par::sort(v, [](const kv& a, const kv& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].idx, v[i].idx);
+    }
+  }
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  par::sort(v, std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+TEST(Random, Hash64IsDeterministicAndSpread) {
+  EXPECT_EQ(par::hash64(42), par::hash64(42));
+  std::set<uint64_t> vals;
+  for (uint64_t i = 0; i < 1000; ++i) vals.insert(par::hash64(i));
+  EXPECT_EQ(vals.size(), 1000u);
+}
+
+TEST(Random, RandDoubleInUnitInterval) {
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const double d = par::rand_double(3, i);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, PermutationIsBijective) {
+  auto perm = par::random_permutation(12345, 7);
+  std::vector<uint8_t> seen(perm.size(), 0);
+  for (const std::size_t p : perm) {
+    ASSERT_LT(p, perm.size());
+    ASSERT_EQ(seen[p], 0);
+    seen[p] = 1;
+  }
+}
+
+TEST(Random, PermutationDependsOnSeed) {
+  EXPECT_NE(par::random_permutation(1000, 1), par::random_permutation(1000, 2));
+  EXPECT_EQ(par::random_permutation(1000, 5), par::random_permutation(1000, 5));
+}
+
+TEST(Random, ShufflePreservesMultiset) {
+  std::vector<int> v(5000);
+  for (int i = 0; i < 5000; ++i) v[i] = i % 100;
+  auto s = par::random_shuffle(v, 11);
+  auto a = v, b = s;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Atomics, WriteMinConverges) {
+  std::atomic<uint32_t> x{1000};
+  par::parallel_for(0, 10000, [&](std::size_t i) {
+    par::write_min(&x, static_cast<uint32_t>(i % 500));
+  });
+  EXPECT_EQ(x.load(), 0u);
+}
+
+TEST(Atomics, WriteMinReturnsWhetherWritten) {
+  std::atomic<int> x{10};
+  EXPECT_TRUE(par::write_min(&x, 5));
+  EXPECT_FALSE(par::write_min(&x, 7));
+  EXPECT_EQ(x.load(), 5);
+}
+
+TEST(Atomics, WriteMaxConverges) {
+  std::atomic<uint64_t> x{0};
+  par::parallel_for(0, 10000, [&](std::size_t i) {
+    par::write_max(&x, static_cast<uint64_t>(i));
+  });
+  EXPECT_EQ(x.load(), 9999u);
+}
+
+// Property sweep: pack/scan agree across sizes including block boundaries.
+class ScanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSweep, ScanTotalEqualsSum) {
+  const std::size_t n = GetParam();
+  std::vector<std::size_t> v(n, 1);
+  auto copy = v;
+  const std::size_t total = par::scan_exclusive(copy);
+  EXPECT_EQ(total, n);
+  if (n > 0) EXPECT_EQ(copy[n - 1], n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSweep,
+                         ::testing::Values(0, 1, 2, 4095, 4096, 4097, 8192,
+                                           100000));

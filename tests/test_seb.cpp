@@ -1,0 +1,192 @@
+// Tests for smallest enclosing ball: all six methods agree with each other
+// and with an exhaustive reference on small inputs, contain every point,
+// and behave sanely on degenerate sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "datagen/datagen.h"
+#include "seb/seb.h"
+
+using namespace pargeo;
+
+namespace {
+
+// Exhaustive reference: the SEB is determined by a support of 2..D+1
+// points; try all and keep the smallest valid enclosing ball.
+template <int D>
+double brute_seb_radius(const std::vector<point<D>>& pts) {
+  const std::size_t n = pts.size();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> idx(D + 1);
+  // All subsets of size 2..D+1 via simple recursion.
+  std::function<void(std::size_t, int, int)> rec = [&](std::size_t start,
+                                                       int depth,
+                                                       int want) {
+    if (depth == want) {
+      std::array<point<D>, D + 1> sup;
+      for (int i = 0; i < want; ++i) sup[i] = pts[idx[i]];
+      auto b = circumball<D>(sup.data(), want);
+      if (b.is_empty() || b.radius >= best) return;
+      bool ok = true;
+      for (const auto& p : pts) ok = ok && b.contains(p, 1e-9);
+      if (ok) best = b.radius;
+      return;
+    }
+    for (std::size_t i = start; i < n; ++i) {
+      idx[depth] = static_cast<int>(i);
+      rec(i + 1, depth + 1, want);
+    }
+  };
+  for (int k = 2; k <= D + 1; ++k) rec(0, 0, k);
+  return best;
+}
+
+template <int D>
+void expect_contains_all(const ball<D>& b,
+                         const std::vector<point<D>>& pts) {
+  for (const auto& p : pts) {
+    ASSERT_TRUE(b.contains(p, 1e-7))
+        << "point at distance " << b.center.dist(p) << " radius "
+        << b.radius;
+  }
+}
+
+}  // namespace
+
+TEST(Seb, SmallSetsMatchExhaustiveReference2d) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto pts = datagen::uniform<2>(40, seed);
+    const double ref = brute_seb_radius(pts);
+    EXPECT_NEAR(seb::welzl_seq<2>(pts).radius, ref, 1e-7 * ref);
+    EXPECT_NEAR(seb::welzl<2>(pts).radius, ref, 1e-7 * ref);
+    EXPECT_NEAR(seb::welzl_mtf<2>(pts).radius, ref, 1e-7 * ref);
+    EXPECT_NEAR(seb::welzl_mtf_pivot<2>(pts).radius, ref, 1e-7 * ref);
+    EXPECT_NEAR(seb::orthant_scan<2>(pts).radius, ref, 1e-6 * ref);
+    EXPECT_NEAR(seb::sampling<2>(pts).radius, ref, 1e-6 * ref);
+  }
+}
+
+TEST(Seb, SmallSetsMatchExhaustiveReference3d) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    auto pts = datagen::in_sphere<3>(30, seed);
+    const double ref = brute_seb_radius(pts);
+    EXPECT_NEAR(seb::welzl_seq<3>(pts).radius, ref, 1e-7 * ref);
+    EXPECT_NEAR(seb::orthant_scan<3>(pts).radius, ref, 1e-6 * ref);
+    EXPECT_NEAR(seb::sampling<3>(pts).radius, ref, 1e-6 * ref);
+  }
+}
+
+struct SebParam {
+  int dim;
+  int dist;  // 0 uniform, 1 in_sphere, 2 on_sphere
+  std::size_t n;
+};
+
+class SebSweep : public ::testing::TestWithParam<SebParam> {};
+
+template <int D>
+void run_seb_sweep(int dist, std::size_t n) {
+  std::vector<point<D>> pts;
+  switch (dist) {
+    case 0: pts = datagen::uniform<D>(n, 77); break;
+    case 1: pts = datagen::in_sphere<D>(n, 78); break;
+    default: pts = datagen::on_sphere<D>(n, 79); break;
+  }
+  const auto ref = seb::welzl_seq<D>(pts);
+  expect_contains_all(ref, pts);
+  for (const auto& b :
+       {seb::welzl<D>(pts), seb::welzl_mtf<D>(pts),
+        seb::welzl_mtf_pivot<D>(pts), seb::orthant_scan<D>(pts),
+        seb::sampling<D>(pts)}) {
+    expect_contains_all(b, pts);
+    EXPECT_NEAR(b.radius, ref.radius, 1e-5 * ref.radius);
+  }
+}
+
+TEST_P(SebSweep, AllMethodsEncloseAndAgree) {
+  const auto p = GetParam();
+  switch (p.dim) {
+    case 2: run_seb_sweep<2>(p.dist, p.n); break;
+    case 3: run_seb_sweep<3>(p.dist, p.n); break;
+    case 5: run_seb_sweep<5>(p.dist, p.n); break;
+    case 7: run_seb_sweep<7>(p.dist, p.n); break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimDistSize, SebSweep,
+    ::testing::Values(SebParam{2, 0, 10000}, SebParam{2, 1, 10000},
+                      SebParam{2, 2, 10000}, SebParam{3, 0, 10000},
+                      SebParam{3, 1, 10000}, SebParam{3, 2, 10000},
+                      SebParam{5, 0, 5000}, SebParam{5, 1, 5000},
+                      SebParam{7, 0, 3000}),
+    [](const ::testing::TestParamInfo<SebParam>& info) {
+      return "d" + std::to_string(info.param.dim) + "_dist" +
+             std::to_string(info.param.dist) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Seb, SupportLiesOnBoundary) {
+  auto pts = datagen::in_sphere<2>(5000, 81);
+  auto b = seb::welzl_seq<2>(pts);
+  // At least two points must lie (nearly) on the boundary.
+  int boundary = 0;
+  for (const auto& p : pts) {
+    if (std::abs(b.center.dist(p) - b.radius) < 1e-7 * b.radius) {
+      ++boundary;
+    }
+  }
+  EXPECT_GE(boundary, 2);
+}
+
+TEST(Seb, DegenerateInputs) {
+  // Single point: zero-radius ball.
+  std::vector<point<2>> one{point<2>{{5, 5}}};
+  auto b1 = seb::welzl_seq<2>(one);
+  EXPECT_NEAR(b1.radius, 0.0, 1e-12);
+
+  // Two points: diametral ball.
+  std::vector<point<2>> two{point<2>{{0, 0}}, point<2>{{2, 0}}};
+  auto b2 = seb::welzl_seq<2>(two);
+  EXPECT_NEAR(b2.radius, 1.0, 1e-12);
+  EXPECT_NEAR(seb::orthant_scan<2>(two).radius, 1.0, 1e-9);
+
+  // All identical points.
+  std::vector<point<2>> same(100, point<2>{{1, 1}});
+  EXPECT_NEAR(seb::welzl_seq<2>(same).radius, 0.0, 1e-12);
+  EXPECT_NEAR(seb::sampling<2>(same).radius, 0.0, 1e-9);
+
+  // Collinear points: ball spans the extremes.
+  std::vector<point<2>> line;
+  for (int i = 0; i <= 10; ++i) {
+    line.push_back(point<2>{{static_cast<double>(i), 0}});
+  }
+  EXPECT_NEAR(seb::welzl_seq<2>(line).radius, 5.0, 1e-9);
+  EXPECT_NEAR(seb::orthant_scan<2>(line).radius, 5.0, 1e-6);
+}
+
+TEST(Seb, OnSphereRadiusMatchesGeneratorRadius) {
+  const std::size_t n = 20000;
+  auto pts = datagen::on_sphere<3>(n, 83);
+  const double expected = std::sqrt(static_cast<double>(n)) / 2.0;
+  auto b = seb::sampling<3>(pts);
+  EXPECT_NEAR(b.radius, expected, 0.02 * expected);
+  EXPECT_NEAR(b.center.length(), 0.0, 0.05 * expected);
+}
+
+TEST(Seb, SamplingScanFractionReported) {
+  auto pts = datagen::uniform<2>(50000, 85);
+  seb::sampling<2>(pts);
+  const double frac = seb::last_sampling_scan_fraction();
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(Seb, SeedInvariance) {
+  auto pts = datagen::uniform<3>(20000, 87);
+  auto a = seb::welzl_mtf_pivot<3>(pts, 1);
+  auto b = seb::welzl_mtf_pivot<3>(pts, 999);
+  EXPECT_NEAR(a.radius, b.radius, 1e-9 * a.radius);
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the test suite: brute-force reference implementations
+// and dataset shorthands.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::testutil {
+
+/// Brute-force k nearest squared distances from q to pts (including q if
+/// present), ascending.
+template <int D>
+std::vector<double> brute_knn_dists(const std::vector<point<D>>& pts,
+                                    const point<D>& q, std::size_t k) {
+  std::vector<double> d(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) d[i] = pts[i].dist_sq(q);
+  std::sort(d.begin(), d.end());
+  d.resize(std::min(k, d.size()));
+  return d;
+}
+
+/// Brute-force points within radius of center (indices).
+template <int D>
+std::vector<std::size_t> brute_range_ball(const std::vector<point<D>>& pts,
+                                          const point<D>& c, double r) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].dist_sq(c) <= r * r) out.push_back(i);
+  }
+  return out;
+}
+
+/// Brute-force closest-pair squared distance (n^2).
+template <int D>
+double brute_closest_pair(const std::vector<point<D>>& pts) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::min(best, pts[i].dist_sq(pts[j]));
+    }
+  }
+  return best;
+}
+
+/// Prim's MST total weight (n^2) — reference for the EMST.
+template <int D>
+double prim_weight(const std::vector<point<D>>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> in(n, false);
+  dist[0] = 0;
+  double total = 0;
+  for (std::size_t it = 0; it < n; ++it) {
+    std::size_t u = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in[i] && (u == n || dist[i] < dist[u])) u = i;
+    }
+    in[u] = true;
+    total += std::sqrt(dist[u]);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in[v]) dist[v] = std::min(dist[v], pts[u].dist_sq(pts[v]));
+    }
+  }
+  return total;
+}
+
+}  // namespace pargeo::testutil

@@ -1,0 +1,135 @@
+// Tests for the vEB-layout static kd-tree (the BDL building block):
+// construction, the vEB child index arithmetic (validated structurally),
+// batch deletion with live counts, and k-NN vs brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bdltree/veb_tree.h"
+#include "datagen/datagen.h"
+#include "test_util.h"
+
+using namespace pargeo;
+using bdltree::split_policy;
+using bdltree::veb_tree;
+
+namespace {
+
+template <int D>
+std::vector<point<D>> knn_points(const veb_tree<D>& t, const point<D>& q,
+                                 std::size_t k) {
+  kdtree::knn_buffer buf(k);
+  t.knn(q, buf);
+  std::vector<point<D>> out;
+  for (const auto& e : buf.finish()) {
+    out.push_back(veb_tree<D>::decode_id(e.id));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(VebTree, BuildAndGatherRoundTrip) {
+  auto pts = datagen::uniform<2>(10000, 3);
+  veb_tree<2> t(pts, split_policy::object_median);
+  EXPECT_EQ(t.size(), pts.size());
+  auto back = t.gather();
+  std::sort(back.begin(), back.end());
+  auto expect = pts;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(back, expect);
+}
+
+TEST(VebTree, NodeArraySizeIsPowerOfTwoMinusOne) {
+  auto pts = datagen::uniform<2>(1000, 4);
+  veb_tree<2> t(pts, split_policy::object_median);
+  const std::size_t n = t.num_nodes();
+  EXPECT_EQ((n + 1) & n, 0u);  // 2^l - 1
+}
+
+TEST(VebTree, KnnMatchesBruteBothPolicies) {
+  for (const auto pol :
+       {split_policy::object_median, split_policy::spatial_median}) {
+    auto pts = datagen::visualvar<5>(5000, 5);
+    veb_tree<5> t(pts, pol);
+    for (int q = 0; q < 25; ++q) {
+      const auto& qp = pts[(q * 211) % pts.size()];
+      auto got = knn_points(t, qp, 6);
+      auto brute = testutil::brute_knn_dists(pts, qp, 6);
+      ASSERT_EQ(got.size(), brute.size());
+      for (std::size_t k = 0; k < brute.size(); ++k) {
+        EXPECT_EQ(got[k].dist_sq(qp), brute[k]);
+      }
+    }
+  }
+}
+
+TEST(VebTree, EraseRemovesAndKnnSkips) {
+  auto pts = datagen::uniform<2>(5000, 6);
+  veb_tree<2> t(pts, split_policy::object_median);
+  std::vector<point<2>> del(pts.begin(), pts.begin() + 2000);
+  const std::size_t removed = t.erase(del);
+  EXPECT_EQ(removed, 2000u);
+  EXPECT_EQ(t.size(), 3000u);
+  std::vector<point<2>> rest(pts.begin() + 2000, pts.end());
+  for (int q = 0; q < 20; ++q) {
+    const auto& qp = rest[(q * 97) % rest.size()];
+    auto got = knn_points(t, qp, 4);
+    auto brute = testutil::brute_knn_dists(rest, qp, 4);
+    for (std::size_t k = 0; k < brute.size(); ++k) {
+      EXPECT_EQ(got[k].dist_sq(qp), brute[k]);
+    }
+  }
+}
+
+TEST(VebTree, EraseNonMembersIsNoop) {
+  auto pts = datagen::uniform<2>(1000, 7);
+  veb_tree<2> t(pts, split_policy::object_median);
+  std::vector<point<2>> bogus{point<2>{{-1e9, -1e9}},
+                              point<2>{{1e9, 1e9}}};
+  EXPECT_EQ(t.erase(bogus), 0u);
+  EXPECT_EQ(t.size(), pts.size());
+}
+
+TEST(VebTree, EraseEverything) {
+  auto pts = datagen::uniform<2>(500, 8);
+  veb_tree<2> t(pts, split_policy::object_median);
+  EXPECT_EQ(t.erase(pts), pts.size());
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.gather().empty());
+  kdtree::knn_buffer buf(3);
+  t.knn(pts[0], buf);  // must not crash on an empty tree
+  EXPECT_TRUE(buf.finish().empty());
+}
+
+TEST(VebTree, EraseBatchLargerThanTree) {
+  auto pts = datagen::uniform<2>(100, 9);
+  veb_tree<2> t(pts, split_policy::object_median);
+  auto batch = pts;
+  batch.insert(batch.end(), pts.begin(), pts.end());  // every point twice
+  EXPECT_EQ(t.erase(batch), pts.size());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(VebTree, TinyTrees) {
+  for (std::size_t n : {1u, 2u, 3u, 16u, 17u, 31u, 33u}) {
+    auto pts = datagen::uniform<2>(n, 10 + n);
+    veb_tree<2> t(pts, split_policy::object_median);
+    EXPECT_EQ(t.size(), n);
+    auto got = knn_points(t, pts[0], n);
+    EXPECT_EQ(got.size(), n);
+  }
+}
+
+TEST(VebTree, SpatialMedianHandlesSkewedData) {
+  // Heavily clustered data triggers the spatial-median degenerate-cut
+  // fallback; the tree must stay consistent.
+  std::vector<point<2>> pts(3000, point<2>{{1, 1}});
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back(point<2>{{1000.0 + i * 0.001, 5.0}});
+  }
+  veb_tree<2> t(pts, split_policy::spatial_median);
+  EXPECT_EQ(t.size(), pts.size());
+  auto got = knn_points(t, point<2>{{1, 1}}, 3);
+  for (const auto& p : got) EXPECT_EQ(p.dist_sq(point<2>{{1, 1}}), 0.0);
+}

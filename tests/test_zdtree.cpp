@@ -1,0 +1,116 @@
+// Tests for the Zd-tree (Morton-order batch-dynamic tree, §6.3 comparison
+// structure): k-NN vs brute force under batch updates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/datagen.h"
+#include "test_util.h"
+#include "zdtree/zdtree.h"
+
+using namespace pargeo;
+using zdtree::zd_tree;
+
+namespace {
+
+template <int D>
+void check_knn(const zd_tree<D>& t, const std::vector<point<D>>& reference,
+               const std::vector<point<D>>& queries, std::size_t k) {
+  auto res = t.knn(queries, k);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    auto brute = testutil::brute_knn_dists(reference, queries[qi], k);
+    ASSERT_EQ(res[qi].size(), brute.size());
+    for (std::size_t j = 0; j < brute.size(); ++j) {
+      EXPECT_EQ(res[qi][j].dist_sq(queries[qi]), brute[j]);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ZdTree, BuildAndKnn) {
+  auto pts = datagen::uniform<3>(5000, 3);
+  zd_tree<3> t(pts);
+  EXPECT_EQ(t.size(), pts.size());
+  std::vector<point<3>> queries(pts.begin(), pts.begin() + 20);
+  check_knn<3>(t, pts, queries, 5);
+}
+
+TEST(ZdTree, InsertMergesCorrectly) {
+  auto a = datagen::uniform<2>(3000, 4);
+  auto b = datagen::uniform<2>(2000, 5);
+  zd_tree<2> t(a);
+  t.insert(b);
+  EXPECT_EQ(t.size(), a.size() + b.size());
+  auto all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  std::vector<point<2>> queries(b.begin(), b.begin() + 20);
+  check_knn<2>(t, all, queries, 4);
+}
+
+TEST(ZdTree, EraseRemovesOneCopyPerEntry) {
+  auto pts = datagen::uniform<2>(2000, 6);
+  zd_tree<2> t(pts);
+  std::vector<point<2>> del(pts.begin(), pts.begin() + 500);
+  t.erase(del);
+  EXPECT_EQ(t.size(), 1500u);
+  std::vector<point<2>> rest(pts.begin() + 500, pts.end());
+  auto got = t.gather();
+  std::sort(got.begin(), got.end());
+  std::sort(rest.begin(), rest.end());
+  EXPECT_EQ(got, rest);
+}
+
+TEST(ZdTree, EraseNonMembersNoop) {
+  auto pts = datagen::uniform<2>(500, 7);
+  zd_tree<2> t(pts);
+  t.erase({point<2>{{-1e6, -1e6}}});
+  EXPECT_EQ(t.size(), pts.size());
+}
+
+TEST(ZdTree, DuplicateHandling) {
+  std::vector<point<2>> pts(100, point<2>{{1, 1}});
+  zd_tree<2> t(pts);
+  t.erase({point<2>{{1, 1}}});
+  EXPECT_EQ(t.size(), 99u);  // one copy removed per batch entry
+}
+
+TEST(ZdTree, MixedWorkloadAgainstModel) {
+  zd_tree<2> t;
+  std::vector<point<2>> model;
+  auto all = datagen::visualvar<2>(4000, 8);
+  std::size_t next = 0;
+  for (int step = 0; step < 20; ++step) {
+    if (step % 3 != 2 && next < all.size()) {
+      const std::size_t take = std::min<std::size_t>(300, all.size() - next);
+      std::vector<point<2>> batch(all.begin() + next,
+                                  all.begin() + next + take);
+      next += take;
+      t.insert(batch);
+      model.insert(model.end(), batch.begin(), batch.end());
+    } else if (!model.empty()) {
+      std::vector<point<2>> batch(model.end() -
+                                      std::min<std::size_t>(200,
+                                                            model.size()),
+                                  model.end());
+      model.resize(model.size() - batch.size());
+      t.erase(batch);
+    }
+    ASSERT_EQ(t.size(), model.size());
+  }
+  if (!model.empty()) {
+    std::vector<point<2>> queries(model.begin(),
+                                  model.begin() +
+                                      std::min<std::size_t>(10,
+                                                            model.size()));
+    check_knn<2>(t, model, queries, 3);
+  }
+}
+
+TEST(ZdTree, EmptyTreeQueries) {
+  zd_tree<2> t;
+  EXPECT_EQ(t.size(), 0u);
+  auto res = t.knn({point<2>{{0, 0}}}, 3);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_TRUE(res[0].empty());
+}
