@@ -1,0 +1,64 @@
+// Benchmark: query-engine throughput vs read/write ratio and backend
+// (paper Fig. 12/14 style, applied to the unified front end).
+//
+// Part 1 sweeps the read fraction {0.50, 0.90, 0.99} for each backend on
+// the same uniform stream: the static kd-tree pays a full rebuild per write
+// phase, the Zd-tree a sorted merge, the BDL-tree a logarithmic cascade —
+// the spread between rows is the paper's headline trade-off. Part 2 sweeps
+// threads at the 90%-read point to show batch-internal scaling.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "query/query_engine.h"
+#include "query/spatial_index.h"
+#include "query/workload.h"
+
+using namespace pargeo;
+
+namespace {
+
+constexpr int kDim = 2;
+
+query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
+                               double read_frac) {
+  auto spec = query::make_read_write_spec(initial_n, num_ops, read_frac);
+  spec.batch_size = 2048;
+  return spec;
+}
+
+double run_ops_per_sec(query::backend b, const query::workload_spec& spec) {
+  query::query_engine<kDim> engine(query::make_index<kDim>(b));
+  const auto stats = query::run_workload<kDim>(engine, spec);
+  return stats.ops_per_sec();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t initial_n = bench::base_n();
+  const std::size_t num_ops = bench::base_n();
+
+  bench::print_header(
+      "query engine: throughput vs read fraction (uniform, dim=2)",
+      "backend            read%                  ops/s");
+  for (const double rf : {0.50, 0.90, 0.99}) {
+    const auto spec = make_spec(initial_n, num_ops, rf);
+    for (auto b : {query::backend::kdtree, query::backend::zdtree,
+                   query::backend::bdltree}) {
+      const double ops = run_ops_per_sec(b, spec);
+      std::printf("%-18s %5.0f%% %22.0f\n", query::backend_name(b), rf * 100,
+                  ops);
+    }
+  }
+
+  bench::print_header("query engine: thread scaling (90% reads, bdltree)",
+                      "impl           threads              ops/s");
+  const auto spec = make_spec(initial_n, num_ops, 0.90);
+  for (const int t : bench::thread_sweep()) {
+    bench::scoped_threads guard(t);
+    bench::print_throughput_row(
+        "bdltree", t, run_ops_per_sec(query::backend::bdltree, spec));
+  }
+  return 0;
+}

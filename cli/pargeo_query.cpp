@@ -1,0 +1,124 @@
+// CLI: run a synthetic mixed read/write workload through the query engine.
+//
+//   pargeo_query <backend> <dim 2|3> <initial_n> <num_ops>
+//                [read_frac=0.9] [dist uniform|clustered|zipf]
+//                [batch_size=2048] [seed=1]
+//
+// backend: kdtree | zdtree | bdltree | all (run every backend on the same
+// stream and print one row each). Reads split 70% k-NN / 15% box range /
+// 15% ball range; writes split evenly between inserts and erases. Prints
+// throughput plus batch-latency percentiles (a request's latency is its
+// phase's wall-clock; phases complete together).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "query/query_engine.h"
+#include "query/spatial_index.h"
+#include "query/workload.h"
+
+using namespace pargeo;
+
+namespace {
+
+query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
+                               double read_frac, query::distribution dist,
+                               std::size_t batch_size, uint64_t seed) {
+  auto spec = query::make_read_write_spec(initial_n, num_ops, read_frac);
+  spec.batch_size = batch_size;
+  spec.dist = dist;
+  spec.seed = seed;
+  return spec;
+}
+
+template <int D>
+int run_backend(query::backend b, const query::workload_spec& spec) {
+  query::query_engine<D> engine(query::make_index<D>(b));
+  std::vector<query::response<D>> responses;
+  const auto stats = query::run_workload<D>(engine, spec, &responses);
+
+  // Result checksum: total hits returned, comparable across backends.
+  std::size_t hits = 0;
+  for (const auto& r : responses) hits += r.points.size();
+
+  std::vector<double> phase_ms;
+  phase_ms.reserve(stats.phases.size());
+  for (const auto& ph : stats.phases) phase_ms.push_back(ph.seconds * 1e3);
+
+  std::printf(
+      "%-8s ops=%zu reads=%zu writes=%zu phases=%zu  %10.0f ops/s  "
+      "lat p50=%.3fms p90=%.3fms p99=%.3fms  hits=%zu size=%zu\n",
+      query::backend_name(b), stats.num_requests, stats.num_reads,
+      stats.num_writes, stats.num_phases(), stats.ops_per_sec(),
+      query::percentile(phase_ms, 50), query::percentile(phase_ms, 90),
+      query::percentile(phase_ms, 99), hits, engine.index().size());
+  return 0;
+}
+
+template <int D>
+int run(const std::string& backend_arg, const query::workload_spec& spec) {
+  std::vector<query::backend> backends;
+  if (backend_arg == "all") {
+    backends = {query::backend::kdtree, query::backend::zdtree,
+                query::backend::bdltree};
+  } else {
+    try {
+      backends = {query::backend_from_string(backend_arg)};
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  std::printf(
+      "workload: dim=%d initial=%zu ops=%zu dist=%s batch=%zu seed=%llu\n",
+      D, spec.initial_points, spec.num_ops,
+      query::distribution_name(spec.dist), spec.batch_size,
+      static_cast<unsigned long long>(spec.seed));
+  for (auto b : backends) run_backend<D>(b, spec);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(
+        stderr,
+        "usage: %s <backend kdtree|zdtree|bdltree|all> <dim 2|3> "
+        "<initial_n> <num_ops> [read_frac=0.9] "
+        "[dist uniform|clustered|zipf] [batch_size=2048] [seed=1]\n",
+        argv[0]);
+    return 2;
+  }
+  const std::string backend_arg = argv[1];
+  const int dim = std::atoi(argv[2]);
+  const std::size_t initial_n = std::atoll(argv[3]);
+  const std::size_t num_ops = std::atoll(argv[4]);
+  const double read_frac = argc > 5 ? std::atof(argv[5]) : 0.9;
+  if (read_frac < 0 || read_frac > 1) {
+    std::fprintf(stderr, "read_frac must be in [0, 1]\n");
+    return 2;
+  }
+  query::distribution dist = query::distribution::uniform;
+  if (argc > 6) {
+    try {
+      dist = query::distribution_from_string(argv[6]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  const std::size_t batch_size = argc > 7 ? std::atoll(argv[7]) : 2048;
+  const uint64_t seed = argc > 8 ? std::atoll(argv[8]) : 1;
+
+  const auto spec =
+      make_spec(initial_n, num_ops, read_frac, dist, batch_size, seed);
+  switch (dim) {
+    case 2: return run<2>(backend_arg, spec);
+    case 3: return run<3>(backend_arg, spec);
+    default:
+      std::fprintf(stderr, "unsupported dim %d (want 2 or 3)\n", dim);
+      return 2;
+  }
+}

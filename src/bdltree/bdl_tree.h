@@ -147,6 +147,7 @@ class bdl_tree {
       const std::vector<point<D>>& queries, std::size_t k) const {
     std::vector<std::vector<point<D>>> out(queries.size());
     const std::size_t kk = std::min(k, size());
+    if (kk == 0) return out;  // knn_buffer does not support k = 0
     par::parallel_for(
         0, queries.size(),
         [&](std::size_t qi) {
@@ -182,6 +183,46 @@ class bdl_tree {
           }
           for (const auto& p : buffer_) {
             if (p.dist_sq(queries[qi]) <= r_sq) out[qi].push_back(p);
+          }
+        },
+        16);
+    return out;
+  }
+
+  /// Per-query-radius variant: row i holds every stored point within
+  /// radii[i] of centers[i] (unordered).
+  std::vector<std::vector<point<D>>> range_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const {
+    std::vector<std::vector<point<D>>> out(centers.size());
+    par::parallel_for(
+        0, centers.size(),
+        [&](std::size_t qi) {
+          const double r_sq = radii[qi] * radii[qi];
+          for (const auto& t : trees_) {
+            if (t) t->range_ball(centers[qi], radii[qi], out[qi]);
+          }
+          for (const auto& p : buffer_) {
+            if (p.dist_sq(centers[qi]) <= r_sq) out[qi].push_back(p);
+          }
+        },
+        16);
+    return out;
+  }
+
+  /// Data-parallel orthogonal range search: row i holds every stored point
+  /// inside queries[i] (unordered).
+  std::vector<std::vector<point<D>>> range_box(
+      const std::vector<aabb<D>>& queries) const {
+    std::vector<std::vector<point<D>>> out(queries.size());
+    par::parallel_for(
+        0, queries.size(),
+        [&](std::size_t qi) {
+          for (const auto& t : trees_) {
+            if (t) t->range_box(queries[qi], out[qi]);
+          }
+          for (const auto& p : buffer_) {
+            if (queries[qi].contains(p)) out[qi].push_back(p);
           }
         },
         16);

@@ -98,6 +98,12 @@ class veb_tree {
     range_rec(0, center, radius * radius, out);
   }
 
+  /// Appends all live points inside `query_box` to `out`.
+  void range_box(const aabb<D>& query_box, std::vector<point<D>>& out) const {
+    if (live_ == 0) return;
+    range_box_rec(0, query_box, out);
+  }
+
   /// The point stored at slot i (used with knn buffer ids).
   const point<D>& point_at(std::size_t i) const { return points_[i]; }
 
@@ -331,6 +337,24 @@ class veb_tree {
     (void)rl;
     range_rec(li, c, r_sq, out);
     range_rec(ri, c, r_sq, out);
+  }
+
+  void range_box_rec(std::size_t idx, const aabb<D>& qb,
+                     std::vector<point<D>>& out) const {
+    const node& nd = nodes_[idx];
+    if (nd.live == 0 || !nd.box.intersects(qb)) return;
+    if (nd.split_dim < 0) {
+      for (std::size_t i = nd.lo; i < nd.hi; ++i) {
+        if (alive_[i] && qb.contains(points_[i])) out.push_back(points_[i]);
+      }
+      return;
+    }
+    auto [li, ll] = left_child(idx);
+    auto [ri, rl] = right_child(idx);
+    (void)ll;
+    (void)rl;
+    range_box_rec(li, qb, out);
+    range_box_rec(ri, qb, out);
   }
 
   // Batch erase per paper Algorithm 2: partition the query set around the

@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <stdexcept>
 #include <vector>
 
 #include "core/aabb.h"
@@ -48,10 +47,10 @@ class tree {
       : points_(pts), ids_(pts.size()), policy_(policy),
         leaf_size_(std::max<std::size_t>(1, leaf_size)) {
     const std::size_t n = points_.size();
-    if (n == 0) throw std::invalid_argument("kd-tree over empty point set");
     par::parallel_for(0, n, [&](std::size_t i) { ids_[i] = i; });
     // Each internal node has two non-empty children, so node count < 2n.
-    arena_.resize(2 * n);
+    // n = 0 still gets one (empty leaf) root so queries need no null checks.
+    arena_.resize(std::max<std::size_t>(1, 2 * n));
     root_ = build(0, n, compute_box(0, n));
   }
 
@@ -67,6 +66,7 @@ class tree {
   /// distance. Returns original input indices. If the query point itself
   /// is stored, it appears in the result (distance 0).
   std::vector<knn_buffer::entry> knn(const point<D>& q, std::size_t k) const {
+    if (size() == 0 || k == 0) return {};
     knn_buffer buf(std::min(k, size()));
     knn_node(root_, q, buf);
     auto out = buf.finish();

@@ -25,6 +25,9 @@
 #include "kdtree/knn_buffer.h"        // IWYU pragma: export
 #include "mortonsort/mortonsort.h"    // IWYU pragma: export
 #include "parallel/parallel.h"        // IWYU pragma: export
+#include "query/query_engine.h"       // IWYU pragma: export
+#include "query/spatial_index.h"      // IWYU pragma: export
+#include "query/workload.h"           // IWYU pragma: export
 #include "seb/seb.h"                  // IWYU pragma: export
 #include "wspd/wspd.h"                // IWYU pragma: export
 #include "zdtree/zdtree.h"            // IWYU pragma: export

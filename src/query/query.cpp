@@ -1,0 +1,30 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/workload.h"
+
+namespace pargeo::query {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(v.size())));
+  return v[rank == 0 ? 0 : rank - 1];
+}
+
+// Definitions for the `extern template` declarations in the headers: the
+// engine and adapters instantiate here once instead of in every consumer.
+template class query_engine<2>;
+template class query_engine<3>;
+template class kdtree_index<2>;
+template class kdtree_index<3>;
+template class zdtree_index<2>;
+template class zdtree_index<3>;
+template class bdltree_index<2>;
+template class bdltree_index<3>;
+
+}  // namespace pargeo::query

@@ -1,0 +1,325 @@
+// Uniform adapter layer over the library's spatial trees (query subsystem,
+// layer 1 of 3 — see query_engine.h and workload.h).
+//
+// The paper's structures expose three unrelated APIs: the static kd-tree
+// (Module 1) has no updates, the Zd-tree stand-in has batch updates but no
+// ids, and the BDL-tree has batch updates plus multi-tree k-NN. This header
+// wraps all three behind one `spatial_index<D>` interface — `build`,
+// `batch_insert`, `batch_erase`, `batch_knn`, `batch_range`, `batch_ball` —
+// so a mixed read/write workload can run against any backend unchanged.
+//
+// Semantics shared by every backend: points form a multiset (duplicates
+// allowed); erase removes at most one stored copy per batch entry for
+// distinct batch points (backends differ only on erasing a point stored
+// multiple times — see bdl_tree's class comment); k-NN rows are sorted by
+// distance and have min(k, size()) entries; range results are unordered.
+//
+// The kd-tree backend serves updates by rebuilding from scratch — it is the
+// static baseline the paper compares batch-dynamic structures against, and
+// keeping it behind the same interface lets the benchmarks quantify exactly
+// that trade-off.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdltree/bdl_tree.h"
+#include "core/aabb.h"
+#include "core/point.h"
+#include "kdtree/kdtree.h"
+#include "parallel/parallel.h"
+#include "zdtree/zdtree.h"
+
+namespace pargeo::query {
+
+enum class backend { kdtree, zdtree, bdltree };
+
+inline const char* backend_name(backend b) {
+  switch (b) {
+    case backend::kdtree: return "kdtree";
+    case backend::zdtree: return "zdtree";
+    case backend::bdltree: return "bdltree";
+  }
+  return "?";
+}
+
+inline backend backend_from_string(const std::string& s) {
+  if (s == "kdtree") return backend::kdtree;
+  if (s == "zdtree") return backend::zdtree;
+  if (s == "bdltree") return backend::bdltree;
+  throw std::invalid_argument("unknown backend '" + s +
+                              "' (want kdtree|zdtree|bdltree)");
+}
+
+/// Abstract batched spatial index. All batch entry points are internally
+/// data-parallel; callers hand over whole batches and get per-query rows
+/// back in input order.
+template <int D>
+class spatial_index {
+ public:
+  virtual ~spatial_index() = default;
+
+  virtual backend kind() const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Replaces the stored set with `pts`.
+  virtual void build(const std::vector<point<D>>& pts) = 0;
+  virtual void batch_insert(const std::vector<point<D>>& pts) = 0;
+  virtual void batch_erase(const std::vector<point<D>>& pts) = 0;
+
+  /// Row i: the min(k, size()) nearest stored points to queries[i], sorted
+  /// by distance (query point included at distance 0 if stored).
+  virtual std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const = 0;
+
+  /// Row i: all stored points inside boxes[i] (unordered).
+  virtual std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const = 0;
+
+  /// Row i: all stored points within radii[i] of centers[i] (unordered).
+  virtual std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const = 0;
+
+  /// All stored points (unordered; duplicates preserved).
+  virtual std::vector<point<D>> gather() const = 0;
+};
+
+/// Static kd-tree backend: queries hit kdtree::tree directly; every update
+/// rebuilds the tree over the new point set (the paper's static baseline).
+template <int D>
+class kdtree_index final : public spatial_index<D> {
+ public:
+  explicit kdtree_index(
+      kdtree::split_policy policy = kdtree::split_policy::object_median,
+      std::size_t leaf_size = kdtree::tree<D>::kDefaultLeafSize)
+      : policy_(policy), leaf_size_(leaf_size) {
+    rebuild();
+  }
+
+  backend kind() const override { return backend::kdtree; }
+  std::size_t size() const override { return pts_.size(); }
+
+  void build(const std::vector<point<D>>& pts) override {
+    pts_ = pts;
+    rebuild();
+  }
+
+  void batch_insert(const std::vector<point<D>>& pts) override {
+    if (pts.empty()) return;
+    pts_.insert(pts_.end(), pts.begin(), pts.end());
+    rebuild();
+  }
+
+  void batch_erase(const std::vector<point<D>>& pts) override {
+    if (pts.empty() || pts_.empty()) return;
+    // Multiset removal: each batch entry consumes at most one stored copy.
+    std::map<point<D>, std::size_t> pending;
+    for (const auto& p : pts) ++pending[p];
+    std::vector<point<D>> kept;
+    kept.reserve(pts_.size());
+    for (const auto& p : pts_) {
+      auto it = pending.find(p);
+      if (it != pending.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      kept.push_back(p);
+    }
+    if (kept.size() == pts_.size()) return;  // nothing matched
+    pts_ = std::move(kept);
+    rebuild();
+  }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const override {
+    std::vector<std::vector<point<D>>> out(queries.size());
+    par::parallel_for(
+        0, queries.size(),
+        [&](std::size_t i) {
+          auto entries = tree_->knn(queries[i], k);
+          out[i].reserve(entries.size());
+          for (const auto& e : entries) out[i].push_back(pts_[e.id]);
+        },
+        16);
+    return out;
+  }
+
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const override {
+    std::vector<std::vector<point<D>>> out(boxes.size());
+    par::parallel_for(
+        0, boxes.size(),
+        [&](std::size_t i) {
+          for (std::size_t id : tree_->range_box(boxes[i])) {
+            out[i].push_back(pts_[id]);
+          }
+        },
+        16);
+    return out;
+  }
+
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const override {
+    std::vector<std::vector<point<D>>> out(centers.size());
+    par::parallel_for(
+        0, centers.size(),
+        [&](std::size_t i) {
+          for (std::size_t id : tree_->range_ball(centers[i], radii[i])) {
+            out[i].push_back(pts_[id]);
+          }
+        },
+        16);
+    return out;
+  }
+
+  std::vector<point<D>> gather() const override { return pts_; }
+
+ private:
+  void rebuild() {
+    tree_ = std::make_unique<kdtree::tree<D>>(pts_, policy_, leaf_size_);
+  }
+
+  kdtree::split_policy policy_;
+  std::size_t leaf_size_;
+  std::vector<point<D>> pts_;
+  std::unique_ptr<kdtree::tree<D>> tree_;
+};
+
+/// Morton-array backend (2D/3D only, like the original Zd-tree): updates are
+/// sorted merges/filters, queries run over the implicit segment hierarchy.
+template <int D>
+class zdtree_index final : public spatial_index<D> {
+  static_assert(D == 2 || D == 3, "zd_tree supports 2D and 3D only");
+
+ public:
+  backend kind() const override { return backend::zdtree; }
+  std::size_t size() const override { return tree_.size(); }
+
+  void build(const std::vector<point<D>>& pts) override {
+    tree_ = zdtree::zd_tree<D>(pts);
+  }
+
+  void batch_insert(const std::vector<point<D>>& pts) override {
+    tree_.insert(pts);
+  }
+
+  void batch_erase(const std::vector<point<D>>& pts) override {
+    tree_.erase(pts);
+  }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const override {
+    return tree_.knn(queries, k);
+  }
+
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const override {
+    std::vector<std::vector<point<D>>> out(boxes.size());
+    par::parallel_for(
+        0, boxes.size(),
+        [&](std::size_t i) { tree_.range_box(boxes[i], out[i]); }, 16);
+    return out;
+  }
+
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const override {
+    std::vector<std::vector<point<D>>> out(centers.size());
+    par::parallel_for(
+        0, centers.size(),
+        [&](std::size_t i) { tree_.range_ball(centers[i], radii[i], out[i]); },
+        16);
+    return out;
+  }
+
+  std::vector<point<D>> gather() const override { return tree_.gather(); }
+
+ private:
+  zdtree::zd_tree<D> tree_;
+};
+
+/// Batch-dynamic BDL-tree backend (paper §5): the structure the subsystem
+/// exists to serve — updates are absorbed by the logarithmic forest without
+/// full rebuilds.
+template <int D>
+class bdltree_index final : public spatial_index<D> {
+ public:
+  explicit bdltree_index(
+      bdltree::split_policy policy = bdltree::split_policy::object_median,
+      std::size_t buffer_size = bdltree::bdl_tree<D>::kDefaultBufferSize)
+      : policy_(policy), buffer_size_(buffer_size), tree_(policy, buffer_size) {}
+
+  backend kind() const override { return backend::bdltree; }
+  std::size_t size() const override { return tree_.size(); }
+
+  void build(const std::vector<point<D>>& pts) override {
+    tree_ = bdltree::bdl_tree<D>(policy_, buffer_size_);
+    tree_.insert(pts);
+  }
+
+  void batch_insert(const std::vector<point<D>>& pts) override {
+    tree_.insert(pts);
+  }
+
+  void batch_erase(const std::vector<point<D>>& pts) override {
+    tree_.erase(pts);
+  }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const override {
+    return tree_.knn(queries, k);
+  }
+
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const override {
+    return tree_.range_box(boxes);
+  }
+
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const override {
+    return tree_.range_ball(centers, radii);
+  }
+
+  std::vector<point<D>> gather() const override { return tree_.gather(); }
+
+ private:
+  bdltree::split_policy policy_;
+  std::size_t buffer_size_;
+  bdltree::bdl_tree<D> tree_;
+};
+
+// The common dimensions are instantiated once in query.cpp.
+extern template class kdtree_index<2>;
+extern template class kdtree_index<3>;
+extern template class zdtree_index<2>;
+extern template class zdtree_index<3>;
+extern template class bdltree_index<2>;
+extern template class bdltree_index<3>;
+
+/// Factory keyed by the runtime backend tag. The Zd-tree backend exists only
+/// in 2D/3D; requesting it at other dimensions throws.
+template <int D>
+std::unique_ptr<spatial_index<D>> make_index(backend b) {
+  switch (b) {
+    case backend::kdtree:
+      return std::make_unique<kdtree_index<D>>();
+    case backend::zdtree:
+      if constexpr (D == 2 || D == 3) {
+        return std::make_unique<zdtree_index<D>>();
+      } else {
+        throw std::invalid_argument("zdtree backend supports 2D/3D only");
+      }
+    case backend::bdltree:
+      return std::make_unique<bdltree_index<D>>();
+  }
+  throw std::invalid_argument("unknown backend tag");
+}
+
+}  // namespace pargeo::query

@@ -1,0 +1,240 @@
+// Synthetic mixed-workload driver (query subsystem, layer 3 of 3).
+//
+// Turns a declarative spec into an initial point set plus a deterministic,
+// ordered request stream for benchmarking and fuzzing the query engine:
+// operation mix by fractions, payload points drawn uniform / clustered
+// (datagen::visualvar) / with skewed-Zipf key reuse (hot points are
+// re-inserted, re-queried, and re-erased, producing duplicates and
+// contended keys like a caching tier would see). Everything is a pure
+// function of (spec, index), so two runs — or two backends — replay the
+// identical stream.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "parallel/random.h"
+#include "query/query_engine.h"
+
+namespace pargeo::query {
+
+enum class distribution { uniform, clustered, zipf };
+
+inline const char* distribution_name(distribution d) {
+  switch (d) {
+    case distribution::uniform: return "uniform";
+    case distribution::clustered: return "clustered";
+    case distribution::zipf: return "zipf";
+  }
+  return "?";
+}
+
+inline distribution distribution_from_string(const std::string& s) {
+  if (s == "uniform") return distribution::uniform;
+  if (s == "clustered") return distribution::clustered;
+  if (s == "zipf") return distribution::zipf;
+  throw std::invalid_argument("unknown distribution '" + s +
+                              "' (want uniform|clustered|zipf)");
+}
+
+struct workload_spec {
+  std::size_t initial_points = 10000;
+  std::size_t num_ops = 100000;
+  std::size_t batch_size = 2048;  // requests per engine batch
+
+  // Operation mix; fractions are normalized by their sum.
+  double insert_frac = 0.1;
+  double erase_frac = 0.1;
+  double knn_frac = 0.6;
+  double range_frac = 0.1;
+  double ball_frac = 0.1;
+
+  std::size_t k = 8;           // k-NN neighbors
+  double range_extent = 4.0;   // box half-width; ball radius scales on it
+  distribution dist = distribution::uniform;
+  double zipf_s = 1.2;         // Zipf exponent for key reuse (dist == zipf)
+  uint64_t seed = 1;
+
+  /// Derived coordinate scale, matching datagen's sqrt(n) hypercube.
+  double side() const {
+    return std::sqrt(static_cast<double>(initial_points + num_ops));
+  }
+};
+
+/// Spec parameterized by a single read fraction: reads split 70% k-NN /
+/// 15% box range / 15% ball range, writes split evenly between inserts and
+/// erases — the mix `pargeo_query` and `bench_query_engine` share.
+inline workload_spec make_read_write_spec(std::size_t initial_points,
+                                          std::size_t num_ops,
+                                          double read_frac) {
+  workload_spec spec;
+  spec.initial_points = initial_points;
+  spec.num_ops = num_ops;
+  const double write_frac = 1.0 - read_frac;
+  spec.insert_frac = write_frac / 2;
+  spec.erase_frac = write_frac / 2;
+  spec.knn_frac = read_frac * 0.70;
+  spec.range_frac = read_frac * 0.15;
+  spec.ball_frac = read_frac * 0.15;
+  return spec;
+}
+
+namespace detail {
+
+/// Bounded-Pareto inverse-CDF Zipf sampler: rank in [0, n) with
+/// P(rank) ~ (rank+1)^-s. Deterministic in (u in [0,1)).
+inline std::size_t zipf_rank(double u, std::size_t n, double s) {
+  if (n <= 1) return 0;
+  if (s == 1.0) s = 1.0 + 1e-9;  // avoid the log branch; visually identical
+  const double hi = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+  const double x = std::pow(1.0 + u * (hi - 1.0), 1.0 / (1.0 - s));
+  const std::size_t rank = static_cast<std::size_t>(x) - 1;
+  return rank < n ? rank : n - 1;
+}
+
+}  // namespace detail
+
+/// Initial contents of the index for `spec`.
+template <int D>
+std::vector<point<D>> make_initial(const workload_spec& spec) {
+  switch (spec.dist) {
+    case distribution::clustered:
+      return datagen::visualvar<D>(spec.initial_points, spec.seed);
+    default:
+      return datagen::uniform<D>(spec.initial_points, spec.seed);
+  }
+}
+
+/// The full ordered request stream for `spec`, with the key pool seeded by
+/// `initial` (the point set the index was bootstrapped with, so erases hit
+/// live points from op 0 on). Sequential by construction (later ops may
+/// reference earlier inserts); cost is O(num_ops).
+template <int D>
+std::vector<request<D>> make_requests(const workload_spec& spec,
+                                      std::vector<point<D>> initial) {
+  const double fsum = spec.insert_frac + spec.erase_frac + spec.knn_frac +
+                      spec.range_frac + spec.ball_frac;
+  if (fsum <= 0) throw std::invalid_argument("all op fractions are zero");
+  const double c_ins = spec.insert_frac / fsum;
+  const double c_era = c_ins + spec.erase_frac / fsum;
+  const double c_knn = c_era + spec.knn_frac / fsum;
+  const double c_rng = c_knn + spec.range_frac / fsum;
+
+  const double side = spec.side();
+  const uint64_t seed = spec.seed * 0x9e3779b97f4a7c15ULL + 0x1234567;
+
+  // Key pool: points eligible for reuse (zipf) and for erase targeting.
+  std::vector<point<D>> pool = std::move(initial);
+  pool.reserve(pool.size() + spec.num_ops);
+
+  auto fresh_point = [&](std::size_t i) {
+    point<D> p;
+    if (spec.dist == distribution::clustered && !pool.empty()) {
+      // Jitter around a random pool point: keeps new mass near clusters.
+      const std::size_t c = par::rand_range(seed + 11, i, pool.size());
+      for (int d = 0; d < D; ++d) {
+        p[d] = pool[c][d] +
+               (par::rand_double(seed + 12 + d, i) - 0.5) * side * 0.02;
+      }
+    } else {
+      for (int d = 0; d < D; ++d) {
+        p[d] = side * par::rand_double(seed + 12 + d, i);
+      }
+    }
+    return p;
+  };
+
+  // Payload point for op i: fresh, or a reused hot key under zipf.
+  auto pick_point = [&](std::size_t i) {
+    if (spec.dist == distribution::zipf && !pool.empty() &&
+        par::rand_double(seed + 20, i) < 0.8) {
+      const std::size_t r = detail::zipf_rank(par::rand_double(seed + 21, i),
+                                              pool.size(), spec.zipf_s);
+      return pool[r];
+    }
+    return fresh_point(i);
+  };
+
+  std::vector<request<D>> reqs;
+  reqs.reserve(spec.num_ops);
+  for (std::size_t i = 0; i < spec.num_ops; ++i) {
+    const double u = par::rand_double(seed + 1, i);
+    if (u < c_ins) {
+      const auto p = pick_point(i);
+      pool.push_back(p);
+      reqs.push_back(request<D>::make_insert(p));
+    } else if (u < c_era) {
+      if (pool.empty()) {  // nothing to erase yet: emit an insert instead
+        const auto p = fresh_point(i);
+        pool.push_back(p);
+        reqs.push_back(request<D>::make_insert(p));
+        continue;
+      }
+      // Erase a pool point; under zipf the hot ranks get erased (and often
+      // re-inserted) repeatedly. Absent points are legal no-ops.
+      const std::size_t r =
+          spec.dist == distribution::zipf
+              ? detail::zipf_rank(par::rand_double(seed + 2, i), pool.size(),
+                                  spec.zipf_s)
+              : par::rand_range(seed + 2, i, pool.size());
+      reqs.push_back(request<D>::make_erase(pool[r]));
+    } else if (u < c_knn) {
+      reqs.push_back(request<D>::make_knn(pick_point(i), spec.k));
+    } else if (u < c_rng) {
+      const auto corner = pick_point(i);
+      const double w =
+          spec.range_extent * (0.5 + par::rand_double(seed + 3, i));
+      point<D> ext;
+      for (int d = 0; d < D; ++d) ext[d] = w;
+      reqs.push_back(request<D>::make_range(aabb<D>(corner, corner + ext)));
+    } else {
+      const double r =
+          spec.range_extent * (0.25 + par::rand_double(seed + 4, i));
+      reqs.push_back(request<D>::make_ball(pick_point(i), r));
+    }
+  }
+  return reqs;
+}
+
+/// Convenience overload generating the initial set itself.
+template <int D>
+std::vector<request<D>> make_requests(const workload_spec& spec) {
+  return make_requests<D>(spec, make_initial<D>(spec));
+}
+
+/// Runs the whole spec against `engine` in batches of spec.batch_size and
+/// returns the accumulated stats (bootstrap time excluded, as in the
+/// paper's figures). `responses`, when non-null, collects every response
+/// in stream order.
+template <int D>
+engine_stats run_workload(query_engine<D>& engine, const workload_spec& spec,
+                          std::vector<response<D>>* responses = nullptr) {
+  auto initial = make_initial<D>(spec);
+  engine.bootstrap(initial);
+  const auto reqs = make_requests<D>(spec, std::move(initial));
+  engine_stats total;
+  const std::size_t bs = std::max<std::size_t>(1, spec.batch_size);
+  for (std::size_t off = 0; off < reqs.size(); off += bs) {
+    const std::size_t end = std::min(reqs.size(), off + bs);
+    std::vector<request<D>> batch(reqs.begin() + off, reqs.begin() + end);
+    auto result = engine.execute(batch);
+    if (responses) {
+      // Rebase per-batch phase ids so they index the accumulated
+      // total.phases, preserving the latency-lookup contract.
+      const std::size_t phase_base = total.phases.size();
+      for (auto& r : result.responses) {
+        r.phase += phase_base;
+        responses->push_back(std::move(r));
+      }
+    }
+    total.accumulate(result.stats);
+  }
+  return total;
+}
+
+}  // namespace pargeo::query

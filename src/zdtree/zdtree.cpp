@@ -140,7 +140,7 @@ template <int D>
 std::vector<std::vector<point<D>>> zd_tree<D>::knn(
     const std::vector<point<D>>& queries, std::size_t k) const {
   std::vector<std::vector<point<D>>> out(queries.size());
-  if (items_.empty()) return out;
+  if (items_.empty() || k == 0) return out;
   const std::size_t kk = std::min(k, items_.size());
   par::parallel_for(
       0, queries.size(),
@@ -155,6 +155,49 @@ std::vector<std::vector<point<D>>> zd_tree<D>::knn(
       },
       16);
   return out;
+}
+
+template <int D>
+template <class Keep>
+void zd_tree<D>::range_rec(std::size_t node, std::size_t lo, std::size_t hi,
+                           const aabb<D>& query_box, const Keep& keep,
+                           std::vector<point<D>>& out) const {
+  if (boxes_[node].empty() || !boxes_[node].intersects(query_box)) return;
+  if (hi - lo == 1) {
+    const std::size_t s = lo * kLeaf;
+    const std::size_t e = std::min(items_.size(), s + kLeaf);
+    for (std::size_t i = s; i < e; ++i) {
+      if (keep(items_[i].p)) out.push_back(items_[i].p);
+    }
+    return;
+  }
+  const std::size_t mid = (lo + hi) / 2;
+  range_rec(2 * node, lo, mid, query_box, keep, out);
+  range_rec(2 * node + 1, mid, hi, query_box, keep, out);
+}
+
+template <int D>
+void zd_tree<D>::range_box(const aabb<D>& box,
+                           std::vector<point<D>>& out) const {
+  if (items_.empty()) return;
+  range_rec(1, 0, num_leaf_segments_, box,
+            [&](const point<D>& p) { return box.contains(p); }, out);
+}
+
+template <int D>
+void zd_tree<D>::range_ball(const point<D>& center, double radius,
+                            std::vector<point<D>>& out) const {
+  if (items_.empty()) return;
+  // Prune segments by the ball's bounding box; the leaf test is exact.
+  aabb<D> bb;
+  point<D> r;
+  for (int d = 0; d < D; ++d) r[d] = radius;
+  bb.extend(center - r);
+  bb.extend(center + r);
+  const double r_sq = radius * radius;
+  range_rec(1, 0, num_leaf_segments_, bb,
+            [&](const point<D>& p) { return p.dist_sq(center) <= r_sq; },
+            out);
 }
 
 template <int D>

@@ -32,6 +32,13 @@ class zd_tree {
   std::vector<std::vector<point<D>>> knn(const std::vector<point<D>>& queries,
                                          std::size_t k) const;
 
+  /// Appends all stored points inside `box` to `out` (unordered).
+  void range_box(const aabb<D>& box, std::vector<point<D>>& out) const;
+
+  /// Appends all stored points within `radius` of `center` to `out`.
+  void range_ball(const point<D>& center, double radius,
+                  std::vector<point<D>>& out) const;
+
   std::vector<point<D>> gather() const;
 
  private:
@@ -49,6 +56,10 @@ class zd_tree {
   void rebuild_boxes();
   void knn_rec(std::size_t node, std::size_t lo, std::size_t hi,
                const point<D>& q, kdtree::knn_buffer& buf) const;
+  template <class Keep>
+  void range_rec(std::size_t node, std::size_t lo, std::size_t hi,
+                 const aabb<D>& query_box, const Keep& keep,
+                 std::vector<point<D>>& out) const;
   item make_item(const point<D>& p) const;
 
   static constexpr std::size_t kLeaf = 16;

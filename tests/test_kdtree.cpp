@@ -38,9 +38,14 @@ void check_structure(const kdtree::tree<D>& t) {
 
 }  // namespace
 
-TEST(Kdtree, ThrowsOnEmptyInput) {
+TEST(Kdtree, EmptyInputBuildsAndQueriesReturnNothing) {
   std::vector<point<2>> empty;
-  EXPECT_THROW(kdtree::tree<2>{empty}, std::invalid_argument);
+  kdtree::tree<2> t(empty);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.knn(point<2>{{1, 2}}, 3).empty());
+  aabb<2> qb(point<2>{{-10, -10}}, point<2>{{10, 10}});
+  EXPECT_TRUE(t.range_box(qb).empty());
+  EXPECT_TRUE(t.range_ball(point<2>{{0, 0}}, 100.0).empty());
 }
 
 TEST(Kdtree, SinglePoint) {

@@ -1,0 +1,347 @@
+// Integration tests for the unified query subsystem: mixed batched
+// insert/erase/knn/range streams on every backend, checked request-by-
+// request against a brute-force multiset oracle; plus phase-grouping,
+// duplicate-point, empty-result, and workload-determinism checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "parallel/random.h"
+#include "query/query_engine.h"
+#include "query/spatial_index.h"
+#include "query/workload.h"
+#include "test_util.h"
+
+using namespace pargeo;
+using query::backend;
+using query::op;
+
+namespace {
+
+// Brute-force multiset reference applying requests one at a time. Erase
+// removes one stored copy per request — identical to every backend as long
+// as erased points are stored at most once (the streams below guarantee
+// that; backends legitimately differ on erasing multiply-stored points).
+template <int D>
+struct oracle {
+  std::vector<point<D>> pts;
+
+  void apply_write(const query::request<D>& r) {
+    if (r.kind == op::insert) {
+      pts.push_back(r.p);
+    } else if (r.kind == op::erase) {
+      auto it = std::find(pts.begin(), pts.end(), r.p);
+      if (it != pts.end()) pts.erase(it);
+    }
+  }
+
+  // Checks one engine response against the current state.
+  void check_read(const query::request<D>& r,
+                  const query::response<D>& resp) const {
+    switch (r.kind) {
+      case op::knn: {
+        auto expect = testutil::brute_knn_dists(pts, r.p, r.k);
+        ASSERT_EQ(resp.points.size(), expect.size());
+        for (std::size_t j = 0; j < expect.size(); ++j) {
+          EXPECT_EQ(resp.points[j].dist_sq(r.p), expect[j]) << "knn row " << j;
+        }
+        break;
+      }
+      case op::range_box: {
+        std::vector<point<D>> expect;
+        for (const auto& p : pts) {
+          if (r.box.contains(p)) expect.push_back(p);
+        }
+        auto got = resp.points;
+        std::sort(got.begin(), got.end());
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(got, expect);
+        break;
+      }
+      case op::range_ball: {
+        std::vector<point<D>> expect;
+        for (const auto& p : pts) {
+          if (p.dist_sq(r.p) <= r.radius * r.radius) expect.push_back(p);
+        }
+        auto got = resp.points;
+        std::sort(got.begin(), got.end());
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(got, expect);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+};
+
+// Deterministic mixed stream. Duplicates only ever enter via repeated
+// inserts of "hot" points in a disjoint coordinate region that is never
+// an erase target, so oracle erase semantics match every backend.
+template <int D>
+std::vector<query::request<D>> make_oracle_stream(std::size_t num_ops,
+                                                  double side,
+                                                  std::vector<point<D>> pool,
+                                                  uint64_t seed) {
+  point<D> hot;
+  for (int d = 0; d < D; ++d) hot[d] = 10 * side + d;
+
+  std::vector<query::request<D>> reqs;
+  reqs.reserve(num_ops);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const double u = par::rand_double(seed, i);
+    auto fresh = [&] {
+      point<D> p;
+      for (int d = 0; d < D; ++d) {
+        p[d] = side * par::rand_double(seed + 5 + d, i);
+      }
+      return p;
+    };
+    if (u < 0.15) {  // insert (1 in 5 a duplicate of the hot point)
+      const auto p = par::rand_range(seed + 1, i, 5) == 0 ? hot : fresh();
+      if (!(p == hot)) pool.push_back(p);
+      reqs.push_back(query::request<D>::make_insert(p));
+    } else if (u < 0.30 && !pool.empty()) {  // erase a (unique) pool point
+      const std::size_t r = par::rand_range(seed + 2, i, pool.size());
+      reqs.push_back(query::request<D>::make_erase(pool[r]));
+    } else if (u < 0.60) {  // knn, k varying, sometimes k > n
+      const std::size_t k = 1 + par::rand_range(seed + 3, i, 12);
+      reqs.push_back(query::request<D>::make_knn(
+          fresh(), par::rand_range(seed + 4, i, 20) == 0 ? 100000 : k));
+    } else if (u < 0.80) {  // box range (1 in 4 far away -> empty result)
+      auto corner = fresh();
+      if (par::rand_range(seed + 8, i, 4) == 0) corner[0] += 100 * side;
+      point<D> ext;
+      for (int d = 0; d < D; ++d) {
+        ext[d] = side * 0.1 * par::rand_double(seed + 9, i);
+      }
+      reqs.push_back(
+          query::request<D>::make_range(aabb<D>(corner, corner + ext)));
+    } else {  // ball range
+      reqs.push_back(query::request<D>::make_ball(
+          fresh(), side * 0.1 * par::rand_double(seed + 10, i)));
+    }
+  }
+  return reqs;
+}
+
+template <int D>
+void run_oracle_stream(backend b, std::size_t initial_n, std::size_t num_ops,
+                       std::size_t engine_batch, uint64_t seed) {
+  const auto initial = datagen::uniform<D>(initial_n, seed);
+  const double side = std::sqrt(static_cast<double>(std::max<std::size_t>(
+      initial_n, 1)));
+  const auto reqs =
+      make_oracle_stream<D>(num_ops, side > 0 ? side : 1.0, initial, seed);
+
+  query::query_engine<D> engine(query::make_index<D>(b));
+  engine.bootstrap(initial);
+  oracle<D> ref;
+  ref.pts = initial;
+
+  for (std::size_t off = 0; off < reqs.size(); off += engine_batch) {
+    const std::size_t end = std::min(reqs.size(), off + engine_batch);
+    std::vector<query::request<D>> batch(reqs.begin() + off,
+                                         reqs.begin() + end);
+    auto result = engine.execute(batch);
+    ASSERT_EQ(result.responses.size(), batch.size());
+    // Replay against the oracle in stream order: reads are checked against
+    // the state at their position, writes advance the state.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (query::is_read(batch[i].kind)) {
+        ref.check_read(batch[i], result.responses[i]);
+      } else {
+        ref.apply_write(batch[i]);
+      }
+    }
+  }
+  EXPECT_EQ(engine.index().size(), ref.pts.size());
+  auto stored = engine.index().gather();
+  auto expect = ref.pts;
+  std::sort(stored.begin(), stored.end());
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(stored, expect);
+}
+
+class QueryEngineOracle : public ::testing::TestWithParam<backend> {};
+
+}  // namespace
+
+TEST_P(QueryEngineOracle, MixedStreamMatchesOracle2D) {
+  run_oracle_stream<2>(GetParam(), 400, 900, 64, 7);
+}
+
+TEST_P(QueryEngineOracle, MixedStreamMatchesOracle3D) {
+  run_oracle_stream<3>(GetParam(), 300, 600, 48, 11);
+}
+
+TEST_P(QueryEngineOracle, StartsEmpty) {
+  run_oracle_stream<2>(GetParam(), 0, 400, 32, 13);
+}
+
+TEST_P(QueryEngineOracle, EmptyIndexQueriesReturnNothing) {
+  query::query_engine<2> engine(query::make_index<2>(GetParam()));
+  std::vector<query::request<2>> batch{
+      query::request<2>::make_knn(point<2>{{1, 2}}, 5),
+      query::request<2>::make_range(
+          aabb<2>(point<2>{{-5, -5}}, point<2>{{5, 5}})),
+      query::request<2>::make_ball(point<2>{{0, 0}}, 50.0),
+      query::request<2>::make_erase(point<2>{{1, 2}}),
+  };
+  auto result = engine.execute(batch);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(result.responses[i].points.empty());
+  EXPECT_EQ(engine.index().size(), 0u);
+}
+
+TEST_P(QueryEngineOracle, DuplicatePointsKnn) {
+  query::query_engine<2> engine(query::make_index<2>(GetParam()));
+  const point<2> dup{{3, 4}};
+  std::vector<query::request<2>> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(query::request<2>::make_insert(dup));
+  }
+  batch.push_back(query::request<2>::make_insert(point<2>{{50, 50}}));
+  batch.push_back(query::request<2>::make_knn(dup, 5));
+  batch.push_back(query::request<2>::make_ball(dup, 0.5));
+  auto result = engine.execute(batch);
+  const auto& knn = result.responses[11].points;
+  ASSERT_EQ(knn.size(), 5u);
+  for (const auto& p : knn) EXPECT_EQ(p.dist_sq(dup), 0.0);
+  EXPECT_EQ(result.responses[12].points.size(), 10u);
+  EXPECT_EQ(engine.index().size(), 11u);
+}
+
+TEST_P(QueryEngineOracle, KnnKZeroReturnsEmptyRows) {
+  auto idx = query::make_index<2>(GetParam());
+  idx->build(datagen::uniform<2>(100, 5));
+  auto rows = idx->batch_knn(datagen::uniform<2>(10, 6), 0);
+  ASSERT_EQ(rows.size(), 10u);
+  for (const auto& r : rows) EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, QueryEngineOracle,
+    ::testing::Values(backend::kdtree, backend::zdtree, backend::bdltree),
+    [](const ::testing::TestParamInfo<backend>& info) {
+      return query::backend_name(info.param);
+    });
+
+TEST(QueryEngine, PhaseGroupingPreservesOrder) {
+  query::query_engine<2> engine(query::make_index<2>(backend::bdltree));
+  const point<2> a{{1, 1}}, b{{2, 2}};
+  std::vector<query::request<2>> batch{
+      query::request<2>::make_insert(a),
+      query::request<2>::make_insert(b),
+      query::request<2>::make_knn(a, 1),
+      query::request<2>::make_erase(a),
+      query::request<2>::make_knn(a, 1),
+      query::request<2>::make_ball(b, 0.1),
+  };
+  auto result = engine.execute(batch);
+  // Phases: [insert x2][read x1][erase x1][read x2].
+  ASSERT_EQ(result.stats.num_phases(), 4u);
+  EXPECT_EQ(result.stats.num_writes, 3u);
+  EXPECT_EQ(result.stats.num_reads, 3u);
+  EXPECT_EQ(result.stats.phases[0].kind, op::insert);
+  EXPECT_EQ(result.stats.phases[0].num_requests, 2u);
+  EXPECT_EQ(result.stats.phases[2].kind, op::erase);
+  // The knn before the erase sees `a`; the one after does not.
+  ASSERT_EQ(result.responses[2].points.size(), 1u);
+  EXPECT_EQ(result.responses[2].points[0], a);
+  ASSERT_EQ(result.responses[4].points.size(), 1u);
+  EXPECT_EQ(result.responses[4].points[0], b);
+  // Responses carry their phase id in execution order.
+  EXPECT_EQ(result.responses[0].phase, 0u);
+  EXPECT_EQ(result.responses[2].phase, 1u);
+  EXPECT_EQ(result.responses[3].phase, 2u);
+  EXPECT_EQ(result.responses[5].phase, 3u);
+}
+
+TEST(QueryEngine, KnnShardsByK) {
+  // One read phase mixing k values still answers each request with its k.
+  query::query_engine<2> engine(query::make_index<2>(backend::kdtree));
+  engine.bootstrap(datagen::uniform<2>(200, 3));
+  std::vector<query::request<2>> batch;
+  const auto q = datagen::uniform<2>(1, 4)[0];
+  for (std::size_t k : {1u, 7u, 3u, 7u, 1u, 0u}) {
+    batch.push_back(query::request<2>::make_knn(q, k));
+  }
+  auto result = engine.execute(batch);
+  ASSERT_EQ(result.stats.num_phases(), 1u);
+  const std::size_t want[] = {1, 7, 3, 7, 1, 0};
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(result.responses[i].points.size(), want[i]) << "request " << i;
+  }
+}
+
+TEST(Workload, DeterministicStreams) {
+  query::workload_spec spec;
+  spec.initial_points = 200;
+  spec.num_ops = 500;
+  spec.dist = query::distribution::zipf;
+  const auto a = query::make_requests<2>(spec);
+  const auto b = query::make_requests<2>(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].p, b[i].p);
+  }
+  spec.seed = 99;
+  const auto c = query::make_requests<2>(spec);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].kind != c[i].kind || !(a[i].p == c[i].p);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, ZipfReusesHotKeys) {
+  query::workload_spec spec;
+  spec.initial_points = 100;
+  spec.num_ops = 2000;
+  spec.dist = query::distribution::zipf;
+  const auto reqs = query::make_requests<2>(spec);
+  // Skewed key reuse must produce repeated payload points.
+  std::map<point<2>, std::size_t> freq;
+  for (const auto& r : reqs) ++freq[r.p];
+  std::size_t max_freq = 0;
+  for (const auto& [p, f] : freq) max_freq = std::max(max_freq, f);
+  EXPECT_GT(max_freq, 5u);
+  // Mix respects the spec's fractions roughly (knn dominates by default).
+  std::size_t knn = 0;
+  for (const auto& r : reqs) knn += r.kind == op::knn ? 1 : 0;
+  EXPECT_GT(knn, reqs.size() / 3);
+}
+
+TEST(Workload, RunWorkloadAcrossBackendsAgrees) {
+  // Same uniform spec on all three backends: identical streams must yield
+  // identical k-NN distances and range hit counts response-by-response.
+  query::workload_spec spec;
+  spec.initial_points = 300;
+  spec.num_ops = 800;
+  spec.batch_size = 128;
+  spec.k = 4;
+  std::vector<std::vector<query::response<2>>> all;
+  for (auto b : {backend::kdtree, backend::zdtree, backend::bdltree}) {
+    query::query_engine<2> engine(query::make_index<2>(b));
+    std::vector<query::response<2>> responses;
+    const auto stats = query::run_workload<2>(engine, spec, &responses);
+    EXPECT_EQ(stats.num_requests, spec.num_ops);
+    // Phase ids are rebased across batches: they index the accumulated
+    // stats.phases and never decrease along the stream.
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_LT(responses[i].phase, stats.num_phases());
+      if (i > 0) ASSERT_GE(responses[i].phase, responses[i - 1].phase);
+    }
+    all.push_back(std::move(responses));
+  }
+  for (std::size_t i = 0; i < all[0].size(); ++i) {
+    for (std::size_t b = 1; b < all.size(); ++b) {
+      ASSERT_EQ(all[0][i].points.size(), all[b][i].points.size())
+          << "response " << i << " backend " << b;
+    }
+  }
+}
