@@ -1,17 +1,21 @@
-// Benchmark: query-engine throughput vs read/write ratio and backend
-// (paper Fig. 12/14 style, applied to the unified front end).
+// Benchmark: query-service throughput vs read/write ratio, backend, and
+// shard count (paper Fig. 12/14 style, applied to the unified front end).
 //
-// Part 1 sweeps the read fraction {0.50, 0.90, 0.99} for each backend on
-// the same uniform stream: the static kd-tree pays a full rebuild per write
-// phase, the Zd-tree a sorted merge, the BDL-tree a logarithmic cascade —
-// the spread between rows is the paper's headline trade-off. Part 2 sweeps
-// threads at the 90%-read point to show batch-internal scaling.
+// Part 1 sweeps read fraction {0.50, 0.90, 0.99} x backend x shard count
+// {1, 4} on the same uniform stream: the static kd-tree amortizes rebuilds
+// via its threshold policy, the Zd-tree pays a sorted merge, the BDL-tree a
+// logarithmic cascade — the spread between rows is the paper's headline
+// trade-off, and the shard column shows what scatter/gather adds on top.
+// Part 2 sweeps threads at the 90%-read point for batch-internal scaling.
+//
+// `--json` emits one JSON object per row instead of the aligned table, so
+// EXPERIMENTS.md can be regenerated mechanically.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "bench_common.h"
-#include "query/query_engine.h"
-#include "query/spatial_index.h"
+#include "query/query_service.h"
 #include "query/workload.h"
 
 using namespace pargeo;
@@ -27,38 +31,71 @@ query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
   return spec;
 }
 
-double run_ops_per_sec(query::backend b, const query::workload_spec& spec) {
-  query::query_engine<kDim> engine(query::make_index<kDim>(b));
-  const auto stats = query::run_workload<kDim>(engine, spec);
+double run_ops_per_sec(query::backend b, std::size_t shards,
+                       query::shard_policy policy,
+                       const query::workload_spec& spec) {
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  cfg.policy = policy;
+  query::query_service<kDim> service(cfg);
+  const auto stats = query::run_workload<kDim>(service, spec);
   return stats.ops_per_sec();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   const std::size_t initial_n = bench::base_n();
   const std::size_t num_ops = bench::base_n();
+  const auto policy = query::shard_policy::hash;
 
-  bench::print_header(
-      "query engine: throughput vs read fraction (uniform, dim=2)",
-      "backend            read%                  ops/s");
+  if (!json) {
+    bench::print_header(
+        "query service: throughput vs read fraction (uniform, dim=2)",
+        "backend            read%  shards              ops/s");
+  }
   for (const double rf : {0.50, 0.90, 0.99}) {
     const auto spec = make_spec(initial_n, num_ops, rf);
     for (auto b : {query::backend::kdtree, query::backend::zdtree,
                    query::backend::bdltree}) {
-      const double ops = run_ops_per_sec(b, spec);
-      std::printf("%-18s %5.0f%% %22.0f\n", query::backend_name(b), rf * 100,
-                  ops);
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        const double ops = run_ops_per_sec(b, shards, policy, spec);
+        if (json) {
+          std::printf(
+              "{\"section\":\"read_sweep\",\"backend\":\"%s\","
+              "\"read_frac\":%.2f,\"shards\":%zu,\"policy\":\"%s\","
+              "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f}\n",
+              query::backend_name(b), rf, shards,
+              query::shard_policy_name(policy), initial_n, num_ops, ops);
+        } else {
+          std::printf("%-18s %5.0f%% %7zu %18.0f\n", query::backend_name(b),
+                      rf * 100, shards, ops);
+        }
+      }
     }
   }
 
-  bench::print_header("query engine: thread scaling (90% reads, bdltree)",
-                      "impl           threads              ops/s");
+  if (!json) {
+    bench::print_header(
+        "query service: thread scaling (90% reads, bdltree, 4 shards)",
+        "impl           threads              ops/s");
+  }
   const auto spec = make_spec(initial_n, num_ops, 0.90);
   for (const int t : bench::thread_sweep()) {
     bench::scoped_threads guard(t);
-    bench::print_throughput_row(
-        "bdltree", t, run_ops_per_sec(query::backend::bdltree, spec));
+    const double ops =
+        run_ops_per_sec(query::backend::bdltree, 4, policy, spec);
+    if (json) {
+      std::printf(
+          "{\"section\":\"thread_sweep\",\"backend\":\"bdltree\","
+          "\"shards\":4,\"threads\":%d,\"initial_n\":%zu,\"num_ops\":%zu,"
+          "\"ops_per_sec\":%.0f}\n",
+          t, initial_n, num_ops, ops);
+    } else {
+      bench::print_throughput_row("bdltree", t, ops);
+    }
   }
   return 0;
 }

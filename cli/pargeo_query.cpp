@@ -1,21 +1,22 @@
-// CLI: run a synthetic mixed read/write workload through the query engine.
+// CLI: run a synthetic mixed read/write workload through the query service.
 //
 //   pargeo_query <backend> <dim 2|3> <initial_n> <num_ops>
 //                [read_frac=0.9] [dist uniform|clustered|zipf]
-//                [batch_size=2048] [seed=1]
+//                [batch_size=2048] [seed=1] [shards=1] [policy hash|spatial]
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
-// stream and print one row each). Reads split 70% k-NN / 15% box range /
-// 15% ball range; writes split evenly between inserts and erases. Prints
-// throughput plus batch-latency percentiles (a request's latency is its
-// phase's wall-clock; phases complete together).
+// stream and print one row each). The service shards the logical index
+// across `shards` engines by `policy`; reads scatter/gather-merge, writes
+// route to owning shards. Reads split 70% k-NN / 15% box range / 15% ball
+// range; writes split evenly between inserts and erases. Prints throughput
+// plus batch-latency percentiles (a request's latency is its phase's
+// wall-clock; phases complete together).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "query/query_engine.h"
-#include "query/spatial_index.h"
+#include "query/query_service.h"
 #include "query/workload.h"
 
 using namespace pargeo;
@@ -33,12 +34,18 @@ query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
 }
 
 template <int D>
-int run_backend(query::backend b, const query::workload_spec& spec) {
-  query::query_engine<D> engine(query::make_index<D>(b));
+int run_backend(query::backend b, const query::workload_spec& spec,
+                std::size_t shards, query::shard_policy policy) {
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  cfg.policy = policy;
+  query::query_service<D> service(cfg);
   std::vector<query::response<D>> responses;
-  const auto stats = query::run_workload<D>(engine, spec, &responses);
+  const auto stats = query::run_workload<D>(service, spec, &responses);
 
-  // Result checksum: total hits returned, comparable across backends.
+  // Result checksum: total hits returned, comparable across backends and
+  // shard counts (sharded == unsharded on the same stream).
   std::size_t hits = 0;
   for (const auto& r : responses) hits += r.points.size();
 
@@ -52,12 +59,13 @@ int run_backend(query::backend b, const query::workload_spec& spec) {
       query::backend_name(b), stats.num_requests, stats.num_reads,
       stats.num_writes, stats.num_phases(), stats.ops_per_sec(),
       query::percentile(phase_ms, 50), query::percentile(phase_ms, 90),
-      query::percentile(phase_ms, 99), hits, engine.index().size());
+      query::percentile(phase_ms, 99), hits, service.size());
   return 0;
 }
 
 template <int D>
-int run(const std::string& backend_arg, const query::workload_spec& spec) {
+int run(const std::string& backend_arg, const query::workload_spec& spec,
+        std::size_t shards, query::shard_policy policy) {
   std::vector<query::backend> backends;
   if (backend_arg == "all") {
     backends = {query::backend::kdtree, query::backend::zdtree,
@@ -71,11 +79,13 @@ int run(const std::string& backend_arg, const query::workload_spec& spec) {
     }
   }
   std::printf(
-      "workload: dim=%d initial=%zu ops=%zu dist=%s batch=%zu seed=%llu\n",
+      "workload: dim=%d initial=%zu ops=%zu dist=%s batch=%zu seed=%llu "
+      "shards=%zu policy=%s\n",
       D, spec.initial_points, spec.num_ops,
       query::distribution_name(spec.dist), spec.batch_size,
-      static_cast<unsigned long long>(spec.seed));
-  for (auto b : backends) run_backend<D>(b, spec);
+      static_cast<unsigned long long>(spec.seed), shards,
+      query::shard_policy_name(policy));
+  for (auto b : backends) run_backend<D>(b, spec, shards, policy);
   return 0;
 }
 
@@ -87,7 +97,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <backend kdtree|zdtree|bdltree|all> <dim 2|3> "
         "<initial_n> <num_ops> [read_frac=0.9] "
-        "[dist uniform|clustered|zipf] [batch_size=2048] [seed=1]\n",
+        "[dist uniform|clustered|zipf] [batch_size=2048] [seed=1] "
+        "[shards=1] [policy hash|spatial]\n",
         argv[0]);
     return 2;
   }
@@ -111,12 +122,27 @@ int main(int argc, char** argv) {
   }
   const std::size_t batch_size = argc > 7 ? std::atoll(argv[7]) : 2048;
   const uint64_t seed = argc > 8 ? std::atoll(argv[8]) : 1;
+  const long long shards_arg = argc > 9 ? std::atoll(argv[9]) : 1;
+  if (shards_arg < 1) {
+    std::fprintf(stderr, "shards must be >= 1\n");
+    return 2;
+  }
+  const std::size_t shards = static_cast<std::size_t>(shards_arg);
+  query::shard_policy policy = query::shard_policy::hash;
+  if (argc > 10) {
+    try {
+      policy = query::shard_policy_from_string(argv[10]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
 
   const auto spec =
       make_spec(initial_n, num_ops, read_frac, dist, batch_size, seed);
   switch (dim) {
-    case 2: return run<2>(backend_arg, spec);
-    case 3: return run<3>(backend_arg, spec);
+    case 2: return run<2>(backend_arg, spec, shards, policy);
+    case 3: return run<3>(backend_arg, spec, shards, policy);
     default:
       std::fprintf(stderr, "unsupported dim %d (want 2 or 3)\n", dim);
       return 2;

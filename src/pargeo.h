@@ -26,6 +26,7 @@
 #include "mortonsort/mortonsort.h"    // IWYU pragma: export
 #include "parallel/parallel.h"        // IWYU pragma: export
 #include "query/query_engine.h"       // IWYU pragma: export
+#include "query/query_service.h"      // IWYU pragma: export
 #include "query/spatial_index.h"      // IWYU pragma: export
 #include "query/workload.h"           // IWYU pragma: export
 #include "seb/seb.h"                  // IWYU pragma: export

@@ -10,6 +10,9 @@ namespace pargeo::query {
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
+  // Out-of-range p clamps to the min/max element; NaN means the caller has
+  // no preference, so answer with the median rather than poisoning the cast.
+  if (std::isnan(p)) p = 50.0;
   const double clamped = std::min(100.0, std::max(0.0, p));
   const std::size_t rank = static_cast<std::size_t>(
       std::ceil(clamped / 100.0 * static_cast<double>(v.size())));

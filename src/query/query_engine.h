@@ -133,6 +133,49 @@ struct batch_result {
   engine_stats stats;
 };
 
+/// Shared phase discipline for batch executors (query_engine per shard,
+/// query_service across shards): cuts `batch` into maximal same-class runs
+/// (reads mix freely), invokes `on_phase(begin, end, read_phase)` for each,
+/// and stamps responses' kind/phase ids plus all timing stats. A request's
+/// reported latency is its phase's duration (phases complete together).
+template <int D, class PhaseFn>
+void execute_phases(const std::vector<request<D>>& batch,
+                    std::vector<response<D>>& responses, engine_stats& stats,
+                    PhaseFn&& on_phase) {
+  responses.resize(batch.size());
+  stats.num_requests = batch.size();
+
+  timer total;
+  std::size_t begin = 0;
+  while (begin < batch.size()) {
+    std::size_t end = begin + 1;
+    const bool read_phase = is_read(batch[begin].kind);
+    while (end < batch.size() &&
+           (read_phase ? is_read(batch[end].kind)
+                       : batch[end].kind == batch[begin].kind)) {
+      ++end;
+    }
+
+    timer phase_clock;
+    on_phase(begin, end, read_phase);
+    const double secs = phase_clock.elapsed();
+    if (read_phase) {
+      stats.num_reads += end - begin;
+    } else {
+      stats.num_writes += end - begin;
+    }
+
+    const std::size_t phase_id = stats.phases.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      responses[i].kind = batch[i].kind;
+      responses[i].phase = phase_id;
+    }
+    stats.phases.push_back({batch[begin].kind, end - begin, secs});
+    begin = end;
+  }
+  stats.seconds = total.elapsed();
+}
+
 /// Executes request batches against one backend. Not thread-safe: callers
 /// submit batches from one thread and the engine parallelizes internally
 /// (the paper's model — parallelism lives inside the batch).
@@ -151,40 +194,15 @@ class query_engine {
   /// Executes `batch` and returns per-request responses plus timing stats.
   batch_result<D> execute(const std::vector<request<D>>& batch) {
     batch_result<D> result;
-    result.responses.resize(batch.size());
-    result.stats.num_requests = batch.size();
-
-    timer total;
-    std::size_t begin = 0;
-    while (begin < batch.size()) {
-      // Phase group: maximal run of same-class requests (reads mix freely).
-      std::size_t end = begin + 1;
-      const bool read_phase = is_read(batch[begin].kind);
-      while (end < batch.size() &&
-             (read_phase ? is_read(batch[end].kind)
-                         : batch[end].kind == batch[begin].kind)) {
-        ++end;
-      }
-
-      timer phase_clock;
-      if (read_phase) {
-        execute_read_phase(batch, begin, end, result.responses);
-        result.stats.num_reads += end - begin;
-      } else {
-        execute_write_phase(batch, begin, end, result.responses);
-        result.stats.num_writes += end - begin;
-      }
-      const double secs = phase_clock.elapsed();
-
-      const std::size_t phase_id = result.stats.phases.size();
-      for (std::size_t i = begin; i < end; ++i) {
-        result.responses[i].kind = batch[i].kind;
-        result.responses[i].phase = phase_id;
-      }
-      result.stats.phases.push_back({batch[begin].kind, end - begin, secs});
-      begin = end;
-    }
-    result.stats.seconds = total.elapsed();
+    execute_phases<D>(batch, result.responses, result.stats,
+                      [&](std::size_t begin, std::size_t end, bool read) {
+                        if (read) {
+                          execute_read_phase(batch, begin, end,
+                                             result.responses);
+                        } else {
+                          execute_write_phase(batch, begin, end);
+                        }
+                      });
     return result;
   }
 
@@ -192,8 +210,7 @@ class query_engine {
   // A write phase is one batched update: all payload points of the run go
   // through the backend's batch entry point at once.
   void execute_write_phase(const std::vector<request<D>>& batch,
-                           std::size_t begin, std::size_t end,
-                           std::vector<response<D>>&) {
+                           std::size_t begin, std::size_t end) {
     std::vector<point<D>> pts;
     pts.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) pts.push_back(batch[i].p);

@@ -1,0 +1,10 @@
+#include "query/query_service.h"
+
+namespace pargeo::query {
+
+// Definitions for the `extern template` declarations in query_service.h:
+// the service instantiates here once instead of in every consumer.
+template class query_service<2>;
+template class query_service<3>;
+
+}  // namespace pargeo::query

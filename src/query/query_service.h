@@ -1,0 +1,464 @@
+// Sharded, multi-producer front door for the query subsystem (the public
+// serving API; query_engine is the internal per-shard executor).
+//
+// A `query_service<D>` owns N `query_engine<D>` shards behind one logical
+// index, built from a `service_config` (backend, shard count, shard policy,
+// ingest-batch window):
+//
+//   *Sharding*. Every stored point is owned by exactly one shard —
+//   `shard_policy::hash` routes by a hash of the coordinates,
+//   `shard_policy::spatial` by quantile stripes along the widest dimension
+//   of the first point set seen (bootstrap, or the first write phase).
+//   Writes are routed to their owning shard and applied there as batched
+//   updates. Reads scatter data-parallel across shards and gather-merge:
+//   k-NN rows are re-merged by distance and truncated to k, range rows are
+//   concatenated. Under the spatial policy, box and ball ranges prune
+//   shards whose stripe cannot intersect the query.
+//
+//   *Multi-producer ingest*. `submit(batch)` enqueues under a mutex and
+//   returns a `ticket`; batches from any number of threads accumulate in
+//   the ingest queue. `wait(ticket)` blocks until the ticket's responses
+//   are ready, cooperatively draining the queue: one waiter at a time
+//   becomes the drainer, groups pending batches FIFO up to the configured
+//   `ingest_window` of requests, executes the combined stream through the
+//   sharded path (so the engine-level write batching spans ticket
+//   boundaries), and fulfils every ticket in the group. Tickets complete
+//   in global submission order; each caller's responses come back in its
+//   own submission order, with per-ticket latency recorded from submit to
+//   completion.
+//
+// `execute(batch)` is the single-caller convenience: submit + wait.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/timer.h"
+#include "query/query_engine.h"
+#include "query/spatial_index.h"
+
+namespace pargeo::query {
+
+enum class shard_policy { spatial, hash };
+
+inline const char* shard_policy_name(shard_policy p) {
+  switch (p) {
+    case shard_policy::spatial: return "spatial";
+    case shard_policy::hash: return "hash";
+  }
+  return "?";
+}
+
+inline shard_policy shard_policy_from_string(const std::string& s) {
+  if (s == "spatial") return shard_policy::spatial;
+  if (s == "hash") return shard_policy::hash;
+  throw std::invalid_argument("unknown shard policy '" + s +
+                              "' (want spatial|hash)");
+}
+
+struct service_config {
+  query::backend backend = query::backend::bdltree;
+  std::size_t shards = 1;
+  shard_policy policy = shard_policy::hash;
+  /// Max requests grouped into one drain (a single over-sized batch still
+  /// drains alone).
+  std::size_t ingest_window = std::size_t{1} << 16;
+  index_options index;  // forwarded to every shard's backend
+};
+
+/// Handle for a submitted batch; redeem exactly once with wait().
+struct ticket {
+  std::uint64_t id = 0;
+};
+
+/// Completed batch as seen by one submitter. `stats` describes the whole
+/// drain group the ticket executed in (tickets grouped into one drain share
+/// phases, and `response::phase` indexes `stats.phases`).
+template <int D>
+struct ticket_result {
+  std::vector<response<D>> responses;  // responses[i] answers batch[i]
+  engine_stats stats;
+  double latency_seconds = 0;  // submit() -> responses ready
+};
+
+struct service_stats {
+  std::size_t num_tickets = 0;
+  std::size_t num_drains = 0;
+  std::size_t num_requests = 0;
+  double execute_seconds = 0;  // total wall-clock spent executing drains
+};
+
+template <int D>
+class query_service {
+ public:
+  explicit query_service(service_config cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.shards == 0) {
+      throw std::invalid_argument("service_config.shards must be >= 1");
+    }
+    if (cfg_.ingest_window == 0) {
+      throw std::invalid_argument("service_config.ingest_window must be >= 1");
+    }
+    engines_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      engines_.push_back(std::make_unique<query_engine<D>>(
+          make_index<D>(cfg_.backend, cfg_.index)));
+    }
+  }
+
+  const service_config& config() const { return cfg_; }
+  std::size_t num_shards() const { return cfg_.shards; }
+
+  /// Per-shard executor, for tests and diagnostics. Quiescent callers only.
+  const query_engine<D>& shard(std::size_t s) const { return *engines_[s]; }
+
+  /// Loads the initial point set, partitioned across shards (replacing any
+  /// current contents). Not thread-safe; call before serving traffic.
+  void bootstrap(const std::vector<point<D>>& pts) {
+    bounds_set_ = false;
+    if (cfg_.policy == shard_policy::spatial) set_spatial_bounds(pts);
+    auto parts = partition_points(pts);
+    par::parallel_for(
+        0, cfg_.shards,
+        [&](std::size_t s) { engines_[s]->bootstrap(parts[s]); }, 1);
+  }
+
+  /// Multi-producer entry point: enqueues `batch` and returns immediately.
+  /// Safe to call from any number of threads.
+  ticket submit(std::vector<request<D>> batch) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t id = next_ticket_++;
+    pending_.push_back(pending_entry{id, std::move(batch), timer{}});
+    ++stats_.num_tickets;
+    return ticket{id};
+  }
+
+  /// Blocks until ticket `t`'s batch has executed and returns its responses
+  /// in submission order. The calling thread may be drafted to drain the
+  /// ingest queue. Each ticket must be waited on exactly once.
+  ticket_result<D> wait(ticket t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (t.id == 0 || t.id >= next_ticket_) {
+      throw std::invalid_argument("wait() on a ticket never submitted");
+    }
+    for (;;) {
+      auto it = done_.find(t.id);
+      if (it != done_.end()) {
+        done_entry de = std::move(it->second);
+        done_.erase(it);
+        if (de.error) std::rethrow_exception(de.error);
+        return std::move(de.result);
+      }
+      // Drains are FIFO over monotonically assigned ids, so any id at or
+      // below the completion watermark that is not in done_ was redeemed.
+      if (t.id <= completed_upto_) {
+        throw std::invalid_argument("wait() on a ticket already redeemed");
+      }
+      if (!draining_ && !pending_.empty()) {
+        drain(lk);
+        continue;
+      }
+      cv_.wait(lk);
+    }
+  }
+
+  /// Single-caller convenience: submit + wait.
+  batch_result<D> execute(std::vector<request<D>> batch) {
+    auto r = wait(submit(std::move(batch)));
+    return batch_result<D>{std::move(r.responses), std::move(r.stats)};
+  }
+
+  /// Ingest/drain counters. Safe to call concurrently with submitters.
+  service_stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+  /// Total points across shards. Quiescent callers only.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& e : engines_) n += e->index().size();
+    return n;
+  }
+
+  /// All stored points across shards (unordered). Quiescent callers only.
+  std::vector<point<D>> gather() const {
+    std::vector<point<D>> out;
+    for (const auto& e : engines_) {
+      auto part = e->index().gather();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
+ private:
+  struct pending_entry {
+    std::uint64_t id;
+    std::vector<request<D>> batch;
+    timer clock;  // started at submit; read when the ticket completes
+  };
+
+  struct done_entry {
+    ticket_result<D> result;
+    std::exception_ptr error;  // set if the ticket's drain group threw
+  };
+
+  // ---- ingest queue -------------------------------------------------------
+
+  // Takes a FIFO group of pending batches (bounded by ingest_window
+  // requests), executes it unlocked, then fulfils every ticket in the
+  // group. If execution throws, the group's tickets complete with the
+  // captured exception (rethrown by their wait()) instead of leaving
+  // draining_ stuck and every waiter parked forever. Called with `lk`
+  // held; returns with it held.
+  void drain(std::unique_lock<std::mutex>& lk) {
+    draining_ = true;
+    std::vector<pending_entry> group;
+    std::size_t total = 0;
+    while (!pending_.empty() &&
+           (group.empty() ||
+            total + pending_.front().batch.size() <= cfg_.ingest_window)) {
+      total += pending_.front().batch.size();
+      group.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lk.unlock();
+
+    batch_result<D> result;
+    std::exception_ptr error;
+    try {
+      std::vector<request<D>> combined;
+      combined.reserve(total);
+      for (const auto& e : group) {
+        combined.insert(combined.end(), e.batch.begin(), e.batch.end());
+      }
+      result = run_group(combined);
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lk.lock();
+    std::size_t off = 0;
+    for (auto& e : group) {
+      done_entry de;
+      de.error = error;
+      if (!error) {
+        de.result.responses.assign(
+            std::make_move_iterator(result.responses.begin() + off),
+            std::make_move_iterator(result.responses.begin() + off +
+                                    e.batch.size()));
+        de.result.stats = result.stats;
+      }
+      de.result.latency_seconds = e.clock.elapsed();
+      off += e.batch.size();
+      done_.emplace(e.id, std::move(de));
+    }
+    completed_upto_ = group.back().id;
+    ++stats_.num_drains;
+    stats_.num_requests += total;
+    stats_.execute_seconds += result.stats.seconds;
+    draining_ = false;
+    cv_.notify_all();
+  }
+
+  // ---- sharded execution --------------------------------------------------
+
+  // Executes one combined stream with the engine's phase discipline
+  // (execute_phases): writes routed to owning shards, reads scattered and
+  // merged. Only ever called by the active drainer.
+  batch_result<D> run_group(const std::vector<request<D>>& batch) {
+    // One shard: the engine IS the logical index — skip the scatter/gather
+    // bookkeeping and the redundant k-NN re-sort entirely.
+    if (cfg_.shards == 1) return engines_[0]->execute(batch);
+    batch_result<D> result;
+    execute_phases<D>(batch, result.responses, result.stats,
+                      [&](std::size_t begin, std::size_t end, bool read) {
+                        if (read) {
+                          run_read_phase(batch, begin, end, result.responses);
+                        } else {
+                          run_write_phase(batch, begin, end);
+                        }
+                      });
+    return result;
+  }
+
+  void run_write_phase(const std::vector<request<D>>& batch, std::size_t begin,
+                       std::size_t end) {
+    if (cfg_.policy == shard_policy::spatial && !bounds_set_) {
+      // No bootstrap data carved the space yet: derive the stripes from
+      // this first write phase. Bounds are fixed from then on, so routing
+      // and read pruning stay mutually consistent.
+      std::vector<point<D>> pts;
+      pts.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) pts.push_back(batch[i].p);
+      set_spatial_bounds(pts);
+    }
+    std::vector<std::vector<request<D>>> sub(cfg_.shards);
+    for (std::size_t i = begin; i < end; ++i) {
+      sub[owner_of(batch[i].p)].push_back(batch[i]);
+    }
+    par::parallel_for(
+        0, cfg_.shards,
+        [&](std::size_t s) {
+          if (!sub[s].empty()) engines_[s]->execute(sub[s]);
+        },
+        1);
+  }
+
+  void run_read_phase(const std::vector<request<D>>& batch, std::size_t begin,
+                      std::size_t end, std::vector<response<D>>& responses) {
+    std::vector<std::vector<request<D>>> sub(cfg_.shards);
+    std::vector<std::vector<std::size_t>> sub_idx(cfg_.shards);
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (!shard_serves(s, batch[i])) continue;
+        sub[s].push_back(batch[i]);
+        sub_idx[s].push_back(i);
+      }
+    }
+
+    std::vector<batch_result<D>> shard_res(cfg_.shards);
+    par::parallel_for(
+        0, cfg_.shards,
+        [&](std::size_t s) {
+          if (!sub[s].empty()) shard_res[s] = engines_[s]->execute(sub[s]);
+        },
+        1);
+
+    // Gather-merge: range rows concatenate; k-NN rows collect candidates
+    // from every shard, then re-sort by distance and truncate to k.
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      for (std::size_t j = 0; j < sub_idx[s].size(); ++j) {
+        auto& dst = responses[sub_idx[s][j]].points;
+        auto& src = shard_res[s].responses[j].points;
+        if (dst.empty()) {
+          dst = std::move(src);
+        } else {
+          dst.insert(dst.end(), src.begin(), src.end());
+        }
+      }
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      if (batch[i].kind != op::knn) continue;
+      auto& row = responses[i].points;
+      const point<D>& q = batch[i].p;
+      std::stable_sort(row.begin(), row.end(),
+                       [&](const point<D>& a, const point<D>& b) {
+                         return a.dist_sq(q) < b.dist_sq(q);
+                       });
+      if (row.size() > batch[i].k) row.resize(batch[i].k);
+    }
+  }
+
+  // ---- routing ------------------------------------------------------------
+
+  // Quantile stripes along the widest dimension of `pts`: bounds_[s-1] is
+  // the left edge of shard s, so shard s owns [bounds_[s-1], bounds_[s]).
+  void set_spatial_bounds(const std::vector<point<D>>& pts) {
+    if (pts.empty() || cfg_.shards == 1) return;
+    aabb<D> box;
+    for (const auto& p : pts) box.extend(p);
+    split_dim_ = box.widest_dim();
+    std::vector<double> coords(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      coords[i] = pts[i][split_dim_];
+    }
+    std::sort(coords.begin(), coords.end());
+    bounds_.assign(cfg_.shards - 1, 0);
+    for (std::size_t s = 0; s + 1 < cfg_.shards; ++s) {
+      bounds_[s] = coords[(s + 1) * coords.size() / cfg_.shards];
+    }
+    bounds_set_ = true;
+  }
+
+  std::size_t owner_of(const point<D>& p) const {
+    if (cfg_.shards == 1) return 0;
+    if (cfg_.policy == shard_policy::spatial) {
+      if (!bounds_set_) return 0;
+      return static_cast<std::size_t>(
+          std::upper_bound(bounds_.begin(), bounds_.end(), p[split_dim_]) -
+          bounds_.begin());
+    }
+    return hash_point(p) % cfg_.shards;
+  }
+
+  // True if shard s can hold points relevant to read request `r`. Hash
+  // placement scatters reads everywhere; spatial stripes prune ranges whose
+  // interval along split_dim_ misses the stripe.
+  bool shard_serves(std::size_t s, const request<D>& r) const {
+    if (cfg_.shards == 1) return s == 0;
+    if (r.kind == op::knn) return true;
+    if (cfg_.policy != shard_policy::spatial || !bounds_set_) return true;
+    double lo, hi;
+    if (r.kind == op::range_box) {
+      lo = r.box.lo[split_dim_];
+      hi = r.box.hi[split_dim_];
+    } else {
+      // Backends compare dist_sq <= radius^2, so a negative radius behaves
+      // like its magnitude — prune with |radius| or the interval inverts.
+      const double radius = std::abs(r.radius);
+      lo = r.p[split_dim_] - radius;
+      hi = r.p[split_dim_] + radius;
+    }
+    const bool left_ok = s == 0 || bounds_[s - 1] <= hi;
+    const bool right_ok = s + 1 == cfg_.shards || bounds_[s] > lo;
+    return left_ok && right_ok;
+  }
+
+  static std::size_t hash_point(const point<D>& p) {
+    // FNV-1a over the coordinate bit patterns: equal points (the routing
+    // key) always hash alike.
+    std::uint64_t h = 1469598103934665603ull;
+    for (int d = 0; d < D; ++d) {
+      // -0.0 == 0.0 as a point coordinate, so they must share a bit
+      // pattern here or equal points could land on different shards.
+      const double coord = p[d] == 0.0 ? 0.0 : p[d];
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double));
+      std::memcpy(&bits, &coord, sizeof(bits));
+      h = (h ^ bits) * 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  std::vector<std::vector<point<D>>> partition_points(
+      const std::vector<point<D>>& pts) const {
+    std::vector<std::vector<point<D>>> parts(cfg_.shards);
+    for (const auto& p : pts) parts[owner_of(p)].push_back(p);
+    return parts;
+  }
+
+  service_config cfg_;
+  std::vector<std::unique_ptr<query_engine<D>>> engines_;
+
+  // Spatial stripes; fixed once set (no rebalancing), so write routing and
+  // read pruning agree forever. Only touched by bootstrap or the drainer.
+  int split_dim_ = 0;
+  std::vector<double> bounds_;
+  bool bounds_set_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<pending_entry> pending_;
+  std::map<std::uint64_t, done_entry> done_;
+  bool draining_ = false;  // at most one waiter executes at a time
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t completed_upto_ = 0;  // highest fulfilled ticket id
+  service_stats stats_;
+};
+
+// The common dimensions are instantiated once in query_service.cpp.
+extern template class query_service<2>;
+extern template class query_service<3>;
+
+}  // namespace pargeo::query

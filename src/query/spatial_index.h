@@ -14,12 +14,15 @@
 // multiple times — see bdl_tree's class comment); k-NN rows are sorted by
 // distance and have min(k, size()) entries; range results are unordered.
 //
-// The kd-tree backend serves updates by rebuilding from scratch — it is the
-// static baseline the paper compares batch-dynamic structures against, and
-// keeping it behind the same interface lets the benchmarks quantify exactly
-// that trade-off.
+// The kd-tree backend is the static baseline the paper compares
+// batch-dynamic structures against: updates are served by rebuilding. A
+// rebuild-threshold policy softens the pathology — writes are buffered in a
+// side multiset and the tree is only rebuilt once the pending volume
+// exceeds a configurable fraction of the indexed set; queries merge the
+// tree's answer with the buffer so results stay exact between rebuilds.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -89,50 +92,77 @@ class spatial_index {
   virtual std::vector<point<D>> gather() const = 0;
 };
 
-/// Static kd-tree backend: queries hit kdtree::tree directly; every update
-/// rebuilds the tree over the new point set (the paper's static baseline).
+/// Static kd-tree backend with a rebuild-threshold policy: writes accumulate
+/// in a pending buffer (insert counts plus erase counts against the indexed
+/// base) and the tree is only rebuilt when the pending volume exceeds
+/// `rebuild_threshold` times the base size (threshold <= 0: rebuild on every
+/// write batch, the paper's pure static baseline). Queries merge the tree's
+/// answer over the base set with the buffer, so results are exact at every
+/// point in time.
 template <int D>
 class kdtree_index final : public spatial_index<D> {
  public:
+  static constexpr double kDefaultRebuildThreshold = 0.25;
+  /// Absolute cap on buffered writes (queries merge the buffer, so their
+  /// cost grows with it); rebuilds trigger past this regardless of the
+  /// fractional threshold.
+  static constexpr std::size_t kMaxPending = 8192;
+
   explicit kdtree_index(
       kdtree::split_policy policy = kdtree::split_policy::object_median,
-      std::size_t leaf_size = kdtree::tree<D>::kDefaultLeafSize)
-      : policy_(policy), leaf_size_(leaf_size) {
+      std::size_t leaf_size = kdtree::tree<D>::kDefaultLeafSize,
+      double rebuild_threshold = kDefaultRebuildThreshold)
+      : policy_(policy), leaf_size_(leaf_size),
+        rebuild_threshold_(rebuild_threshold) {
     rebuild();
   }
 
   backend kind() const override { return backend::kdtree; }
-  std::size_t size() const override { return pts_.size(); }
+  std::size_t size() const override {
+    return base_.size() + num_add_ - num_del_;
+  }
+
+  /// Observability for the rebuild policy: trees built so far and writes
+  /// currently buffered.
+  std::size_t rebuild_count() const { return rebuilds_; }
+  std::size_t pending_writes() const { return num_add_ + num_del_; }
 
   void build(const std::vector<point<D>>& pts) override {
-    pts_ = pts;
+    base_ = pts;
+    clear_pending();
     rebuild();
   }
 
   void batch_insert(const std::vector<point<D>>& pts) override {
     if (pts.empty()) return;
-    pts_.insert(pts_.end(), pts.begin(), pts.end());
-    rebuild();
+    for (const auto& p : pts) {
+      ++add_[p];
+      ++num_add_;
+    }
+    maybe_rebuild();
   }
 
   void batch_erase(const std::vector<point<D>>& pts) override {
-    if (pts.empty() || pts_.empty()) return;
-    // Multiset removal: each batch entry consumes at most one stored copy.
-    std::map<point<D>, std::size_t> pending;
-    for (const auto& p : pts) ++pending[p];
-    std::vector<point<D>> kept;
-    kept.reserve(pts_.size());
-    for (const auto& p : pts_) {
-      auto it = pending.find(p);
-      if (it != pending.end() && it->second > 0) {
-        --it->second;
+    if (pts.empty() || size() == 0) return;
+    // Multiset removal: each batch entry consumes at most one stored copy —
+    // a buffered insert if one exists, else a live base copy.
+    for (const auto& p : pts) {
+      auto ait = add_.find(p);
+      if (ait != add_.end() && ait->second > 0) {
+        if (--ait->second == 0) add_.erase(ait);
+        --num_add_;
         continue;
       }
-      kept.push_back(p);
+      auto bit = base_count_.find(p);
+      const std::size_t in_base = bit == base_count_.end() ? 0 : bit->second;
+      auto dit = del_.find(p);
+      const std::size_t already = dit == del_.end() ? 0 : dit->second;
+      if (in_base > already) {
+        ++del_[p];
+        ++num_del_;
+      }
     }
-    if (kept.size() == pts_.size()) return;  // nothing matched
-    pts_ = std::move(kept);
-    rebuild();
+    maybe_rebuild();
   }
 
   std::vector<std::vector<point<D>>> batch_knn(
@@ -140,12 +170,7 @@ class kdtree_index final : public spatial_index<D> {
     std::vector<std::vector<point<D>>> out(queries.size());
     par::parallel_for(
         0, queries.size(),
-        [&](std::size_t i) {
-          auto entries = tree_->knn(queries[i], k);
-          out[i].reserve(entries.size());
-          for (const auto& e : entries) out[i].push_back(pts_[e.id]);
-        },
-        16);
+        [&](std::size_t i) { out[i] = knn_one(queries[i], k); }, 16);
     return out;
   }
 
@@ -155,8 +180,9 @@ class kdtree_index final : public spatial_index<D> {
     par::parallel_for(
         0, boxes.size(),
         [&](std::size_t i) {
-          for (std::size_t id : tree_->range_box(boxes[i])) {
-            out[i].push_back(pts_[id]);
+          out[i] = filter_base(tree_->range_box(boxes[i]));
+          for (const auto& [p, c] : add_) {
+            if (boxes[i].contains(p)) out[i].insert(out[i].end(), c, p);
           }
         },
         16);
@@ -170,24 +196,137 @@ class kdtree_index final : public spatial_index<D> {
     par::parallel_for(
         0, centers.size(),
         [&](std::size_t i) {
-          for (std::size_t id : tree_->range_ball(centers[i], radii[i])) {
-            out[i].push_back(pts_[id]);
+          out[i] = filter_base(tree_->range_ball(centers[i], radii[i]));
+          for (const auto& [p, c] : add_) {
+            if (p.dist_sq(centers[i]) <= radii[i] * radii[i]) {
+              out[i].insert(out[i].end(), c, p);
+            }
           }
         },
         16);
     return out;
   }
 
-  std::vector<point<D>> gather() const override { return pts_; }
+  std::vector<point<D>> gather() const override { return materialize(); }
 
  private:
+  // Base copies surviving the erase buffer, plus all buffered inserts —
+  // the index's current logical contents.
+  std::vector<point<D>> materialize() const {
+    std::vector<point<D>> out;
+    out.reserve(size());
+    auto del = del_;
+    for (const auto& p : base_) {
+      auto it = del.find(p);
+      if (it != del.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      out.push_back(p);
+    }
+    for (const auto& [p, c] : add_) out.insert(out.end(), c, p);
+    return out;
+  }
+
+  // Drops erased copies from a tree result (ids into base_). Which of the
+  // identical copies of a value gets dropped is immaterial.
+  std::vector<point<D>> filter_base(const std::vector<std::size_t>& ids) const {
+    std::vector<point<D>> out;
+    out.reserve(ids.size());
+    if (del_.empty()) {
+      for (std::size_t id : ids) out.push_back(base_[id]);
+      return out;
+    }
+    std::map<point<D>, std::size_t> skipped;
+    for (std::size_t id : ids) {
+      const auto& p = base_[id];
+      auto dit = del_.find(p);
+      if (dit != del_.end()) {
+        auto& s = skipped[p];
+        if (s < dit->second) {
+          ++s;
+          continue;
+        }
+      }
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  std::vector<point<D>> knn_one(const point<D>& q, std::size_t k) const {
+    if (k == 0 || size() == 0) return {};
+    // Over-fetch by the erase-buffer size: of the k + num_del_ nearest base
+    // points at most num_del_ are erased, so >= min(k, live) survive.
+    auto entries = tree_->knn(q, k + num_del_);
+    std::vector<std::pair<double, point<D>>> cand;
+    cand.reserve(entries.size() + num_add_);
+    std::map<point<D>, std::size_t> skipped;
+    for (const auto& e : entries) {
+      const auto& p = base_[e.id];
+      auto dit = del_.find(p);
+      if (dit != del_.end()) {
+        auto& s = skipped[p];
+        if (s < dit->second) {
+          ++s;
+          continue;
+        }
+      }
+      cand.emplace_back(e.dist_sq, p);
+    }
+    for (const auto& [p, c] : add_) {
+      cand.insert(cand.end(), c, std::make_pair(p.dist_sq(q), p));
+    }
+    std::stable_sort(cand.begin(), cand.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<point<D>> out;
+    out.reserve(std::min(k, cand.size()));
+    for (std::size_t i = 0; i < cand.size() && i < k; ++i) {
+      out.push_back(cand[i].second);
+    }
+    return out;
+  }
+
+  void maybe_rebuild() {
+    const std::size_t pending = num_add_ + num_del_;
+    if (pending == 0) return;  // e.g. an erase batch that matched nothing
+    // Queries pay O(pending) for the buffer merge, so an absolute cap
+    // bounds per-query cost even when the fractional threshold would let
+    // the buffer grow with the tree.
+    if (rebuild_threshold_ > 0 && pending <= kMaxPending &&
+        static_cast<double>(pending) <=
+            rebuild_threshold_ * static_cast<double>(base_.size())) {
+      return;
+    }
+    base_ = materialize();
+    clear_pending();
+    rebuild();
+  }
+
+  void clear_pending() {
+    add_.clear();
+    del_.clear();
+    num_add_ = num_del_ = 0;
+  }
+
   void rebuild() {
-    tree_ = std::make_unique<kdtree::tree<D>>(pts_, policy_, leaf_size_);
+    tree_ = std::make_unique<kdtree::tree<D>>(base_, policy_, leaf_size_);
+    base_count_.clear();
+    for (const auto& p : base_) ++base_count_[p];
+    ++rebuilds_;
   }
 
   kdtree::split_policy policy_;
   std::size_t leaf_size_;
-  std::vector<point<D>> pts_;
+  double rebuild_threshold_;
+  std::vector<point<D>> base_;               // points indexed by tree_
+  std::map<point<D>, std::size_t> base_count_;
+  std::map<point<D>, std::size_t> add_;      // buffered inserts (with counts)
+  std::map<point<D>, std::size_t> del_;      // buffered erases against base_
+  std::size_t num_add_ = 0;
+  std::size_t num_del_ = 0;
+  std::size_t rebuilds_ = 0;
   std::unique_ptr<kdtree::tree<D>> tree_;
 };
 
@@ -303,13 +442,26 @@ extern template class zdtree_index<3>;
 extern template class bdltree_index<2>;
 extern template class bdltree_index<3>;
 
+/// Per-backend tuning knobs forwarded by make_index (and by query_service
+/// to every shard it owns). Only the kd-tree backend has knobs today.
+struct index_options {
+  kdtree::split_policy kdtree_split = kdtree::split_policy::object_median;
+  std::size_t kdtree_leaf_size = 16;
+  /// Rebuild when buffered writes exceed this fraction of the indexed set;
+  /// <= 0 rebuilds on every write batch (the pure static baseline).
+  double kdtree_rebuild_threshold = 0.25;
+};
+
 /// Factory keyed by the runtime backend tag. The Zd-tree backend exists only
 /// in 2D/3D; requesting it at other dimensions throws.
 template <int D>
-std::unique_ptr<spatial_index<D>> make_index(backend b) {
+std::unique_ptr<spatial_index<D>> make_index(backend b,
+                                             const index_options& opt = {}) {
   switch (b) {
     case backend::kdtree:
-      return std::make_unique<kdtree_index<D>>();
+      return std::make_unique<kdtree_index<D>>(opt.kdtree_split,
+                                               opt.kdtree_leaf_size,
+                                               opt.kdtree_rebuild_threshold);
     case backend::zdtree:
       if constexpr (D == 2 || D == 3) {
         return std::make_unique<zdtree_index<D>>();

@@ -207,12 +207,13 @@ std::vector<request<D>> make_requests(const workload_spec& spec) {
   return make_requests<D>(spec, make_initial<D>(spec));
 }
 
-/// Runs the whole spec against `engine` in batches of spec.batch_size and
-/// returns the accumulated stats (bootstrap time excluded, as in the
-/// paper's figures). `responses`, when non-null, collects every response
-/// in stream order.
-template <int D>
-engine_stats run_workload(query_engine<D>& engine, const workload_spec& spec,
+/// Runs the whole spec against `executor` — a query_engine<D> or a
+/// query_service<D> (anything with bootstrap/execute) — in batches of
+/// spec.batch_size and returns the accumulated stats (bootstrap time
+/// excluded, as in the paper's figures). `responses`, when non-null,
+/// collects every response in stream order.
+template <int D, class Executor>
+engine_stats run_workload(Executor& engine, const workload_spec& spec,
                           std::vector<response<D>>* responses = nullptr) {
   auto initial = make_initial<D>(spec);
   engine.bootstrap(initial);
@@ -222,7 +223,7 @@ engine_stats run_workload(query_engine<D>& engine, const workload_spec& spec,
   for (std::size_t off = 0; off < reqs.size(); off += bs) {
     const std::size_t end = std::min(reqs.size(), off + bs);
     std::vector<request<D>> batch(reqs.begin() + off, reqs.begin() + end);
-    auto result = engine.execute(batch);
+    auto result = engine.execute(std::move(batch));
     if (responses) {
       // Rebase per-batch phase ids so they index the accumulated
       // total.phases, preserving the latency-lookup contract.

@@ -1,7 +1,9 @@
-// Integration tests for the unified query subsystem: mixed batched
+// Integration tests for the unified query subsystem driven through the
+// query_service front door (1 shard — the per-shard executor path; sharded
+// equivalence lives in test_query_service.cpp): mixed batched
 // insert/erase/knn/range streams on every backend, checked request-by-
 // request against a brute-force multiset oracle; plus phase-grouping,
-// duplicate-point, empty-result, and workload-determinism checks.
+// duplicate-point, empty-result, and kd-tree rebuild-policy checks.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,8 +12,7 @@
 #include <vector>
 
 #include "parallel/random.h"
-#include "query/query_engine.h"
-#include "query/spatial_index.h"
+#include "query/query_service.h"
 #include "query/workload.h"
 #include "test_util.h"
 
@@ -20,6 +21,14 @@ using query::backend;
 using query::op;
 
 namespace {
+
+template <int D>
+query::query_service<D> make_service(backend b, std::size_t shards = 1) {
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  return query::query_service<D>(cfg);
+}
 
 // Brute-force multiset reference applying requests one at a time. Erase
 // removes one stored copy per request — identical to every backend as long
@@ -38,7 +47,7 @@ struct oracle {
     }
   }
 
-  // Checks one engine response against the current state.
+  // Checks one service response against the current state.
   void check_read(const query::request<D>& r,
                   const query::response<D>& resp) const {
     switch (r.kind) {
@@ -130,23 +139,23 @@ std::vector<query::request<D>> make_oracle_stream(std::size_t num_ops,
 
 template <int D>
 void run_oracle_stream(backend b, std::size_t initial_n, std::size_t num_ops,
-                       std::size_t engine_batch, uint64_t seed) {
+                       std::size_t service_batch, uint64_t seed) {
   const auto initial = datagen::uniform<D>(initial_n, seed);
   const double side = std::sqrt(static_cast<double>(std::max<std::size_t>(
       initial_n, 1)));
   const auto reqs =
       make_oracle_stream<D>(num_ops, side > 0 ? side : 1.0, initial, seed);
 
-  query::query_engine<D> engine(query::make_index<D>(b));
-  engine.bootstrap(initial);
+  auto service = make_service<D>(b);
+  service.bootstrap(initial);
   oracle<D> ref;
   ref.pts = initial;
 
-  for (std::size_t off = 0; off < reqs.size(); off += engine_batch) {
-    const std::size_t end = std::min(reqs.size(), off + engine_batch);
+  for (std::size_t off = 0; off < reqs.size(); off += service_batch) {
+    const std::size_t end = std::min(reqs.size(), off + service_batch);
     std::vector<query::request<D>> batch(reqs.begin() + off,
                                          reqs.begin() + end);
-    auto result = engine.execute(batch);
+    auto result = service.execute(batch);
     ASSERT_EQ(result.responses.size(), batch.size());
     // Replay against the oracle in stream order: reads are checked against
     // the state at their position, writes advance the state.
@@ -158,8 +167,8 @@ void run_oracle_stream(backend b, std::size_t initial_n, std::size_t num_ops,
       }
     }
   }
-  EXPECT_EQ(engine.index().size(), ref.pts.size());
-  auto stored = engine.index().gather();
+  EXPECT_EQ(service.size(), ref.pts.size());
+  auto stored = service.gather();
   auto expect = ref.pts;
   std::sort(stored.begin(), stored.end());
   std::sort(expect.begin(), expect.end());
@@ -183,7 +192,7 @@ TEST_P(QueryEngineOracle, StartsEmpty) {
 }
 
 TEST_P(QueryEngineOracle, EmptyIndexQueriesReturnNothing) {
-  query::query_engine<2> engine(query::make_index<2>(GetParam()));
+  auto service = make_service<2>(GetParam());
   std::vector<query::request<2>> batch{
       query::request<2>::make_knn(point<2>{{1, 2}}, 5),
       query::request<2>::make_range(
@@ -191,13 +200,13 @@ TEST_P(QueryEngineOracle, EmptyIndexQueriesReturnNothing) {
       query::request<2>::make_ball(point<2>{{0, 0}}, 50.0),
       query::request<2>::make_erase(point<2>{{1, 2}}),
   };
-  auto result = engine.execute(batch);
+  auto result = service.execute(batch);
   for (int i = 0; i < 3; ++i) EXPECT_TRUE(result.responses[i].points.empty());
-  EXPECT_EQ(engine.index().size(), 0u);
+  EXPECT_EQ(service.size(), 0u);
 }
 
 TEST_P(QueryEngineOracle, DuplicatePointsKnn) {
-  query::query_engine<2> engine(query::make_index<2>(GetParam()));
+  auto service = make_service<2>(GetParam());
   const point<2> dup{{3, 4}};
   std::vector<query::request<2>> batch;
   for (int i = 0; i < 10; ++i) {
@@ -206,12 +215,12 @@ TEST_P(QueryEngineOracle, DuplicatePointsKnn) {
   batch.push_back(query::request<2>::make_insert(point<2>{{50, 50}}));
   batch.push_back(query::request<2>::make_knn(dup, 5));
   batch.push_back(query::request<2>::make_ball(dup, 0.5));
-  auto result = engine.execute(batch);
+  auto result = service.execute(batch);
   const auto& knn = result.responses[11].points;
   ASSERT_EQ(knn.size(), 5u);
   for (const auto& p : knn) EXPECT_EQ(p.dist_sq(dup), 0.0);
   EXPECT_EQ(result.responses[12].points.size(), 10u);
-  EXPECT_EQ(engine.index().size(), 11u);
+  EXPECT_EQ(service.size(), 11u);
 }
 
 TEST_P(QueryEngineOracle, KnnKZeroReturnsEmptyRows) {
@@ -230,7 +239,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(QueryEngine, PhaseGroupingPreservesOrder) {
-  query::query_engine<2> engine(query::make_index<2>(backend::bdltree));
+  auto service = make_service<2>(backend::bdltree);
   const point<2> a{{1, 1}}, b{{2, 2}};
   std::vector<query::request<2>> batch{
       query::request<2>::make_insert(a),
@@ -240,7 +249,7 @@ TEST(QueryEngine, PhaseGroupingPreservesOrder) {
       query::request<2>::make_knn(a, 1),
       query::request<2>::make_ball(b, 0.1),
   };
-  auto result = engine.execute(batch);
+  auto result = service.execute(batch);
   // Phases: [insert x2][read x1][erase x1][read x2].
   ASSERT_EQ(result.stats.num_phases(), 4u);
   EXPECT_EQ(result.stats.num_writes, 3u);
@@ -262,58 +271,19 @@ TEST(QueryEngine, PhaseGroupingPreservesOrder) {
 
 TEST(QueryEngine, KnnShardsByK) {
   // One read phase mixing k values still answers each request with its k.
-  query::query_engine<2> engine(query::make_index<2>(backend::kdtree));
-  engine.bootstrap(datagen::uniform<2>(200, 3));
+  auto service = make_service<2>(backend::kdtree);
+  service.bootstrap(datagen::uniform<2>(200, 3));
   std::vector<query::request<2>> batch;
   const auto q = datagen::uniform<2>(1, 4)[0];
   for (std::size_t k : {1u, 7u, 3u, 7u, 1u, 0u}) {
     batch.push_back(query::request<2>::make_knn(q, k));
   }
-  auto result = engine.execute(batch);
+  auto result = service.execute(batch);
   ASSERT_EQ(result.stats.num_phases(), 1u);
   const std::size_t want[] = {1, 7, 3, 7, 1, 0};
   for (std::size_t i = 0; i < batch.size(); ++i) {
     EXPECT_EQ(result.responses[i].points.size(), want[i]) << "request " << i;
   }
-}
-
-TEST(Workload, DeterministicStreams) {
-  query::workload_spec spec;
-  spec.initial_points = 200;
-  spec.num_ops = 500;
-  spec.dist = query::distribution::zipf;
-  const auto a = query::make_requests<2>(spec);
-  const auto b = query::make_requests<2>(spec);
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].kind, b[i].kind);
-    EXPECT_EQ(a[i].p, b[i].p);
-  }
-  spec.seed = 99;
-  const auto c = query::make_requests<2>(spec);
-  bool differs = false;
-  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
-    differs = a[i].kind != c[i].kind || !(a[i].p == c[i].p);
-  }
-  EXPECT_TRUE(differs);
-}
-
-TEST(Workload, ZipfReusesHotKeys) {
-  query::workload_spec spec;
-  spec.initial_points = 100;
-  spec.num_ops = 2000;
-  spec.dist = query::distribution::zipf;
-  const auto reqs = query::make_requests<2>(spec);
-  // Skewed key reuse must produce repeated payload points.
-  std::map<point<2>, std::size_t> freq;
-  for (const auto& r : reqs) ++freq[r.p];
-  std::size_t max_freq = 0;
-  for (const auto& [p, f] : freq) max_freq = std::max(max_freq, f);
-  EXPECT_GT(max_freq, 5u);
-  // Mix respects the spec's fractions roughly (knn dominates by default).
-  std::size_t knn = 0;
-  for (const auto& r : reqs) knn += r.kind == op::knn ? 1 : 0;
-  EXPECT_GT(knn, reqs.size() / 3);
 }
 
 TEST(Workload, RunWorkloadAcrossBackendsAgrees) {
@@ -326,9 +296,9 @@ TEST(Workload, RunWorkloadAcrossBackendsAgrees) {
   spec.k = 4;
   std::vector<std::vector<query::response<2>>> all;
   for (auto b : {backend::kdtree, backend::zdtree, backend::bdltree}) {
-    query::query_engine<2> engine(query::make_index<2>(b));
+    auto service = make_service<2>(b);
     std::vector<query::response<2>> responses;
-    const auto stats = query::run_workload<2>(engine, spec, &responses);
+    const auto stats = query::run_workload<2>(service, spec, &responses);
     EXPECT_EQ(stats.num_requests, spec.num_ops);
     // Phase ids are rebased across batches: they index the accumulated
     // stats.phases and never decrease along the stream.
@@ -344,4 +314,94 @@ TEST(Workload, RunWorkloadAcrossBackendsAgrees) {
           << "response " << i << " backend " << b;
     }
   }
+}
+
+TEST(KdtreeRebuildPolicy, DefersRebuildsBelowThreshold) {
+  query::kdtree_index<2> idx(kdtree::split_policy::object_median, 16,
+                             /*rebuild_threshold=*/0.5);
+  idx.build(datagen::uniform<2>(1000, 17));
+  const std::size_t after_build = idx.rebuild_count();
+
+  // 100 buffered writes against 1000 points stay under the 0.5 threshold.
+  idx.batch_insert(datagen::uniform<2>(60, 18));
+  auto victims = datagen::uniform<2>(1000, 17);
+  victims.resize(40);
+  idx.batch_erase(victims);
+  EXPECT_EQ(idx.rebuild_count(), after_build);
+  EXPECT_EQ(idx.pending_writes(), 100u);
+  EXPECT_EQ(idx.size(), 1020u);
+
+  // Crossing the threshold flattens the buffer into a fresh tree.
+  idx.batch_insert(datagen::uniform<2>(600, 19));
+  EXPECT_EQ(idx.rebuild_count(), after_build + 1);
+  EXPECT_EQ(idx.pending_writes(), 0u);
+  EXPECT_EQ(idx.size(), 1620u);
+}
+
+TEST(KdtreeRebuildPolicy, ZeroThresholdRebuildsEveryBatch) {
+  query::kdtree_index<2> idx(kdtree::split_policy::object_median, 16,
+                             /*rebuild_threshold=*/0.0);
+  idx.build(datagen::uniform<2>(100, 23));
+  const std::size_t after_build = idx.rebuild_count();
+  idx.batch_insert(datagen::uniform<2>(1, 24));
+  EXPECT_EQ(idx.rebuild_count(), after_build + 1);
+  EXPECT_EQ(idx.pending_writes(), 0u);
+  // An erase batch that matches nothing must not pay a rebuild.
+  idx.batch_erase({point<2>{{-500, -500}}, point<2>{{-501, -501}}});
+  EXPECT_EQ(idx.rebuild_count(), after_build + 1);
+}
+
+TEST(KdtreeRebuildPolicy, QueriesExactWhileWritesBuffered) {
+  // With a huge threshold nothing ever rebuilds after build(); every query
+  // must still merge the buffer exactly.
+  query::kdtree_index<2> idx(kdtree::split_policy::object_median, 16,
+                             /*rebuild_threshold=*/100.0);
+  const auto initial = datagen::uniform<2>(300, 29);
+  idx.build(initial);
+  const std::size_t after_build = idx.rebuild_count();
+
+  std::vector<point<2>> live = initial;
+  const auto extra = datagen::uniform<2>(80, 31);
+  for (std::size_t step = 0; step < 8; ++step) {
+    // Alternate small inserts and erases (erases target distinct points).
+    if (step % 2 == 0) {
+      std::vector<point<2>> add(extra.begin() + step * 10,
+                                extra.begin() + (step + 1) * 10);
+      idx.batch_insert(add);
+      live.insert(live.end(), add.begin(), add.end());
+    } else {
+      std::vector<point<2>> del(live.begin() + step, live.begin() + step + 7);
+      idx.batch_erase(del);
+      for (const auto& p : del) {
+        auto it = std::find(live.begin(), live.end(), p);
+        if (it != live.end()) live.erase(it);
+      }
+    }
+    ASSERT_EQ(idx.size(), live.size());
+
+    const auto queries = datagen::uniform<2>(10, 37 + step);
+    auto rows = idx.batch_knn(queries, 5);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      auto expect = testutil::brute_knn_dists(live, queries[i], 5);
+      ASSERT_EQ(rows[i].size(), expect.size());
+      for (std::size_t j = 0; j < expect.size(); ++j) {
+        EXPECT_EQ(rows[i][j].dist_sq(queries[i]), expect[j]);
+      }
+    }
+    const point<2> c = queries[0];
+    auto balls = idx.batch_ball({c}, {3.0});
+    std::vector<point<2>> expect_ball;
+    for (const auto& p : live) {
+      if (p.dist_sq(c) <= 9.0) expect_ball.push_back(p);
+    }
+    std::sort(balls[0].begin(), balls[0].end());
+    std::sort(expect_ball.begin(), expect_ball.end());
+    EXPECT_EQ(balls[0], expect_ball);
+  }
+  EXPECT_EQ(idx.rebuild_count(), after_build);
+
+  auto stored = idx.gather();
+  std::sort(stored.begin(), stored.end());
+  std::sort(live.begin(), live.end());
+  EXPECT_EQ(stored, live);
 }

@@ -1,0 +1,410 @@
+// Oracle tests for the sharded, multi-producer query_service front door:
+// sharded (spatial and hash, >= 4 shards) responses must match a 1-shard
+// reference on mixed insert/erase/kNN/range streams on every backend;
+// concurrent submitters (>= 4 threads) get their responses back in their
+// own submission order; plus ingest-window grouping, ticket stats, spatial
+// bounds bootstrapping, and config validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/query_service.h"
+#include "query/workload.h"
+
+using namespace pargeo;
+using query::backend;
+using query::op;
+using query::shard_policy;
+
+namespace {
+
+template <int D>
+query::query_service<D> make_service(backend b, std::size_t shards,
+                                     shard_policy policy) {
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  cfg.policy = policy;
+  return query::query_service<D>(cfg);
+}
+
+// Compares a sharded run against the 1-shard reference, response by
+// response. k-NN rows compare as distance sequences (ties across shard
+// boundaries may pick different equidistant points); range rows compare as
+// exact point multisets.
+template <int D>
+void expect_same_responses(const std::vector<query::request<D>>& reqs,
+                           const std::vector<query::response<D>>& got,
+                           const std::vector<query::response<D>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.size(), reqs.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].kind, want[i].kind) << "response " << i;
+    if (reqs[i].kind == op::knn) {
+      ASSERT_EQ(got[i].points.size(), want[i].points.size())
+          << "knn response " << i;
+      for (std::size_t j = 0; j < got[i].points.size(); ++j) {
+        EXPECT_EQ(got[i].points[j].dist_sq(reqs[i].p),
+                  want[i].points[j].dist_sq(reqs[i].p))
+            << "knn response " << i << " row " << j;
+      }
+    } else if (query::is_read(reqs[i].kind)) {
+      auto a = got[i].points;
+      auto b = want[i].points;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "range response " << i;
+    } else {
+      EXPECT_TRUE(got[i].points.empty()) << "write ack " << i;
+    }
+  }
+}
+
+template <int D>
+void run_sharded_vs_reference(backend b, shard_policy policy,
+                              std::size_t shards) {
+  query::workload_spec spec;
+  spec.initial_points = 400;
+  spec.num_ops = 1000;
+  spec.batch_size = 128;
+  spec.k = 6;
+  // Mixed stream: defaults give 10% insert / 10% erase / 60% kNN /
+  // 10% box / 10% ball.
+  const auto reqs = query::make_requests<D>(spec);
+
+  auto reference = make_service<D>(b, 1, policy);
+  std::vector<query::response<D>> want;
+  query::run_workload<D>(reference, spec, &want);
+
+  auto sharded = make_service<D>(b, shards, policy);
+  std::vector<query::response<D>> got;
+  query::run_workload<D>(sharded, spec, &got);
+
+  expect_same_responses<D>(reqs, got, want);
+
+  EXPECT_EQ(sharded.size(), reference.size());
+  auto a = sharded.gather();
+  auto e = reference.gather();
+  std::sort(a.begin(), a.end());
+  std::sort(e.begin(), e.end());
+  EXPECT_EQ(a, e);
+}
+
+using ServiceParam = std::tuple<backend, shard_policy>;
+
+class QueryServiceOracle : public ::testing::TestWithParam<ServiceParam> {};
+
+}  // namespace
+
+TEST_P(QueryServiceOracle, ShardedMatchesReference2D) {
+  run_sharded_vs_reference<2>(std::get<0>(GetParam()),
+                              std::get<1>(GetParam()), 4);
+}
+
+TEST_P(QueryServiceOracle, ShardedMatchesReference3D) {
+  run_sharded_vs_reference<3>(std::get<0>(GetParam()),
+                              std::get<1>(GetParam()), 5);
+}
+
+TEST_P(QueryServiceOracle, ShardedStartsEmptyMatchesReference) {
+  // No bootstrap: spatial stripes must derive from the first write phase.
+  const backend b = std::get<0>(GetParam());
+  const shard_policy policy = std::get<1>(GetParam());
+  query::workload_spec spec;
+  spec.initial_points = 0;
+  spec.num_ops = 600;
+  spec.batch_size = 64;
+  spec.k = 4;
+  spec.insert_frac = 0.3;  // write-heavy so the index fills up
+  const auto reqs = query::make_requests<2>(spec);
+
+  auto reference = make_service<2>(b, 1, policy);
+  std::vector<query::response<2>> want;
+  query::run_workload<2>(reference, spec, &want);
+
+  auto sharded = make_service<2>(b, 4, policy);
+  std::vector<query::response<2>> got;
+  query::run_workload<2>(sharded, spec, &got);
+
+  expect_same_responses<2>(reqs, got, want);
+  EXPECT_EQ(sharded.size(), reference.size());
+}
+
+TEST_P(QueryServiceOracle, BootstrapDistributesAcrossShards) {
+  auto service =
+      make_service<2>(std::get<0>(GetParam()), 4, std::get<1>(GetParam()));
+  service.bootstrap(datagen::uniform<2>(400, 3));
+  EXPECT_EQ(service.size(), 400u);
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < service.num_shards(); ++s) {
+    populated += service.shard(s).index().size() > 0 ? 1 : 0;
+  }
+  // Quantile stripes and coordinate hashing both spread 400 uniform points
+  // over every shard.
+  EXPECT_EQ(populated, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndPolicies, QueryServiceOracle,
+    ::testing::Combine(::testing::Values(backend::kdtree, backend::zdtree,
+                                         backend::bdltree),
+                       ::testing::Values(shard_policy::spatial,
+                                         shard_policy::hash)),
+    [](const ::testing::TestParamInfo<ServiceParam>& info) {
+      return std::string(query::backend_name(std::get<0>(info.param))) + "_" +
+             query::shard_policy_name(std::get<1>(info.param));
+    });
+
+namespace {
+
+class QueryServiceConcurrent : public ::testing::TestWithParam<backend> {};
+
+}  // namespace
+
+TEST_P(QueryServiceConcurrent, SubmittersGetOwnOrderBack) {
+  // >= 4 truly parallel clients hammer one service. Each thread works in
+  // its own coordinate stripe >= 1000 away from the others, so every
+  // expected answer is independent of how tickets interleave globally;
+  // position-encoded payloads verify that wait(ticket) returns exactly
+  // that ticket's responses, in the caller's submission order.
+  constexpr int kThreads = 4;
+  constexpr int kTicketsPerThread = 6;
+  constexpr int kPointsPerTicket = 3;
+
+  auto service = make_service<2>(GetParam(), 4, shard_policy::hash);
+  service.bootstrap(datagen::uniform<2>(200, 5));
+  const std::size_t initial = service.size();
+
+  auto thread_point = [](int t, int j, int i) {
+    return point<2>{{1000.0 * (t + 1) + 10.0 * j + i, 7.0 * (t + 1)}};
+  };
+
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<query::ticket> tickets;
+      tickets.reserve(kTicketsPerThread);
+      for (int j = 0; j < kTicketsPerThread; ++j) {
+        std::vector<query::request<2>> batch;
+        for (int i = 0; i < kPointsPerTicket; ++i) {
+          batch.push_back(query::request<2>::make_insert(thread_point(t, j, i)));
+        }
+        for (int i = 0; i < kPointsPerTicket; ++i) {
+          batch.push_back(query::request<2>::make_knn(thread_point(t, j, i), 1));
+        }
+        batch.push_back(
+            query::request<2>::make_ball(thread_point(t, j, 0), 0.5));
+        tickets.push_back(service.submit(std::move(batch)));
+      }
+      // Redeem in submission order; every answer is position-encoded.
+      for (int j = 0; j < kTicketsPerThread; ++j) {
+        auto r = service.wait(tickets[j]);
+        if (r.latency_seconds < 0) {
+          errors[t] = "negative latency";
+          return;
+        }
+        if (r.responses.size() !=
+            static_cast<std::size_t>(2 * kPointsPerTicket + 1)) {
+          errors[t] = "wrong response count for ticket " + std::to_string(j);
+          return;
+        }
+        for (int i = 0; i < kPointsPerTicket; ++i) {
+          const auto& row = r.responses[kPointsPerTicket + i];
+          if (row.kind != op::knn || row.points.size() != 1 ||
+              !(row.points[0] == thread_point(t, j, i))) {
+            errors[t] = "ticket " + std::to_string(j) + " knn " +
+                        std::to_string(i) + " answered out of order";
+            return;
+          }
+        }
+        const auto& ball = r.responses[2 * kPointsPerTicket];
+        if (ball.kind != op::range_ball || ball.points.size() != 1 ||
+            !(ball.points[0] == thread_point(t, j, 0))) {
+          errors[t] = "ticket " + std::to_string(j) + " ball mismatch";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(errors[t], "") << "thread " << t;
+
+  EXPECT_EQ(service.size(),
+            initial + kThreads * kTicketsPerThread * kPointsPerTicket);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.num_tickets,
+            static_cast<std::size_t>(kThreads * kTicketsPerThread));
+  EXPECT_GE(stats.num_drains, 1u);
+  EXPECT_EQ(stats.num_requests, static_cast<std::size_t>(
+                                    kThreads * kTicketsPerThread *
+                                    (2 * kPointsPerTicket + 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, QueryServiceConcurrent,
+    ::testing::Values(backend::kdtree, backend::zdtree, backend::bdltree),
+    [](const ::testing::TestParamInfo<backend>& info) {
+      return query::backend_name(info.param);
+    });
+
+TEST(QueryService, IngestWindowGroupsPendingBatches) {
+  auto submit3 = [](query::query_service<2>& service) {
+    std::vector<query::ticket> ts;
+    for (int j = 0; j < 3; ++j) {
+      std::vector<query::request<2>> batch;
+      for (int i = 0; i < 4; ++i) {
+        batch.push_back(query::request<2>::make_insert(
+            point<2>{{10.0 * j + i, 1.0}}));
+      }
+      ts.push_back(service.submit(std::move(batch)));
+    }
+    return ts;
+  };
+
+  {
+    // Window larger than everything pending: one drain serves all tickets,
+    // even when the last ticket is redeemed first.
+    query::service_config cfg;
+    cfg.backend = backend::bdltree;
+    cfg.shards = 2;
+    query::query_service<2> service(cfg);
+    auto ts = submit3(service);
+    service.wait(ts[2]);
+    EXPECT_EQ(service.stats().num_drains, 1u);
+    service.wait(ts[0]);
+    service.wait(ts[1]);
+    EXPECT_EQ(service.stats().num_drains, 1u);
+    EXPECT_EQ(service.size(), 12u);
+  }
+  {
+    // Window smaller than one batch: every drain takes exactly one ticket
+    // (an over-sized batch still drains alone rather than starving).
+    query::service_config cfg;
+    cfg.backend = backend::bdltree;
+    cfg.shards = 2;
+    cfg.ingest_window = 1;
+    query::query_service<2> service(cfg);
+    auto ts = submit3(service);
+    for (const auto& t : ts) service.wait(t);
+    EXPECT_EQ(service.stats().num_drains, 3u);
+    EXPECT_EQ(service.size(), 12u);
+  }
+}
+
+TEST(QueryService, TicketResultCarriesGroupStatsAndLatency) {
+  auto service = make_service<2>(backend::bdltree, 2, shard_policy::hash);
+  std::vector<query::request<2>> batch{
+      query::request<2>::make_insert(point<2>{{1, 1}}),
+      query::request<2>::make_insert(point<2>{{2, 2}}),
+      query::request<2>::make_knn(point<2>{{1, 1}}, 1),
+  };
+  auto t = service.submit(batch);
+  auto r = service.wait(t);
+  ASSERT_EQ(r.responses.size(), 3u);
+  EXPECT_GE(r.latency_seconds, 0.0);
+  // Phases: [insert x2][read x1]; response phase ids index stats.phases.
+  ASSERT_EQ(r.stats.num_phases(), 2u);
+  EXPECT_EQ(r.stats.num_writes, 2u);
+  EXPECT_EQ(r.stats.num_reads, 1u);
+  for (const auto& resp : r.responses) {
+    EXPECT_LT(resp.phase, r.stats.num_phases());
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.num_tickets, 1u);
+  EXPECT_EQ(stats.num_drains, 1u);
+  EXPECT_EQ(stats.num_requests, 3u);
+}
+
+TEST(QueryService, InvalidConfigAndTicketsThrow) {
+  query::service_config cfg;
+  cfg.shards = 0;
+  EXPECT_THROW(query::query_service<2>{cfg}, std::invalid_argument);
+  cfg.shards = 1;
+  cfg.ingest_window = 0;
+  EXPECT_THROW(query::query_service<2>{cfg}, std::invalid_argument);
+
+  auto service = make_service<2>(backend::bdltree, 1, shard_policy::hash);
+  EXPECT_THROW(service.wait(query::ticket{}), std::invalid_argument);
+  EXPECT_THROW(service.wait(query::ticket{42}), std::invalid_argument);
+
+  // Redeeming twice throws rather than parking the caller forever.
+  auto t = service.submit({query::request<2>::make_insert(point<2>{{1, 1}})});
+  service.wait(t);
+  EXPECT_THROW(service.wait(t), std::invalid_argument);
+}
+
+TEST(QueryService, NegativeBallRadiusMatchesUnshardedAcrossPolicies) {
+  // Backends compare dist_sq <= radius^2, so a negative radius acts as its
+  // magnitude; spatial pruning must not invert the stripe interval.
+  const auto pts = datagen::uniform<2>(300, 13);
+  const point<2> center = pts[7];
+  std::vector<query::request<2>> batch{
+      query::request<2>::make_ball(center, -2.5),
+      query::request<2>::make_ball(center, 2.5),
+  };
+  auto reference = make_service<2>(backend::kdtree, 1, shard_policy::hash);
+  reference.bootstrap(pts);
+  auto want = reference.execute(batch);
+  ASSERT_FALSE(want.responses[0].points.empty());
+  for (auto policy : {shard_policy::spatial, shard_policy::hash}) {
+    auto sharded = make_service<2>(backend::kdtree, 4, policy);
+    sharded.bootstrap(pts);
+    auto got = sharded.execute(batch);
+    expect_same_responses<2>(batch, got.responses, want.responses);
+    EXPECT_EQ(got.responses[0].points.size(), got.responses[1].points.size());
+  }
+}
+
+TEST(QueryService, NegativeZeroRoutesLikeZero) {
+  // -0.0 == 0.0 as a coordinate: an erase of {-0.0, y} must find an
+  // insert of {0.0, y} on every shard count and policy.
+  for (auto policy : {shard_policy::hash, shard_policy::spatial}) {
+    auto service = make_service<2>(backend::bdltree, 4, policy);
+    service.bootstrap(datagen::uniform<2>(100, 21));
+    const point<2> pos{{0.0, 3.0}};
+    point<2> neg{{0.0, 3.0}};
+    neg[0] = -0.0;
+    ASSERT_TRUE(pos == neg);
+    auto r = service.execute({query::request<2>::make_insert(pos),
+                              query::request<2>::make_erase(neg),
+                              query::request<2>::make_ball(pos, 0.1)});
+    EXPECT_TRUE(r.responses[2].points.empty())
+        << query::shard_policy_name(policy);
+    EXPECT_EQ(service.size(), 100u) << query::shard_policy_name(policy);
+  }
+}
+
+TEST(QueryService, SpatialPruningStaysExactAcrossStripes) {
+  // Boxes/balls confined to one stripe, spanning several, and covering
+  // everything must all match the 1-shard reference exactly.
+  auto reference = make_service<2>(backend::kdtree, 1, shard_policy::spatial);
+  auto sharded = make_service<2>(backend::kdtree, 4, shard_policy::spatial);
+  const auto pts = datagen::uniform<2>(500, 9);
+  reference.bootstrap(pts);
+  sharded.bootstrap(pts);
+
+  const double side = std::sqrt(500.0);
+  std::vector<query::request<2>> batch;
+  // Narrow boxes marching across the split dimension.
+  for (int i = 0; i < 10; ++i) {
+    const double x = side * i / 10.0;
+    batch.push_back(query::request<2>::make_range(
+        aabb<2>(point<2>{{x, 0}}, point<2>{{x + side / 20.0, side}})));
+  }
+  // Full-extent box and a few balls of growing radius.
+  batch.push_back(query::request<2>::make_range(
+      aabb<2>(point<2>{{-1, -1}}, point<2>{{side + 1, side + 1}})));
+  for (int i = 1; i <= 4; ++i) {
+    batch.push_back(query::request<2>::make_ball(
+        point<2>{{side / 2, side / 2}}, side * i / 8.0));
+  }
+  auto want = reference.execute(batch);
+  auto got = sharded.execute(batch);
+  expect_same_responses<2>(batch, got.responses, want.responses);
+}

@@ -1,0 +1,116 @@
+// Unit tests for the workload driver (layer 3) and the percentile helper:
+// stream determinism (same seed => same stream), seed sensitivity, zipf key
+// reuse, spec validation, and percentile edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "query/workload.h"
+
+using namespace pargeo;
+using query::op;
+
+TEST(Percentile, EmptyInputIsZero) {
+  EXPECT_EQ(query::percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, SingleElementForAnyP) {
+  for (double p : {-50.0, 0.0, 0.001, 50.0, 99.9, 100.0, 250.0}) {
+    EXPECT_EQ(query::percentile({7.5}, p), 7.5) << "p=" << p;
+  }
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_EQ(query::percentile(v, -10), query::percentile(v, 0));
+  EXPECT_EQ(query::percentile(v, 0), 1.0);
+  EXPECT_EQ(query::percentile(v, 250), query::percentile(v, 100));
+  EXPECT_EQ(query::percentile(v, 100), 4.0);
+}
+
+TEST(Percentile, NearestRankOnSortedInput) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  // Nearest-rank: ceil(p/100 * n) with rank 0 mapped to the minimum.
+  EXPECT_EQ(query::percentile(v, 25), 1.0);
+  EXPECT_EQ(query::percentile(v, 50), 2.0);
+  EXPECT_EQ(query::percentile(v, 75), 3.0);
+  EXPECT_EQ(query::percentile(v, 90), 4.0);
+  EXPECT_EQ(query::percentile(v, 1), 1.0);
+}
+
+TEST(Percentile, NanPMeansMedian) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(query::percentile(v, nan), query::percentile(v, 50));
+}
+
+TEST(Workload, DeterministicStreams) {
+  query::workload_spec spec;
+  spec.initial_points = 200;
+  spec.num_ops = 500;
+  spec.dist = query::distribution::zipf;
+  const auto a = query::make_requests<2>(spec);
+  const auto b = query::make_requests<2>(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].p, b[i].p);
+    EXPECT_EQ(a[i].k, b[i].k);
+    EXPECT_EQ(a[i].radius, b[i].radius);
+  }
+  spec.seed = 99;
+  const auto c = query::make_requests<2>(spec);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].kind != c[i].kind || !(a[i].p == c[i].p);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, DeterministicAcrossDistributions) {
+  // Every distribution is a pure function of (spec, seed).
+  for (auto dist : {query::distribution::uniform,
+                    query::distribution::clustered,
+                    query::distribution::zipf}) {
+    query::workload_spec spec;
+    spec.initial_points = 100;
+    spec.num_ops = 300;
+    spec.dist = dist;
+    const auto a = query::make_requests<3>(spec);
+    const auto b = query::make_requests<3>(spec);
+    ASSERT_EQ(a.size(), b.size()) << query::distribution_name(dist);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].kind, b[i].kind) << query::distribution_name(dist);
+      ASSERT_EQ(a[i].p, b[i].p) << query::distribution_name(dist);
+    }
+  }
+}
+
+TEST(Workload, ZipfReusesHotKeys) {
+  query::workload_spec spec;
+  spec.initial_points = 100;
+  spec.num_ops = 2000;
+  spec.dist = query::distribution::zipf;
+  const auto reqs = query::make_requests<2>(spec);
+  // Skewed key reuse must produce repeated payload points.
+  std::map<point<2>, std::size_t> freq;
+  for (const auto& r : reqs) ++freq[r.p];
+  std::size_t max_freq = 0;
+  for (const auto& [p, f] : freq) max_freq = std::max(max_freq, f);
+  EXPECT_GT(max_freq, 5u);
+  // Mix respects the spec's fractions roughly (knn dominates by default).
+  std::size_t knn = 0;
+  for (const auto& r : reqs) knn += r.kind == op::knn ? 1 : 0;
+  EXPECT_GT(knn, reqs.size() / 3);
+}
+
+TEST(Workload, AllZeroFractionsThrow) {
+  query::workload_spec spec;
+  spec.insert_frac = spec.erase_frac = 0;
+  spec.knn_frac = spec.range_frac = spec.ball_frac = 0;
+  spec.num_ops = 10;
+  EXPECT_THROW(query::make_requests<2>(spec), std::invalid_argument);
+}
