@@ -7,12 +7,20 @@
 // logarithmic cascade — the spread between rows is the paper's headline
 // trade-off, and the shard column shows what scatter/gather adds on top.
 // Part 2 sweeps threads at the 90%-read point for batch-internal scaling.
+// Part 3 drives the asynchronous completion pipeline with 4 concurrent
+// producers at >= 90% reads: read-only ticket groups execute on the
+// snapshot-read pool while the dedicated drain thread applies write groups,
+// and the `lag` column counts read drains that retired after the live write
+// epoch had already moved past their snapshot — the epoch-snapshot
+// concurrency the service exists for.
 //
 // `--json` emits one JSON object per row instead of the aligned table, so
 // EXPERIMENTS.md can be regenerated mechanically.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "query/query_service.h"
@@ -41,6 +49,66 @@ double run_ops_per_sec(query::backend b, std::size_t shards,
   query::query_service<kDim> service(cfg);
   const auto stats = query::run_workload<kDim>(service, spec);
   return stats.ops_per_sec();
+}
+
+struct async_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+};
+
+// 4 producer threads submit their own deterministic 90%-read streams
+// through the completion API and redeem at the end — nobody blocks
+// mid-stream, so the drain thread and the snapshot-read pool run the whole
+// time. Tickets are cut at read/write boundaries (the realistic client
+// pattern: reads batch together, writes ship alone), which is what lets
+// read-only groups take the snapshot path while write groups drain.
+async_row run_async_producers(query::backend b, std::size_t shards,
+                              std::size_t initial_n, std::size_t num_ops) {
+  constexpr int kProducers = 4;
+  constexpr std::size_t kBatch = 512;
+
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  cfg.policy = query::shard_policy::hash;
+  query::query_service<kDim> service(cfg);
+
+  auto spec = make_spec(initial_n, num_ops / kProducers, 0.90);
+  service.bootstrap(query::make_initial<kDim>(spec));
+
+  timer clock;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      auto my_spec = spec;
+      my_spec.seed = spec.seed + 100 + t;
+      const auto reqs = query::make_requests<kDim>(my_spec);
+      std::vector<query::completion<kDim>> pending;
+      std::size_t off = 0;
+      while (off < reqs.size()) {
+        const bool read_run = query::is_read(reqs[off].kind);
+        std::size_t end = off + 1;
+        while (end < reqs.size() && end - off < kBatch &&
+               query::is_read(reqs[end].kind) == read_run) {
+          ++end;
+        }
+        pending.push_back(service.submit(
+            {reqs.begin() + off, reqs.begin() + end}));
+        off = end;
+      }
+      for (auto& c : pending) c.get();
+    });
+  }
+  for (auto& p : producers) p.join();
+  const double secs = clock.elapsed();
+  service.close();
+
+  async_row row;
+  row.stats = service.stats();
+  row.ops_per_sec =
+      secs > 0 ? static_cast<double>(row.stats.num_requests) / secs : 0;
+  return row;
 }
 
 }  // namespace
@@ -95,6 +163,33 @@ int main(int argc, char** argv) {
           t, initial_n, num_ops, ops);
     } else {
       bench::print_throughput_row("bdltree", t, ops);
+    }
+  }
+
+  if (!json) {
+    bench::print_header(
+        "async completion pipeline: 4 producers, 90% reads, 2 shards",
+        "backend             ops/s   drains  read-grp write-grp  "
+        "snapshot-lag");
+  }
+  for (auto b : {query::backend::kdtree, query::backend::zdtree,
+                 query::backend::bdltree}) {
+    const auto row = run_async_producers(b, 2, initial_n, num_ops);
+    if (json) {
+      std::printf(
+          "{\"section\":\"async_producers\",\"backend\":\"%s\","
+          "\"producers\":4,\"read_frac\":0.90,\"shards\":2,"
+          "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f,"
+          "\"drains\":%zu,\"read_groups\":%zu,\"write_groups\":%zu,"
+          "\"snapshot_lag_drains\":%zu}\n",
+          query::backend_name(b), initial_n, num_ops, row.ops_per_sec,
+          row.stats.num_drains, row.stats.num_read_groups,
+          row.stats.num_write_groups, row.stats.snapshot_lag_drains);
+    } else {
+      std::printf("%-14s %12.0f %8zu %9zu %9zu %13zu\n",
+                  query::backend_name(b), row.ops_per_sec,
+                  row.stats.num_drains, row.stats.num_read_groups,
+                  row.stats.num_write_groups, row.stats.snapshot_lag_drains);
     }
   }
   return 0;

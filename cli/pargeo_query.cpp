@@ -8,9 +8,12 @@
 // stream and print one row each). The service shards the logical index
 // across `shards` engines by `policy`; reads scatter/gather-merge, writes
 // route to owning shards. Reads split 70% k-NN / 15% box range / 15% ball
-// range; writes split evenly between inserts and erases. Prints throughput
-// plus batch-latency percentiles (a request's latency is its phase's
-// wall-clock; phases complete together).
+// range; writes split evenly between inserts and erases. Prints throughput,
+// batch-latency percentiles (a request's latency is its phase's wall-clock;
+// phases complete together), and the drain pipeline's counters: total drain
+// groups, read (snapshot-path) vs write groups, and `lag` — read drains
+// that retired while the live write epoch had already advanced past their
+// snapshot (reads overlapping a write drain).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -53,13 +56,18 @@ int run_backend(query::backend b, const query::workload_spec& spec,
   phase_ms.reserve(stats.phases.size());
   for (const auto& ph : stats.phases) phase_ms.push_back(ph.seconds * 1e3);
 
+  service.close();
+  const auto svc = service.stats();
   std::printf(
       "%-8s ops=%zu reads=%zu writes=%zu phases=%zu  %10.0f ops/s  "
-      "lat p50=%.3fms p90=%.3fms p99=%.3fms  hits=%zu size=%zu\n",
+      "lat p50=%.3fms p90=%.3fms p99=%.3fms  hits=%zu size=%zu  "
+      "drains=%zu (r=%zu w=%zu lag=%zu)\n",
       query::backend_name(b), stats.num_requests, stats.num_reads,
       stats.num_writes, stats.num_phases(), stats.ops_per_sec(),
       query::percentile(phase_ms, 50), query::percentile(phase_ms, 90),
-      query::percentile(phase_ms, 99), hits, service.size());
+      query::percentile(phase_ms, 99), hits, service.size(),
+      svc.num_drains, svc.num_read_groups, svc.num_write_groups,
+      svc.snapshot_lag_drains);
   return 0;
 }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -176,6 +177,65 @@ void execute_phases(const std::vector<request<D>>& batch,
   stats.seconds = total.elapsed();
 }
 
+namespace detail {
+
+/// One read phase against any query target — the live `spatial_index<D>`
+/// or an epoch `index_snapshot<D>` (both expose the same batch_knn /
+/// batch_range / batch_ball shape). Shards the run by operation shape,
+/// executes each shard with the target's data-parallel batch call, and
+/// scatters rows back into the per-request response slots.
+template <int D, class Target>
+void execute_read_phase_on(const Target& target,
+                           const std::vector<request<D>>& batch,
+                           std::size_t begin, std::size_t end,
+                           std::vector<response<D>>& responses) {
+  std::map<std::size_t, std::vector<std::size_t>> knn_shards;  // k -> reqs
+  std::vector<std::size_t> box_shard, ball_shard;
+  for (std::size_t i = begin; i < end; ++i) {
+    switch (batch[i].kind) {
+      case op::knn: knn_shards[batch[i].k].push_back(i); break;
+      case op::range_box: box_shard.push_back(i); break;
+      default: ball_shard.push_back(i); break;
+    }
+  }
+
+  for (const auto& [k, idx] : knn_shards) {
+    if (k == 0) continue;  // k-NN with k=0: empty rows, skip the backend
+    std::vector<point<D>> queries;
+    queries.reserve(idx.size());
+    for (std::size_t i : idx) queries.push_back(batch[i].p);
+    auto rows = target.batch_knn(queries, k);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      responses[idx[j]].points = std::move(rows[j]);
+    }
+  }
+  if (!box_shard.empty()) {
+    std::vector<aabb<D>> boxes;
+    boxes.reserve(box_shard.size());
+    for (std::size_t i : box_shard) boxes.push_back(batch[i].box);
+    auto rows = target.batch_range(boxes);
+    for (std::size_t j = 0; j < box_shard.size(); ++j) {
+      responses[box_shard[j]].points = std::move(rows[j]);
+    }
+  }
+  if (!ball_shard.empty()) {
+    std::vector<point<D>> centers;
+    std::vector<double> radii;
+    centers.reserve(ball_shard.size());
+    radii.reserve(ball_shard.size());
+    for (std::size_t i : ball_shard) {
+      centers.push_back(batch[i].p);
+      radii.push_back(batch[i].radius);
+    }
+    auto rows = target.batch_ball(centers, radii);
+    for (std::size_t j = 0; j < ball_shard.size(); ++j) {
+      responses[ball_shard[j]].points = std::move(rows[j]);
+    }
+  }
+}
+
+}  // namespace detail
+
 /// Executes request batches against one backend. Not thread-safe: callers
 /// submit batches from one thread and the engine parallelizes internally
 /// (the paper's model — parallelism lives inside the batch).
@@ -197,11 +257,32 @@ class query_engine {
     execute_phases<D>(batch, result.responses, result.stats,
                       [&](std::size_t begin, std::size_t end, bool read) {
                         if (read) {
-                          execute_read_phase(batch, begin, end,
-                                             result.responses);
+                          detail::execute_read_phase_on<D>(*index_, batch,
+                                                           begin, end,
+                                                           result.responses);
                         } else {
                           execute_write_phase(batch, begin, end);
                         }
+                      });
+    return result;
+  }
+
+  /// Executes a read-only batch against an epoch snapshot instead of the
+  /// live index. Touches no engine state (it is static on purpose), so the
+  /// query_service's snapshot-read executors can run it concurrently with
+  /// a write drain on the live index. Throws if the batch contains writes.
+  static batch_result<D> execute_reads(const std::vector<request<D>>& batch,
+                                       const index_snapshot<D>& snap) {
+    batch_result<D> result;
+    execute_phases<D>(batch, result.responses, result.stats,
+                      [&](std::size_t begin, std::size_t end, bool read) {
+                        if (!read) {
+                          throw std::logic_error(
+                              "execute_reads() requires a read-only batch");
+                        }
+                        detail::execute_read_phase_on<D>(snap, batch, begin,
+                                                         end,
+                                                         result.responses);
                       });
     return result;
   }
@@ -218,57 +299,6 @@ class query_engine {
       index_->batch_insert(pts);
     } else {
       index_->batch_erase(pts);
-    }
-  }
-
-  // A read phase shards by operation shape, executes each shard with the
-  // backend's data-parallel batch call, and scatters rows back into the
-  // per-request response slots.
-  void execute_read_phase(const std::vector<request<D>>& batch,
-                          std::size_t begin, std::size_t end,
-                          std::vector<response<D>>& responses) {
-    std::map<std::size_t, std::vector<std::size_t>> knn_shards;  // k -> reqs
-    std::vector<std::size_t> box_shard, ball_shard;
-    for (std::size_t i = begin; i < end; ++i) {
-      switch (batch[i].kind) {
-        case op::knn: knn_shards[batch[i].k].push_back(i); break;
-        case op::range_box: box_shard.push_back(i); break;
-        default: ball_shard.push_back(i); break;
-      }
-    }
-
-    for (const auto& [k, idx] : knn_shards) {
-      if (k == 0) continue;  // k-NN with k=0: empty rows, skip the backend
-      std::vector<point<D>> queries;
-      queries.reserve(idx.size());
-      for (std::size_t i : idx) queries.push_back(batch[i].p);
-      auto rows = index_->batch_knn(queries, k);
-      for (std::size_t j = 0; j < idx.size(); ++j) {
-        responses[idx[j]].points = std::move(rows[j]);
-      }
-    }
-    if (!box_shard.empty()) {
-      std::vector<aabb<D>> boxes;
-      boxes.reserve(box_shard.size());
-      for (std::size_t i : box_shard) boxes.push_back(batch[i].box);
-      auto rows = index_->batch_range(boxes);
-      for (std::size_t j = 0; j < box_shard.size(); ++j) {
-        responses[box_shard[j]].points = std::move(rows[j]);
-      }
-    }
-    if (!ball_shard.empty()) {
-      std::vector<point<D>> centers;
-      std::vector<double> radii;
-      centers.reserve(ball_shard.size());
-      radii.reserve(ball_shard.size());
-      for (std::size_t i : ball_shard) {
-        centers.push_back(batch[i].p);
-        radii.push_back(batch[i].radius);
-      }
-      auto rows = index_->batch_ball(centers, radii);
-      for (std::size_t j = 0; j < ball_shard.size(); ++j) {
-        responses[ball_shard[j]].points = std::move(rows[j]);
-      }
     }
   }
 

@@ -1,9 +1,9 @@
-// Sharded, multi-producer front door for the query subsystem (the public
-// serving API; query_engine is the internal per-shard executor).
+// Sharded, multi-producer, asynchronous front door for the query subsystem
+// (the public serving API; query_engine is the internal per-shard executor).
 //
 // A `query_service<D>` owns N `query_engine<D>` shards behind one logical
 // index, built from a `service_config` (backend, shard count, shard policy,
-// ingest-batch window):
+// ingest-batch window, read concurrency, retention cap):
 //
 //   *Sharding*. Every stored point is owned by exactly one shard —
 //   `shard_policy::hash` routes by a hash of the coordinates,
@@ -15,19 +15,41 @@
 //   concatenated. Under the spatial policy, box and ball ranges prune
 //   shards whose stripe cannot intersect the query.
 //
-//   *Multi-producer ingest*. `submit(batch)` enqueues under a mutex and
-//   returns a `ticket`; batches from any number of threads accumulate in
-//   the ingest queue. `wait(ticket)` blocks until the ticket's responses
-//   are ready, cooperatively draining the queue: one waiter at a time
-//   becomes the drainer, groups pending batches FIFO up to the configured
-//   `ingest_window` of requests, executes the combined stream through the
-//   sharded path (so the engine-level write batching spans ticket
-//   boundaries), and fulfils every ticket in the group. Tickets complete
-//   in global submission order; each caller's responses come back in its
-//   own submission order, with per-ticket latency recorded from submit to
-//   completion.
+//   *Completion pipeline*. `submit(batch)` enqueues from any thread and
+//   returns a `completion<D>` handle immediately. A dedicated drain thread
+//   owned by the service pulls the ingest queue continuously — tickets make
+//   progress with zero waiters. The drainer groups pending batches FIFO up
+//   to the configured `ingest_window` of requests (so engine-level write
+//   batching spans ticket boundaries) and fulfils every ticket in the
+//   group; each caller's responses come back in its own submission order,
+//   with per-ticket latency recorded from submit to completion. Redeem a
+//   handle exactly once, by blocking (`get()`), polling (`ready()`), or
+//   registering an `on_complete` callback (fired exactly once, from a
+//   service thread — keep callbacks light and never block on another
+//   completion inside one).
 //
-// `execute(batch)` is the single-caller convenience: submit + wait.
+//   *Epoch-snapshot reads*. A group of read-only tickets does not execute
+//   on the drain thread: the drainer stamps it with per-shard epoch
+//   snapshots (`spatial_index::snapshot()`) and hands it to a snapshot-read
+//   executor pool (`read_threads`), then moves straight on to the next
+//   group. Isolated snapshots (kdtree: shared tree + copied write buffers;
+//   zdtree: copy-on-write Morton array) let those reads run fully
+//   concurrently with the next write drain — the read observes its
+//   snapshot epoch while the live index advances. Pinned snapshots
+//   (bdltree) hold the write drain at the gate until the read retires.
+//   FIFO program order is preserved either way: a read group snapshots
+//   after every earlier write applied, and never observes later writes.
+//
+//   *Bounded retention*. Completed-but-unredeemed results are retained in
+//   a bounded buffer: redemption (get / callback / handle destruction)
+//   evicts immediately, and past `max_retained` results the oldest are
+//   dropped (their `get()` then throws). Handles stay valid after
+//   `close()` and even after the service is destroyed.
+//
+// `close()` (also run by the destructor) stops intake, flushes every
+// in-flight ticket through the pipeline deterministically, and joins the
+// service threads. `execute(batch)` is the single-caller synchronous
+// convenience: submit + get.
 #pragma once
 
 #include <algorithm>
@@ -36,11 +58,14 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -74,12 +99,14 @@ struct service_config {
   /// Max requests grouped into one drain (a single over-sized batch still
   /// drains alone).
   std::size_t ingest_window = std::size_t{1} << 16;
+  /// Snapshot-read executors. Read-only ticket groups execute on this pool
+  /// against epoch snapshots, concurrently with the drain thread's write
+  /// groups. 0 serializes reads behind the write drain (no extra threads).
+  std::size_t read_threads = 2;
+  /// Completed-but-unredeemed results kept before the oldest are evicted
+  /// (an evicted handle's get() throws). Must be >= 1.
+  std::size_t max_retained = 1024;
   index_options index;  // forwarded to every shard's backend
-};
-
-/// Handle for a submitted batch; redeem exactly once with wait().
-struct ticket {
-  std::uint64_t id = 0;
 };
 
 /// Completed batch as seen by one submitter. `stats` describes the whole
@@ -90,13 +117,241 @@ struct ticket_result {
   std::vector<response<D>> responses;  // responses[i] answers batch[i]
   engine_stats stats;
   double latency_seconds = 0;  // submit() -> responses ready
+  /// For snapshot-path read groups: the largest shard epoch the reads
+  /// observed (0 for write/mixed groups — those read the live index).
+  std::uint64_t snapshot_epoch = 0;
 };
 
 struct service_stats {
   std::size_t num_tickets = 0;
   std::size_t num_drains = 0;
   std::size_t num_requests = 0;
+  std::size_t num_read_groups = 0;   // drains executed on the snapshot path
+  std::size_t num_write_groups = 0;  // drains executed on the write path
+  /// Snapshot-path read drains that retired while the live write epoch had
+  /// already moved past their snapshot — i.e. reads that demonstrably
+  /// overlapped a write drain.
+  std::size_t snapshot_lag_drains = 0;
+  std::size_t results_retained = 0;  // completed, not yet redeemed
+  std::size_t results_evicted = 0;   // dropped by the retention cap
   double execute_seconds = 0;  // total wall-clock spent executing drains
+};
+
+template <int D>
+class query_service;
+
+namespace detail {
+
+/// Completion state shared between a query_service and its handles: ticket
+/// records keyed by id, plus the bounded retention buffer bookkeeping. The
+/// hub (a shared_ptr) outlives the service, so handles stay redeemable
+/// after shutdown. `mu` also guards the owning service's ingest queue and
+/// stats.
+template <int D>
+struct completion_hub {
+  struct record {
+    enum class state_t : std::uint8_t { pending, done, evicted };
+    state_t state = state_t::pending;
+    ticket_result<D> result;   // valid when state == done and !error
+    std::exception_ptr error;  // the drain group's failure, if any
+    std::function<void(ticket_result<D>&&, std::exception_ptr)> callback;
+  };
+
+  std::mutex mu;
+  std::condition_variable done_cv;  // signaled on every fulfilment
+  std::map<std::uint64_t, record> tickets;
+  std::deque<std::uint64_t> done_order;  // eviction candidates, oldest first
+  std::size_t retained = 0;              // records in state done
+  std::size_t evicted_total = 0;
+  std::size_t max_retained = 1;
+  bool closed = false;  // service stopped accepting submissions
+
+  // Called with mu held after results are stored: drops the oldest
+  // completed-but-unredeemed results until the cap holds again, then
+  // compacts the candidate deque (redemption leaves stale ids behind; a
+  // promptly-redeeming steady state would otherwise grow it forever).
+  void evict_over_cap() {
+    while (retained > max_retained && !done_order.empty()) {
+      const std::uint64_t id = done_order.front();
+      done_order.pop_front();
+      auto it = tickets.find(id);
+      if (it == tickets.end() || it->second.state != record::state_t::done) {
+        continue;  // already redeemed; stale eviction candidate
+      }
+      it->second.state = record::state_t::evicted;
+      it->second.result = ticket_result<D>{};
+      it->second.error = nullptr;
+      --retained;
+      ++evicted_total;
+    }
+    // Live done records number <= max_retained, so past 2x (+ slack) the
+    // deque is mostly stale ids; one O(size) filter re-bounds it.
+    if (done_order.size() > std::max<std::size_t>(64, 2 * max_retained)) {
+      std::deque<std::uint64_t> live;
+      for (const std::uint64_t id : done_order) {
+        auto it = tickets.find(id);
+        if (it != tickets.end() &&
+            it->second.state == record::state_t::done) {
+          live.push_back(id);
+        }
+      }
+      done_order.swap(live);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Move-only handle for one submitted batch. Redeem exactly once: `get()`
+/// blocks and returns the result (rethrowing the drain's failure, if any),
+/// `on_complete(fn)` consumes the result through a callback fired exactly
+/// once, `ready()` polls. A handle dropped unredeemed releases its result
+/// immediately. Handles outlive the service safely.
+template <int D>
+class completion {
+  using hub_t = detail::completion_hub<D>;
+  using record_t = typename hub_t::record;
+
+ public:
+  completion() = default;
+  completion(completion&& o) noexcept
+      : hub_(std::move(o.hub_)), id_(o.id_), redeemed_(o.redeemed_) {
+    o.id_ = 0;
+    o.redeemed_ = false;
+  }
+  completion& operator=(completion&& o) noexcept {
+    if (this != &o) {
+      release();
+      hub_ = std::move(o.hub_);
+      id_ = o.id_;
+      redeemed_ = o.redeemed_;
+      o.id_ = 0;
+      o.redeemed_ = false;
+    }
+    return *this;
+  }
+  completion(const completion&) = delete;
+  completion& operator=(const completion&) = delete;
+  ~completion() { release(); }
+
+  /// True if this handle came from a submit() (and was not moved from).
+  bool valid() const { return hub_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+  /// True once the result is available (get() would not block).
+  bool ready() const {
+    if (!hub_) return false;
+    if (redeemed_) return true;
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    auto it = hub_->tickets.find(id_);
+    return it == hub_->tickets.end() ||
+           it->second.state != record_t::state_t::pending;
+  }
+
+  /// Blocks until the ticket's drain completes and returns its result;
+  /// rethrows the drain group's exception if execution failed. Throws
+  /// std::logic_error on an empty handle or a second redemption, and
+  /// std::runtime_error if the result was evicted by the retention cap.
+  ticket_result<D> get() {
+    if (!hub_) {
+      throw std::logic_error("completion::get() on an empty handle "
+                             "(nothing was submitted)");
+    }
+    if (redeemed_) {
+      throw std::logic_error("completion::get() after the result was "
+                             "already consumed");
+    }
+    std::unique_lock<std::mutex> lk(hub_->mu);
+    auto it = hub_->tickets.find(id_);
+    while (it != hub_->tickets.end() &&
+           it->second.state == record_t::state_t::pending) {
+      hub_->done_cv.wait(lk);
+      it = hub_->tickets.find(id_);
+    }
+    redeemed_ = true;
+    if (it == hub_->tickets.end()) {
+      throw std::logic_error("completion::get(): ticket record missing");
+    }
+    if (it->second.state == record_t::state_t::evicted) {
+      hub_->tickets.erase(it);
+      throw std::runtime_error(
+          "completion::get(): result evicted by the retention cap "
+          "(service_config.max_retained)");
+    }
+    std::exception_ptr err = it->second.error;
+    ticket_result<D> r = std::move(it->second.result);
+    hub_->tickets.erase(it);
+    --hub_->retained;
+    lk.unlock();
+    if (err) std::rethrow_exception(err);
+    return r;
+  }
+
+  /// Registers `fn` to consume the result: fired exactly once with
+  /// (result, nullptr) on success or ({}, error) on failure/eviction —
+  /// immediately on this thread if the result is already in, otherwise
+  /// from the service thread that fulfils the ticket (where anything the
+  /// callback throws is swallowed). Counts as the handle's one redemption.
+  void on_complete(std::function<void(ticket_result<D>&&, std::exception_ptr)> fn) {
+    if (!fn) throw std::invalid_argument("on_complete: empty callback");
+    if (!hub_) {
+      throw std::logic_error("completion::on_complete() on an empty handle");
+    }
+    if (redeemed_) {
+      throw std::logic_error("completion::on_complete() after the result "
+                             "was already consumed");
+    }
+    std::unique_lock<std::mutex> lk(hub_->mu);
+    auto it = hub_->tickets.find(id_);
+    redeemed_ = true;
+    if (it == hub_->tickets.end()) {
+      throw std::logic_error("completion::on_complete(): ticket record "
+                             "missing");
+    }
+    if (it->second.state == record_t::state_t::pending) {
+      it->second.callback = std::move(fn);
+      return;
+    }
+    ticket_result<D> r;
+    std::exception_ptr err;
+    if (it->second.state == record_t::state_t::evicted) {
+      err = std::make_exception_ptr(std::runtime_error(
+          "completion::on_complete(): result evicted by the retention cap"));
+    } else {
+      err = it->second.error;
+      r = std::move(it->second.result);
+      --hub_->retained;
+    }
+    hub_->tickets.erase(it);
+    lk.unlock();
+    fn(std::move(r), err);
+  }
+
+ private:
+  friend class query_service<D>;
+  completion(std::shared_ptr<hub_t> hub, std::uint64_t id)
+      : hub_(std::move(hub)), id_(id) {}
+
+  // Dropping an unredeemed handle evicts its (current or future) result;
+  // a registered callback still fires, so its record stays.
+  void release() {
+    if (!hub_) return;
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      auto it = hub_->tickets.find(id_);
+      if (it != hub_->tickets.end() &&
+          !(it->second.state == record_t::state_t::pending &&
+            it->second.callback)) {
+        if (it->second.state == record_t::state_t::done) --hub_->retained;
+        hub_->tickets.erase(it);
+      }
+    }
+    hub_.reset();
+  }
+
+  std::shared_ptr<hub_t> hub_;
+  std::uint64_t id_ = 0;
+  bool redeemed_ = false;
 };
 
 template <int D>
@@ -109,12 +364,31 @@ class query_service {
     if (cfg_.ingest_window == 0) {
       throw std::invalid_argument("service_config.ingest_window must be >= 1");
     }
+    if (cfg_.max_retained == 0) {
+      throw std::invalid_argument("service_config.max_retained must be >= 1");
+    }
     engines_.reserve(cfg_.shards);
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       engines_.push_back(std::make_unique<query_engine<D>>(
           make_index<D>(cfg_.backend, cfg_.index)));
     }
+    hub_ = std::make_shared<detail::completion_hub<D>>();
+    hub_->max_retained = cfg_.max_retained;
+    drainer_ = std::thread([this] { drain_loop(); });
+    try {
+      readers_.reserve(cfg_.read_threads);
+      for (std::size_t i = 0; i < cfg_.read_threads; ++i) {
+        readers_.emplace_back([this] { read_loop(); });
+      }
+    } catch (...) {
+      close();  // join whatever started before rethrowing
+      throw;
+    }
   }
+
+  ~query_service() { close(); }
+  query_service(const query_service&) = delete;
+  query_service& operator=(const query_service&) = delete;
 
   const service_config& config() const { return cfg_; }
   std::size_t num_shards() const { return cfg_.shards; }
@@ -133,55 +407,61 @@ class query_service {
         [&](std::size_t s) { engines_[s]->bootstrap(parts[s]); }, 1);
   }
 
-  /// Multi-producer entry point: enqueues `batch` and returns immediately.
-  /// Safe to call from any number of threads.
-  ticket submit(std::vector<request<D>> batch) {
-    std::lock_guard<std::mutex> lk(mu_);
+  /// Multi-producer entry point: enqueues `batch` for the drain thread and
+  /// returns a completion handle immediately. Safe to call from any number
+  /// of threads. Throws once the service is closed.
+  completion<D> submit(std::vector<request<D>> batch) {
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    if (hub_->closed) {
+      throw std::runtime_error("query_service::submit() after close()");
+    }
     const std::uint64_t id = next_ticket_++;
+    hub_->tickets.emplace(id, typename detail::completion_hub<D>::record{});
     pending_.push_back(pending_entry{id, std::move(batch), timer{}});
     ++stats_.num_tickets;
-    return ticket{id};
+    work_cv_.notify_one();
+    return completion<D>(hub_, id);
   }
 
-  /// Blocks until ticket `t`'s batch has executed and returns its responses
-  /// in submission order. The calling thread may be drafted to drain the
-  /// ingest queue. Each ticket must be waited on exactly once.
-  ticket_result<D> wait(ticket t) {
-    std::unique_lock<std::mutex> lk(mu_);
-    if (t.id == 0 || t.id >= next_ticket_) {
-      throw std::invalid_argument("wait() on a ticket never submitted");
-    }
-    for (;;) {
-      auto it = done_.find(t.id);
-      if (it != done_.end()) {
-        done_entry de = std::move(it->second);
-        done_.erase(it);
-        if (de.error) std::rethrow_exception(de.error);
-        return std::move(de.result);
-      }
-      // Drains are FIFO over monotonically assigned ids, so any id at or
-      // below the completion watermark that is not in done_ was redeemed.
-      if (t.id <= completed_upto_) {
-        throw std::invalid_argument("wait() on a ticket already redeemed");
-      }
-      if (!draining_ && !pending_.empty()) {
-        drain(lk);
-        continue;
-      }
-      cv_.wait(lk);
-    }
-  }
-
-  /// Single-caller convenience: submit + wait.
+  /// Single-caller convenience: submit + get.
   batch_result<D> execute(std::vector<request<D>> batch) {
-    auto r = wait(submit(std::move(batch)));
+    auto r = submit(std::move(batch)).get();
     return batch_result<D>{std::move(r.responses), std::move(r.stats)};
   }
 
-  /// Ingest/drain counters. Safe to call concurrently with submitters.
+  /// Orderly shutdown: stops intake, flushes every in-flight ticket
+  /// through the drain pipeline (results stay redeemable from their
+  /// handles), and joins the service threads. Idempotent; also run by the
+  /// destructor. Submissions racing close() either enter before the cut
+  /// (and are flushed) or throw.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      hub_->closed = true;
+      work_cv_.notify_all();
+    }
+    std::lock_guard<std::mutex> cg(close_mu_);
+    if (threads_joined_) return;
+    if (drainer_.joinable()) drainer_.join();
+    {
+      std::lock_guard<std::mutex> lk(read_mu_);
+      read_shutdown_ = true;
+      read_cv_.notify_all();
+    }
+    for (auto& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    threads_joined_ = true;
+  }
+
+  /// Ingest/drain/retention counters. Safe to call concurrently with
+  /// submitters and the drain pipeline.
   service_stats stats() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    service_stats s = stats_;
+    s.results_retained = hub_->retained;
+    s.results_evicted = hub_->evicted_total;
+    return s;
   }
 
   /// Total points across shards. Quiescent callers only.
@@ -208,74 +488,273 @@ class query_service {
     timer clock;  // started at submit; read when the ticket completes
   };
 
-  struct done_entry {
-    ticket_result<D> result;
-    std::exception_ptr error;  // set if the ticket's drain group threw
+  /// A read-only drain group, fully routed and epoch-stamped by the drain
+  /// thread, executed by a snapshot-read executor.
+  struct read_task {
+    std::vector<pending_entry> group;
+    std::vector<request<D>> combined;               // group batches, FIFO
+    std::vector<std::vector<request<D>>> sub;       // per-shard requests
+    std::vector<std::vector<std::size_t>> sub_idx;  // -> combined index
+    std::vector<std::shared_ptr<const index_snapshot<D>>> snaps;
+    std::size_t total = 0;
+    bool pinned = false;  // holds the write gate (non-isolated snapshot)
   };
 
-  // ---- ingest queue -------------------------------------------------------
+  static bool batch_is_read_only(const std::vector<request<D>>& batch) {
+    for (const auto& r : batch) {
+      if (!is_read(r.kind)) return false;
+    }
+    return true;
+  }
 
-  // Takes a FIFO group of pending batches (bounded by ingest_window
-  // requests), executes it unlocked, then fulfils every ticket in the
-  // group. If execution throws, the group's tickets complete with the
-  // captured exception (rethrown by their wait()) instead of leaving
-  // draining_ stuck and every waiter parked forever. Called with `lk`
-  // held; returns with it held.
-  void drain(std::unique_lock<std::mutex>& lk) {
-    draining_ = true;
-    std::vector<pending_entry> group;
-    std::size_t total = 0;
-    while (!pending_.empty() &&
-           (group.empty() ||
-            total + pending_.front().batch.size() <= cfg_.ingest_window)) {
-      total += pending_.front().batch.size();
+  // ---- drain pipeline -----------------------------------------------------
+
+  // The dedicated drainer: pops FIFO groups of same-kind tickets (read-only
+  // vs writing, bounded by ingest_window requests), executes write groups
+  // in place, and hands read groups — routed and snapshot-stamped — to the
+  // read pool. Exits once closed and the queue is flushed.
+  void drain_loop() {
+    for (;;) {
+      std::unique_lock<std::mutex> lk(hub_->mu);
+      work_cv_.wait(lk, [&] { return hub_->closed || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (hub_->closed) return;
+        continue;
+      }
+      const bool read_group =
+          cfg_.read_threads > 0 && batch_is_read_only(pending_.front().batch);
+      std::vector<pending_entry> group;
       group.push_back(std::move(pending_.front()));
       pending_.pop_front();
+      std::size_t total = group.front().batch.size();
+      while (!pending_.empty()) {
+        const auto& next = pending_.front();
+        if (total + next.batch.size() > cfg_.ingest_window) break;
+        if (cfg_.read_threads > 0 &&
+            batch_is_read_only(next.batch) != read_group) {
+          break;
+        }
+        total += next.batch.size();
+        group.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      lk.unlock();
+      if (read_group) {
+        dispatch_read_group(std::move(group), total);
+      } else {
+        run_sync_group(std::move(group), total);
+      }
     }
-    lk.unlock();
+  }
 
+  // Executes a writing (or pool-disabled) group on the drain thread with
+  // the engine's phase discipline, after waiting out pinned readers.
+  void run_sync_group(std::vector<pending_entry> group, std::size_t total) {
+    std::vector<request<D>> combined;
+    combined.reserve(total);
+    for (const auto& e : group) {
+      combined.insert(combined.end(), e.batch.begin(), e.batch.end());
+    }
+    wait_for_pinned_readers();
     batch_result<D> result;
     std::exception_ptr error;
     try {
-      std::vector<request<D>> combined;
-      combined.reserve(total);
-      for (const auto& e : group) {
-        combined.insert(combined.end(), e.batch.begin(), e.batch.end());
-      }
       result = run_group(combined);
     } catch (...) {
       error = std::current_exception();
     }
+    const double secs = result.stats.seconds;
+    fulfill_group(std::move(group), total, std::move(result), error,
+                  /*snapshot_epoch=*/0, /*read_group=*/false,
+                  /*lagged=*/false, secs);
+  }
 
-    lk.lock();
-    std::size_t off = 0;
-    for (auto& e : group) {
-      done_entry de;
-      de.error = error;
-      if (!error) {
-        de.result.responses.assign(
-            std::make_move_iterator(result.responses.begin() + off),
-            std::make_move_iterator(result.responses.begin() + off +
-                                    e.batch.size()));
-        de.result.stats = result.stats;
-      }
-      de.result.latency_seconds = e.clock.elapsed();
-      off += e.batch.size();
-      done_.emplace(e.id, std::move(de));
+  // Routes and epoch-stamps a read-only group on the drain thread (so its
+  // snapshots observe exactly the writes that preceded it in FIFO order),
+  // then enqueues it for the read pool and returns immediately.
+  void dispatch_read_group(std::vector<pending_entry> group,
+                           std::size_t total) {
+    read_task task;
+    task.group = std::move(group);
+    task.total = total;
+    task.combined.reserve(total);
+    for (const auto& e : task.group) {
+      task.combined.insert(task.combined.end(), e.batch.begin(),
+                           e.batch.end());
     }
-    completed_upto_ = group.back().id;
-    ++stats_.num_drains;
-    stats_.num_requests += total;
-    stats_.execute_seconds += result.stats.seconds;
-    draining_ = false;
-    cv_.notify_all();
+    task.sub.resize(cfg_.shards);
+    task.sub_idx.resize(cfg_.shards);
+    for (std::size_t i = 0; i < task.combined.size(); ++i) {
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (!shard_serves(s, task.combined[i])) continue;
+        task.sub[s].push_back(task.combined[i]);
+        task.sub_idx[s].push_back(i);
+      }
+    }
+    task.snaps.resize(cfg_.shards);
+    bool need_pin = false;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      task.snaps[s] = engines_[s]->index().snapshot();
+      if (!task.snaps[s]->isolated()) need_pin = true;
+    }
+    if (need_pin) {
+      std::lock_guard<std::mutex> g(gate_mu_);
+      ++pins_;
+      task.pinned = true;
+    }
+    {
+      std::lock_guard<std::mutex> lk(read_mu_);
+      read_q_.push_back(std::move(task));
+    }
+    read_cv_.notify_one();
+  }
+
+  // Snapshot-read executors: drain the read queue until shutdown.
+  void read_loop() {
+    for (;;) {
+      read_task task;
+      {
+        std::unique_lock<std::mutex> lk(read_mu_);
+        read_cv_.wait(lk, [&] { return read_shutdown_ || !read_q_.empty(); });
+        if (read_q_.empty()) return;  // shutdown, queue flushed
+        task = std::move(read_q_.front());
+        read_q_.pop_front();
+      }
+      run_read_task(std::move(task));
+    }
+  }
+
+  // Executes one read group against its epoch snapshots and fulfils it.
+  void run_read_task(read_task task) {
+    timer clock;
+    batch_result<D> result;
+    std::exception_ptr error;
+    std::uint64_t snap_epoch = 0;
+    try {
+      result.responses.resize(task.combined.size());
+      std::vector<batch_result<D>> shard_res(cfg_.shards);
+      par::parallel_for(
+          0, cfg_.shards,
+          [&](std::size_t s) {
+            if (!task.sub[s].empty()) {
+              shard_res[s] =
+                  query_engine<D>::execute_reads(task.sub[s], *task.snaps[s]);
+            }
+          },
+          1);
+      merge_shard_reads(task.combined, 0, task.combined.size(), task.sub_idx,
+                        shard_res, result.responses);
+      for (std::size_t i = 0; i < task.combined.size(); ++i) {
+        result.responses[i].kind = task.combined[i].kind;
+        result.responses[i].phase = 0;
+      }
+      for (const auto& snap : task.snaps) {
+        snap_epoch = std::max(snap_epoch, snap->epoch());
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double secs = clock.elapsed();
+    result.stats.num_requests = task.total;
+    result.stats.num_reads = task.total;
+    result.stats.seconds = secs;
+    result.stats.phases = {
+        {task.combined.empty() ? op::knn : task.combined.front().kind,
+         task.total, secs}};
+    // Lag is judged before unpinning: any divergence here means a write
+    // drain advanced the live index while this read was executing.
+    bool lagged = false;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (task.snaps[s] &&
+          task.snaps[s]->epoch() != engines_[s]->index().epoch()) {
+        lagged = true;
+      }
+    }
+    if (task.pinned) {
+      std::lock_guard<std::mutex> g(gate_mu_);
+      --pins_;
+      gate_cv_.notify_all();
+    }
+    fulfill_group(std::move(task.group), task.total, std::move(result), error,
+                  snap_epoch, /*read_group=*/true, lagged, secs);
+  }
+
+  // Slices a drain group's combined result back into per-ticket results,
+  // stores (or callback-delivers) each, enforces the retention cap, and
+  // updates stats. Callbacks fire outside the lock, in ticket order.
+  void fulfill_group(std::vector<pending_entry> group, std::size_t total,
+                     batch_result<D> result, std::exception_ptr error,
+                     std::uint64_t snap_epoch, bool read_group, bool lagged,
+                     double exec_seconds) {
+    using record_t = typename detail::completion_hub<D>::record;
+    std::vector<std::pair<
+        std::function<void(ticket_result<D>&&, std::exception_ptr)>,
+        ticket_result<D>>>
+        callbacks;
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      std::size_t off = 0;
+      for (auto& e : group) {
+        ticket_result<D> tr;
+        if (!error) {
+          tr.responses.assign(
+              std::make_move_iterator(result.responses.begin() + off),
+              std::make_move_iterator(result.responses.begin() + off +
+                                      e.batch.size()));
+          tr.stats = result.stats;
+        }
+        tr.latency_seconds = e.clock.elapsed();
+        tr.snapshot_epoch = snap_epoch;
+        off += e.batch.size();
+        auto it = hub_->tickets.find(e.id);
+        if (it == hub_->tickets.end()) continue;  // handle dropped: evict now
+        if (it->second.callback) {
+          callbacks.emplace_back(std::move(it->second.callback),
+                                 std::move(tr));
+          hub_->tickets.erase(it);
+        } else {
+          it->second.state = record_t::state_t::done;
+          it->second.result = std::move(tr);
+          it->second.error = error;
+          hub_->done_order.push_back(e.id);
+          ++hub_->retained;
+        }
+      }
+      hub_->evict_over_cap();
+      ++stats_.num_drains;
+      if (read_group) {
+        ++stats_.num_read_groups;
+        if (lagged) ++stats_.snapshot_lag_drains;
+      } else {
+        ++stats_.num_write_groups;
+      }
+      stats_.num_requests += total;
+      stats_.execute_seconds += exec_seconds;
+      hub_->done_cv.notify_all();
+    }
+    for (auto& [fn, tr] : callbacks) {
+      try {
+        fn(std::move(tr), error);
+      } catch (...) {
+        // A throwing callback must not unwind a service thread (that would
+        // std::terminate the process). Swallow; the ticket was delivered.
+      }
+    }
+  }
+
+  // Writes may not run while a pinned (non-isolated) snapshot read is in
+  // flight. Only the drain thread pins, so no new pins can appear while it
+  // waits here.
+  void wait_for_pinned_readers() {
+    std::unique_lock<std::mutex> lk(gate_mu_);
+    gate_cv_.wait(lk, [&] { return pins_ == 0; });
   }
 
   // ---- sharded execution --------------------------------------------------
 
   // Executes one combined stream with the engine's phase discipline
   // (execute_phases): writes routed to owning shards, reads scattered and
-  // merged. Only ever called by the active drainer.
+  // merged. Only ever called by the drain thread.
   batch_result<D> run_group(const std::vector<request<D>>& batch) {
     // One shard: the engine IS the logical index — skip the scatter/gather
     // bookkeeping and the redundant k-NN re-sort entirely.
@@ -334,9 +813,18 @@ class query_service {
           if (!sub[s].empty()) shard_res[s] = engines_[s]->execute(sub[s]);
         },
         1);
+    merge_shard_reads(batch, begin, end, sub_idx, shard_res, responses);
+  }
 
-    // Gather-merge: range rows concatenate; k-NN rows collect candidates
-    // from every shard, then re-sort by distance and truncate to k.
+  // Gather-merge for scattered reads: range rows concatenate; k-NN rows
+  // collect candidates from every shard, then re-sort by distance and
+  // truncate to k. `sub_idx` indexes `batch` absolutely; rows land in
+  // `responses[begin..end)`.
+  void merge_shard_reads(const std::vector<request<D>>& batch,
+                         std::size_t begin, std::size_t end,
+                         const std::vector<std::vector<std::size_t>>& sub_idx,
+                         std::vector<batch_result<D>>& shard_res,
+                         std::vector<response<D>>& responses) const {
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       for (std::size_t j = 0; j < sub_idx[s].size(); ++j) {
         auto& dst = responses[sub_idx[s][j]].points;
@@ -348,6 +836,7 @@ class query_service {
         }
       }
     }
+    if (cfg_.shards == 1) return;  // single source: rows are already exact
     for (std::size_t i = begin; i < end; ++i) {
       if (batch[i].kind != op::knn) continue;
       auto& row = responses[i].points;
@@ -442,19 +931,36 @@ class query_service {
   std::vector<std::unique_ptr<query_engine<D>>> engines_;
 
   // Spatial stripes; fixed once set (no rebalancing), so write routing and
-  // read pruning agree forever. Only touched by bootstrap or the drainer.
+  // read pruning agree forever. Only touched by bootstrap or the drain
+  // thread (read tasks receive routed sub-batches, never raw bounds).
   int split_dim_ = 0;
   std::vector<double> bounds_;
   bool bounds_set_ = false;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Ingest queue + completion state. hub_->mu guards pending_, next_ticket_
+  // and stats_ as well; the hub outlives the service for late redemptions.
+  std::shared_ptr<detail::completion_hub<D>> hub_;
+  std::condition_variable work_cv_;  // drain thread wakeup (hub_->mu)
   std::deque<pending_entry> pending_;
-  std::map<std::uint64_t, done_entry> done_;
-  bool draining_ = false;  // at most one waiter executes at a time
   std::uint64_t next_ticket_ = 1;
-  std::uint64_t completed_upto_ = 0;  // highest fulfilled ticket id
   service_stats stats_;
+
+  // Write gate: pinned (non-isolated) snapshot reads in flight. Only the
+  // drain thread pins; only read executors unpin.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  std::size_t pins_ = 0;
+
+  // Snapshot-read executor pool.
+  std::mutex read_mu_;
+  std::condition_variable read_cv_;
+  std::deque<read_task> read_q_;
+  bool read_shutdown_ = false;
+
+  std::mutex close_mu_;
+  bool threads_joined_ = false;
+  std::thread drainer_;
+  std::vector<std::thread> readers_;
 };
 
 // The common dimensions are instantiated once in query_service.cpp.

@@ -14,6 +14,23 @@
 // multiple times — see bdl_tree's class comment); k-NN rows are sorted by
 // distance and have min(k, size()) entries; range results are unordered.
 //
+// *Epochs and snapshots.* Every adapter carries a monotonically increasing
+// write epoch (bumped by build and by each content-changing write batch)
+// and can publish an `index_snapshot<D>` — a read-only view of the contents
+// as of the snapshot's epoch. Snapshots come in two strengths, reported by
+// `isolated()`:
+//
+//   - *Isolated* (kdtree, zdtree): the snapshot owns (or shares immutably)
+//     everything it needs, so queries against it remain exact while the
+//     live index absorbs further writes concurrently. The kd-tree snapshot
+//     shares the immutable tree + base array and copies the bounded
+//     buffered-writes multisets; the Zd-tree adapter is copy-on-write over
+//     the Morton array, so a snapshot is one shared_ptr.
+//   - *Pinned* (bdltree): the snapshot is a view of the live forest at its
+//     structural epoch. It is exact only while no write runs; callers (the
+//     query_service drain pipeline) must exclude writes for the duration of
+//     the read, and must not outlive the owning index.
+//
 // The kd-tree backend is the static baseline the paper compares
 // batch-dynamic structures against: updates are served by rebuilding. A
 // rebuild-threshold policy softens the pathology — writes are buffered in a
@@ -23,6 +40,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -58,6 +77,32 @@ inline backend backend_from_string(const std::string& s) {
                               "' (want kdtree|zdtree|bdltree)");
 }
 
+/// Read-only, epoch-stamped view of an index's contents. Query semantics
+/// match the owning spatial_index exactly (as of `epoch()`). See the header
+/// comment for the isolated-vs-pinned contract.
+template <int D>
+class index_snapshot {
+ public:
+  virtual ~index_snapshot() = default;
+
+  /// The owning index's write epoch when this snapshot was taken.
+  virtual std::uint64_t epoch() const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// True if queries stay exact while the owning index absorbs further
+  /// writes; false if the caller must exclude concurrent writes (and keep
+  /// the owning index alive) for the snapshot's lifetime.
+  virtual bool isolated() const = 0;
+
+  virtual std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const = 0;
+  virtual std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const = 0;
+  virtual std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const = 0;
+};
+
 /// Abstract batched spatial index. All batch entry points are internally
 /// data-parallel; callers hand over whole batches and get per-query rows
 /// back in input order.
@@ -68,6 +113,15 @@ class spatial_index {
 
   virtual backend kind() const = 0;
   virtual std::size_t size() const = 0;
+
+  /// Monotonic write-epoch counter: bumped by build() and by every
+  /// content-changing batch_insert/batch_erase. Safe to read concurrently
+  /// with writes (it is an atomic counter, not a structure guard).
+  virtual std::uint64_t epoch() const = 0;
+
+  /// Publishes a read snapshot of the current contents at the current
+  /// epoch. Cost: O(buffered writes) for kdtree, O(1) for zdtree/bdltree.
+  virtual std::shared_ptr<const index_snapshot<D>> snapshot() const = 0;
 
   /// Replaces the stored set with `pts`.
   virtual void build(const std::vector<point<D>>& pts) = 0;
@@ -92,6 +146,180 @@ class spatial_index {
   virtual std::vector<point<D>> gather() const = 0;
 };
 
+namespace detail {
+
+/// The kd-tree backend's queryable state: an immutable tree over an
+/// immutable base array (both shared, so views are cheap to copy and
+/// survive rebuild swaps) plus the buffered-writes multisets. All merged
+/// query logic lives here; kdtree_index mutates a view in place and
+/// kdtree snapshots copy one.
+template <int D>
+struct kdtree_view {
+  std::shared_ptr<const kdtree::tree<D>> tree;
+  std::shared_ptr<const std::vector<point<D>>> base;
+  std::map<point<D>, std::size_t> add;  // buffered inserts (with counts)
+  std::map<point<D>, std::size_t> del;  // buffered erases against base
+  std::size_t num_add = 0;
+  std::size_t num_del = 0;
+
+  std::size_t size() const { return base->size() + num_add - num_del; }
+
+  // Base copies surviving the erase buffer, plus all buffered inserts —
+  // the view's logical contents.
+  std::vector<point<D>> materialize() const {
+    std::vector<point<D>> out;
+    out.reserve(size());
+    auto pending_del = del;
+    for (const auto& p : *base) {
+      auto it = pending_del.find(p);
+      if (it != pending_del.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      out.push_back(p);
+    }
+    for (const auto& [p, c] : add) out.insert(out.end(), c, p);
+    return out;
+  }
+
+  // Drops erased copies from a tree result (ids into *base). Which of the
+  // identical copies of a value gets dropped is immaterial.
+  std::vector<point<D>> filter_base(const std::vector<std::size_t>& ids) const {
+    std::vector<point<D>> out;
+    out.reserve(ids.size());
+    if (del.empty()) {
+      for (std::size_t id : ids) out.push_back((*base)[id]);
+      return out;
+    }
+    std::map<point<D>, std::size_t> skipped;
+    for (std::size_t id : ids) {
+      const auto& p = (*base)[id];
+      auto dit = del.find(p);
+      if (dit != del.end()) {
+        auto& s = skipped[p];
+        if (s < dit->second) {
+          ++s;
+          continue;
+        }
+      }
+      out.push_back(p);
+    }
+    return out;
+  }
+
+  std::vector<point<D>> knn_one(const point<D>& q, std::size_t k) const {
+    if (k == 0 || size() == 0) return {};
+    // Over-fetch by the erase-buffer size: of the k + num_del nearest base
+    // points at most num_del are erased, so >= min(k, live) survive.
+    auto entries = tree->knn(q, k + num_del);
+    std::vector<std::pair<double, point<D>>> cand;
+    cand.reserve(entries.size() + num_add);
+    std::map<point<D>, std::size_t> skipped;
+    for (const auto& e : entries) {
+      const auto& p = (*base)[e.id];
+      auto dit = del.find(p);
+      if (dit != del.end()) {
+        auto& s = skipped[p];
+        if (s < dit->second) {
+          ++s;
+          continue;
+        }
+      }
+      cand.emplace_back(e.dist_sq, p);
+    }
+    for (const auto& [p, c] : add) {
+      cand.insert(cand.end(), c, std::make_pair(p.dist_sq(q), p));
+    }
+    std::stable_sort(cand.begin(), cand.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<point<D>> out;
+    out.reserve(std::min(k, cand.size()));
+    for (std::size_t i = 0; i < cand.size() && i < k; ++i) {
+      out.push_back(cand[i].second);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const {
+    std::vector<std::vector<point<D>>> out(queries.size());
+    par::parallel_for(
+        0, queries.size(),
+        [&](std::size_t i) { out[i] = knn_one(queries[i], k); }, 16);
+    return out;
+  }
+
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const {
+    std::vector<std::vector<point<D>>> out(boxes.size());
+    par::parallel_for(
+        0, boxes.size(),
+        [&](std::size_t i) {
+          out[i] = filter_base(tree->range_box(boxes[i]));
+          for (const auto& [p, c] : add) {
+            if (boxes[i].contains(p)) out[i].insert(out[i].end(), c, p);
+          }
+        },
+        16);
+    return out;
+  }
+
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const {
+    std::vector<std::vector<point<D>>> out(centers.size());
+    par::parallel_for(
+        0, centers.size(),
+        [&](std::size_t i) {
+          out[i] = filter_base(tree->range_ball(centers[i], radii[i]));
+          for (const auto& [p, c] : add) {
+            if (p.dist_sq(centers[i]) <= radii[i] * radii[i]) {
+              out[i].insert(out[i].end(), c, p);
+            }
+          }
+        },
+        16);
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Isolated kd-tree snapshot: shares the immutable tree + base array with
+/// the live index and owns a copy of the (bounded) buffered-writes
+/// multisets, so it answers exactly as of its epoch regardless of what the
+/// live index does afterwards.
+template <int D>
+class kdtree_snapshot final : public index_snapshot<D> {
+ public:
+  kdtree_snapshot(detail::kdtree_view<D> view, std::uint64_t epoch)
+      : view_(std::move(view)), epoch_(epoch) {}
+
+  std::uint64_t epoch() const override { return epoch_; }
+  std::size_t size() const override { return view_.size(); }
+  bool isolated() const override { return true; }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const override {
+    return view_.batch_knn(queries, k);
+  }
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const override {
+    return view_.batch_range(boxes);
+  }
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const override {
+    return view_.batch_ball(centers, radii);
+  }
+
+ private:
+  detail::kdtree_view<D> view_;
+  std::uint64_t epoch_;
+};
+
 /// Static kd-tree backend with a rebuild-threshold policy: writes accumulate
 /// in a pending buffer (insert counts plus erase counts against the indexed
 /// base) and the tree is only rebuilt when the pending volume exceeds
@@ -114,31 +342,39 @@ class kdtree_index final : public spatial_index<D> {
       double rebuild_threshold = kDefaultRebuildThreshold)
       : policy_(policy), leaf_size_(leaf_size),
         rebuild_threshold_(rebuild_threshold) {
+    view_.base = std::make_shared<const std::vector<point<D>>>();
     rebuild();
   }
 
   backend kind() const override { return backend::kdtree; }
-  std::size_t size() const override {
-    return base_.size() + num_add_ - num_del_;
+  std::size_t size() const override { return view_.size(); }
+  std::uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
   }
 
   /// Observability for the rebuild policy: trees built so far and writes
   /// currently buffered.
   std::size_t rebuild_count() const { return rebuilds_; }
-  std::size_t pending_writes() const { return num_add_ + num_del_; }
+  std::size_t pending_writes() const { return view_.num_add + view_.num_del; }
+
+  std::shared_ptr<const index_snapshot<D>> snapshot() const override {
+    return std::make_shared<kdtree_snapshot<D>>(view_, epoch());
+  }
 
   void build(const std::vector<point<D>>& pts) override {
-    base_ = pts;
+    view_.base = std::make_shared<const std::vector<point<D>>>(pts);
     clear_pending();
     rebuild();
+    bump_epoch();
   }
 
   void batch_insert(const std::vector<point<D>>& pts) override {
     if (pts.empty()) return;
     for (const auto& p : pts) {
-      ++add_[p];
-      ++num_add_;
+      ++view_.add[p];
+      ++view_.num_add;
     }
+    bump_epoch();
     maybe_rebuild();
   }
 
@@ -146,241 +382,256 @@ class kdtree_index final : public spatial_index<D> {
     if (pts.empty() || size() == 0) return;
     // Multiset removal: each batch entry consumes at most one stored copy —
     // a buffered insert if one exists, else a live base copy.
+    bool changed = false;
     for (const auto& p : pts) {
-      auto ait = add_.find(p);
-      if (ait != add_.end() && ait->second > 0) {
-        if (--ait->second == 0) add_.erase(ait);
-        --num_add_;
+      auto ait = view_.add.find(p);
+      if (ait != view_.add.end() && ait->second > 0) {
+        if (--ait->second == 0) view_.add.erase(ait);
+        --view_.num_add;
+        changed = true;
         continue;
       }
       auto bit = base_count_.find(p);
       const std::size_t in_base = bit == base_count_.end() ? 0 : bit->second;
-      auto dit = del_.find(p);
-      const std::size_t already = dit == del_.end() ? 0 : dit->second;
+      auto dit = view_.del.find(p);
+      const std::size_t already = dit == view_.del.end() ? 0 : dit->second;
       if (in_base > already) {
-        ++del_[p];
-        ++num_del_;
+        ++view_.del[p];
+        ++view_.num_del;
+        changed = true;
       }
     }
+    // A batch that matched nothing changed nothing: the epoch (and any
+    // snapshot-lag accounting built on it) must not move.
+    if (!changed) return;
+    bump_epoch();
     maybe_rebuild();
   }
 
   std::vector<std::vector<point<D>>> batch_knn(
       const std::vector<point<D>>& queries, std::size_t k) const override {
-    std::vector<std::vector<point<D>>> out(queries.size());
-    par::parallel_for(
-        0, queries.size(),
-        [&](std::size_t i) { out[i] = knn_one(queries[i], k); }, 16);
-    return out;
+    return view_.batch_knn(queries, k);
   }
 
   std::vector<std::vector<point<D>>> batch_range(
       const std::vector<aabb<D>>& boxes) const override {
-    std::vector<std::vector<point<D>>> out(boxes.size());
-    par::parallel_for(
-        0, boxes.size(),
-        [&](std::size_t i) {
-          out[i] = filter_base(tree_->range_box(boxes[i]));
-          for (const auto& [p, c] : add_) {
-            if (boxes[i].contains(p)) out[i].insert(out[i].end(), c, p);
-          }
-        },
-        16);
-    return out;
+    return view_.batch_range(boxes);
   }
 
   std::vector<std::vector<point<D>>> batch_ball(
       const std::vector<point<D>>& centers,
       const std::vector<double>& radii) const override {
-    std::vector<std::vector<point<D>>> out(centers.size());
-    par::parallel_for(
-        0, centers.size(),
-        [&](std::size_t i) {
-          out[i] = filter_base(tree_->range_ball(centers[i], radii[i]));
-          for (const auto& [p, c] : add_) {
-            if (p.dist_sq(centers[i]) <= radii[i] * radii[i]) {
-              out[i].insert(out[i].end(), c, p);
-            }
-          }
-        },
-        16);
-    return out;
+    return view_.batch_ball(centers, radii);
   }
 
-  std::vector<point<D>> gather() const override { return materialize(); }
+  std::vector<point<D>> gather() const override { return view_.materialize(); }
 
  private:
-  // Base copies surviving the erase buffer, plus all buffered inserts —
-  // the index's current logical contents.
-  std::vector<point<D>> materialize() const {
-    std::vector<point<D>> out;
-    out.reserve(size());
-    auto del = del_;
-    for (const auto& p : base_) {
-      auto it = del.find(p);
-      if (it != del.end() && it->second > 0) {
-        --it->second;
-        continue;
-      }
-      out.push_back(p);
-    }
-    for (const auto& [p, c] : add_) out.insert(out.end(), c, p);
-    return out;
-  }
-
-  // Drops erased copies from a tree result (ids into base_). Which of the
-  // identical copies of a value gets dropped is immaterial.
-  std::vector<point<D>> filter_base(const std::vector<std::size_t>& ids) const {
-    std::vector<point<D>> out;
-    out.reserve(ids.size());
-    if (del_.empty()) {
-      for (std::size_t id : ids) out.push_back(base_[id]);
-      return out;
-    }
-    std::map<point<D>, std::size_t> skipped;
-    for (std::size_t id : ids) {
-      const auto& p = base_[id];
-      auto dit = del_.find(p);
-      if (dit != del_.end()) {
-        auto& s = skipped[p];
-        if (s < dit->second) {
-          ++s;
-          continue;
-        }
-      }
-      out.push_back(p);
-    }
-    return out;
-  }
-
-  std::vector<point<D>> knn_one(const point<D>& q, std::size_t k) const {
-    if (k == 0 || size() == 0) return {};
-    // Over-fetch by the erase-buffer size: of the k + num_del_ nearest base
-    // points at most num_del_ are erased, so >= min(k, live) survive.
-    auto entries = tree_->knn(q, k + num_del_);
-    std::vector<std::pair<double, point<D>>> cand;
-    cand.reserve(entries.size() + num_add_);
-    std::map<point<D>, std::size_t> skipped;
-    for (const auto& e : entries) {
-      const auto& p = base_[e.id];
-      auto dit = del_.find(p);
-      if (dit != del_.end()) {
-        auto& s = skipped[p];
-        if (s < dit->second) {
-          ++s;
-          continue;
-        }
-      }
-      cand.emplace_back(e.dist_sq, p);
-    }
-    for (const auto& [p, c] : add_) {
-      cand.insert(cand.end(), c, std::make_pair(p.dist_sq(q), p));
-    }
-    std::stable_sort(cand.begin(), cand.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first < b.first;
-                     });
-    std::vector<point<D>> out;
-    out.reserve(std::min(k, cand.size()));
-    for (std::size_t i = 0; i < cand.size() && i < k; ++i) {
-      out.push_back(cand[i].second);
-    }
-    return out;
-  }
+  void bump_epoch() { epoch_.fetch_add(1, std::memory_order_release); }
 
   void maybe_rebuild() {
-    const std::size_t pending = num_add_ + num_del_;
+    const std::size_t pending = view_.num_add + view_.num_del;
     if (pending == 0) return;  // e.g. an erase batch that matched nothing
     // Queries pay O(pending) for the buffer merge, so an absolute cap
     // bounds per-query cost even when the fractional threshold would let
     // the buffer grow with the tree.
     if (rebuild_threshold_ > 0 && pending <= kMaxPending &&
         static_cast<double>(pending) <=
-            rebuild_threshold_ * static_cast<double>(base_.size())) {
+            rebuild_threshold_ * static_cast<double>(view_.base->size())) {
       return;
     }
-    base_ = materialize();
+    view_.base =
+        std::make_shared<const std::vector<point<D>>>(view_.materialize());
     clear_pending();
     rebuild();
   }
 
   void clear_pending() {
-    add_.clear();
-    del_.clear();
-    num_add_ = num_del_ = 0;
+    view_.add.clear();
+    view_.del.clear();
+    view_.num_add = view_.num_del = 0;
   }
 
+  // Builds a fresh immutable tree over the current base and publishes it by
+  // shared_ptr swap — live snapshots keep the tree they captured.
   void rebuild() {
-    tree_ = std::make_unique<kdtree::tree<D>>(base_, policy_, leaf_size_);
+    view_.tree = std::make_shared<const kdtree::tree<D>>(*view_.base, policy_,
+                                                         leaf_size_);
     base_count_.clear();
-    for (const auto& p : base_) ++base_count_[p];
+    for (const auto& p : *view_.base) ++base_count_[p];
     ++rebuilds_;
   }
 
   kdtree::split_policy policy_;
   std::size_t leaf_size_;
   double rebuild_threshold_;
-  std::vector<point<D>> base_;               // points indexed by tree_
+  detail::kdtree_view<D> view_;
   std::map<point<D>, std::size_t> base_count_;
-  std::map<point<D>, std::size_t> add_;      // buffered inserts (with counts)
-  std::map<point<D>, std::size_t> del_;      // buffered erases against base_
-  std::size_t num_add_ = 0;
-  std::size_t num_del_ = 0;
   std::size_t rebuilds_ = 0;
-  std::unique_ptr<kdtree::tree<D>> tree_;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
-/// Morton-array backend (2D/3D only, like the original Zd-tree): updates are
-/// sorted merges/filters, queries run over the implicit segment hierarchy.
+namespace detail {
+
+// Shared query wrappers over an immutable zd_tree, used by the live adapter
+// and its snapshots alike.
+template <int D>
+std::vector<std::vector<point<D>>> zd_batch_range(
+    const zdtree::zd_tree<D>& tree, const std::vector<aabb<D>>& boxes) {
+  std::vector<std::vector<point<D>>> out(boxes.size());
+  par::parallel_for(
+      0, boxes.size(),
+      [&](std::size_t i) { tree.range_box(boxes[i], out[i]); }, 16);
+  return out;
+}
+
+template <int D>
+std::vector<std::vector<point<D>>> zd_batch_ball(
+    const zdtree::zd_tree<D>& tree, const std::vector<point<D>>& centers,
+    const std::vector<double>& radii) {
+  std::vector<std::vector<point<D>>> out(centers.size());
+  par::parallel_for(
+      0, centers.size(),
+      [&](std::size_t i) { tree.range_ball(centers[i], radii[i], out[i]); },
+      16);
+  return out;
+}
+
+}  // namespace detail
+
+/// Isolated Zd-tree snapshot: shares one immutable Morton-array version
+/// with the (copy-on-write) live adapter.
+template <int D>
+class zdtree_snapshot final : public index_snapshot<D> {
+ public:
+  zdtree_snapshot(std::shared_ptr<const zdtree::zd_tree<D>> tree,
+                  std::uint64_t epoch)
+      : tree_(std::move(tree)), epoch_(epoch) {}
+
+  std::uint64_t epoch() const override { return epoch_; }
+  std::size_t size() const override { return tree_->size(); }
+  bool isolated() const override { return true; }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const override {
+    return tree_->knn(queries, k);
+  }
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const override {
+    return detail::zd_batch_range(*tree_, boxes);
+  }
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const override {
+    return detail::zd_batch_ball(*tree_, centers, radii);
+  }
+
+ private:
+  std::shared_ptr<const zdtree::zd_tree<D>> tree_;
+  std::uint64_t epoch_;
+};
+
+/// Morton-array backend (2D/3D only, like the original Zd-tree): updates
+/// are sorted merges/filters, queries run over the implicit segment
+/// hierarchy. The adapter is copy-on-write: each write batch derives a new
+/// array version and publishes it by shared_ptr swap, which makes snapshots
+/// O(1) and fully isolated (the array merge already rewrites O(n + B)
+/// elements, so the extra copy only changes the constant).
 template <int D>
 class zdtree_index final : public spatial_index<D> {
   static_assert(D == 2 || D == 3, "zd_tree supports 2D and 3D only");
 
  public:
+  zdtree_index() : tree_(std::make_shared<const zdtree::zd_tree<D>>()) {}
+
   backend kind() const override { return backend::zdtree; }
-  std::size_t size() const override { return tree_.size(); }
+  std::size_t size() const override { return tree_->size(); }
+  std::uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  std::shared_ptr<const index_snapshot<D>> snapshot() const override {
+    return std::make_shared<zdtree_snapshot<D>>(tree_, epoch());
+  }
 
   void build(const std::vector<point<D>>& pts) override {
-    tree_ = zdtree::zd_tree<D>(pts);
+    tree_ = std::make_shared<const zdtree::zd_tree<D>>(pts);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   void batch_insert(const std::vector<point<D>>& pts) override {
-    tree_.insert(pts);
+    if (pts.empty()) return;
+    auto next = std::make_shared<zdtree::zd_tree<D>>(*tree_);
+    next->insert(pts);
+    tree_ = std::move(next);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   void batch_erase(const std::vector<point<D>>& pts) override {
-    tree_.erase(pts);
+    if (pts.empty()) return;
+    auto next = std::make_shared<zdtree::zd_tree<D>>(*tree_);
+    next->erase(pts);
+    // Erase only removes: an unchanged size means nothing matched — keep
+    // the current version and leave the epoch alone.
+    if (next->size() == tree_->size()) return;
+    tree_ = std::move(next);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   std::vector<std::vector<point<D>>> batch_knn(
       const std::vector<point<D>>& queries, std::size_t k) const override {
-    return tree_.knn(queries, k);
+    return tree_->knn(queries, k);
   }
 
   std::vector<std::vector<point<D>>> batch_range(
       const std::vector<aabb<D>>& boxes) const override {
-    std::vector<std::vector<point<D>>> out(boxes.size());
-    par::parallel_for(
-        0, boxes.size(),
-        [&](std::size_t i) { tree_.range_box(boxes[i], out[i]); }, 16);
-    return out;
+    return detail::zd_batch_range(*tree_, boxes);
   }
 
   std::vector<std::vector<point<D>>> batch_ball(
       const std::vector<point<D>>& centers,
       const std::vector<double>& radii) const override {
-    std::vector<std::vector<point<D>>> out(centers.size());
-    par::parallel_for(
-        0, centers.size(),
-        [&](std::size_t i) { tree_.range_ball(centers[i], radii[i], out[i]); },
-        16);
-    return out;
+    return detail::zd_batch_ball(*tree_, centers, radii);
   }
 
-  std::vector<point<D>> gather() const override { return tree_.gather(); }
+  std::vector<point<D>> gather() const override { return tree_->gather(); }
 
  private:
-  zdtree::zd_tree<D> tree_;
+  std::shared_ptr<const zdtree::zd_tree<D>> tree_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+/// Pinned BDL-tree snapshot: a view of the live forest at its structural
+/// epoch. NOT isolated — the caller must exclude concurrent writes while
+/// querying it and must not let it outlive the owning index (the
+/// query_service drain pipeline enforces both).
+template <int D>
+class bdltree_snapshot final : public index_snapshot<D> {
+ public:
+  bdltree_snapshot(const bdltree::bdl_tree<D>* tree, std::uint64_t epoch)
+      : tree_(tree), epoch_(epoch) {}
+
+  std::uint64_t epoch() const override { return epoch_; }
+  std::size_t size() const override { return tree_->size(); }
+  bool isolated() const override { return false; }
+
+  std::vector<std::vector<point<D>>> batch_knn(
+      const std::vector<point<D>>& queries, std::size_t k) const override {
+    return tree_->knn(queries, k);
+  }
+  std::vector<std::vector<point<D>>> batch_range(
+      const std::vector<aabb<D>>& boxes) const override {
+    return tree_->range_box(boxes);
+  }
+  std::vector<std::vector<point<D>>> batch_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const override {
+    return tree_->range_ball(centers, radii);
+  }
+
+ private:
+  const bdltree::bdl_tree<D>* tree_;
+  std::uint64_t epoch_;
 };
 
 /// Batch-dynamic BDL-tree backend (paper §5): the structure the subsystem
@@ -396,18 +647,34 @@ class bdltree_index final : public spatial_index<D> {
 
   backend kind() const override { return backend::bdltree; }
   std::size_t size() const override { return tree_.size(); }
+  std::uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  std::shared_ptr<const index_snapshot<D>> snapshot() const override {
+    return std::make_shared<bdltree_snapshot<D>>(&tree_, epoch());
+  }
 
   void build(const std::vector<point<D>>& pts) override {
     tree_ = bdltree::bdl_tree<D>(policy_, buffer_size_);
     tree_.insert(pts);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   void batch_insert(const std::vector<point<D>>& pts) override {
+    if (pts.empty()) return;
     tree_.insert(pts);
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   void batch_erase(const std::vector<point<D>>& pts) override {
+    if (pts.empty()) return;
+    const std::size_t before = tree_.size();
     tree_.erase(pts);
+    // Contents unchanged (nothing matched) -> epoch unchanged, even if the
+    // forest restructured internally.
+    if (tree_.size() == before) return;
+    epoch_.fetch_add(1, std::memory_order_release);
   }
 
   std::vector<std::vector<point<D>>> batch_knn(
@@ -432,6 +699,7 @@ class bdltree_index final : public spatial_index<D> {
   bdltree::split_policy policy_;
   std::size_t buffer_size_;
   bdltree::bdl_tree<D> tree_;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 // The common dimensions are instantiated once in query.cpp.

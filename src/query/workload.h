@@ -10,6 +10,7 @@
 // identical stream.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
@@ -60,9 +61,21 @@ struct workload_spec {
   double zipf_s = 1.2;         // Zipf exponent for key reuse (dist == zipf)
   uint64_t seed = 1;
 
-  /// Derived coordinate scale, matching datagen's sqrt(n) hypercube.
+  /// Derived coordinate scale for stream payloads, matching the cube the
+  /// live point set actually occupies: datagen fills [0, sqrt(initial)]^D,
+  /// so queries and new inserts are drawn from that same cube (the stream
+  /// densifies it rather than probing empty space beyond it). Workloads
+  /// that start empty scale by their expected insert volume instead.
   double side() const {
-    return std::sqrt(static_cast<double>(initial_points + num_ops));
+    if (initial_points > 0) {
+      return std::sqrt(static_cast<double>(initial_points));
+    }
+    const double fsum =
+        insert_frac + erase_frac + knn_frac + range_frac + ball_frac;
+    const double expected_inserts =
+        fsum > 0 ? static_cast<double>(num_ops) * (insert_frac / fsum)
+                 : static_cast<double>(num_ops);
+    return std::sqrt(std::max(1.0, expected_inserts));
   }
 };
 

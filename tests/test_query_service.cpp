@@ -1,13 +1,19 @@
-// Oracle tests for the sharded, multi-producer query_service front door:
-// sharded (spatial and hash, >= 4 shards) responses must match a 1-shard
-// reference on mixed insert/erase/kNN/range streams on every backend;
-// concurrent submitters (>= 4 threads) get their responses back in their
-// own submission order; plus ingest-window grouping, ticket stats, spatial
-// bounds bootstrapping, and config validation.
+// Oracle + lifecycle tests for the sharded, multi-producer, asynchronous
+// query_service front door: sharded (spatial and hash, >= 4 shards)
+// responses must match a 1-shard reference on mixed insert/erase/kNN/range
+// streams on every backend; concurrent submitters (>= 4 threads) get their
+// responses back in their own submission order; plus the completion-handle
+// lifecycle (drain-without-waiters, callbacks firing exactly once, orderly
+// close/destructor flush, double-get and empty-handle errors, bounded
+// result retention), ingest-window grouping, snapshot-path read groups,
+// spatial bounds bootstrapping, and config validation. TSan-clean.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,13 +29,31 @@ using query::shard_policy;
 namespace {
 
 template <int D>
-query::query_service<D> make_service(backend b, std::size_t shards,
-                                     shard_policy policy) {
+query::service_config make_config(backend b, std::size_t shards,
+                                  shard_policy policy) {
   query::service_config cfg;
   cfg.backend = b;
   cfg.shards = shards;
   cfg.policy = policy;
-  return query::query_service<D>(cfg);
+  return cfg;
+}
+
+template <int D>
+query::query_service<D> make_service(backend b, std::size_t shards,
+                                     shard_policy policy) {
+  return query::query_service<D>(make_config<D>(b, shards, policy));
+}
+
+// Spins until `done()` holds (the drain pipeline is asynchronous), failing
+// the test after a generous timeout instead of hanging it.
+template <class Pred>
+void wait_until(const Pred& done, const char* what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 // Compares a sharded run against the 1-shard reference, response by
@@ -169,7 +193,7 @@ TEST_P(QueryServiceConcurrent, SubmittersGetOwnOrderBack) {
   // >= 4 truly parallel clients hammer one service. Each thread works in
   // its own coordinate stripe >= 1000 away from the others, so every
   // expected answer is independent of how tickets interleave globally;
-  // position-encoded payloads verify that wait(ticket) returns exactly
+  // position-encoded payloads verify that a completion returns exactly
   // that ticket's responses, in the caller's submission order.
   constexpr int kThreads = 4;
   constexpr int kTicketsPerThread = 6;
@@ -177,7 +201,7 @@ TEST_P(QueryServiceConcurrent, SubmittersGetOwnOrderBack) {
 
   auto service = make_service<2>(GetParam(), 4, shard_policy::hash);
   service.bootstrap(datagen::uniform<2>(200, 5));
-  const std::size_t initial = service.size();
+  const std::size_t initial = 200;
 
   auto thread_point = [](int t, int j, int i) {
     return point<2>{{1000.0 * (t + 1) + 10.0 * j + i, 7.0 * (t + 1)}};
@@ -188,7 +212,7 @@ TEST_P(QueryServiceConcurrent, SubmittersGetOwnOrderBack) {
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      std::vector<query::ticket> tickets;
+      std::vector<query::completion<2>> tickets;
       tickets.reserve(kTicketsPerThread);
       for (int j = 0; j < kTicketsPerThread; ++j) {
         std::vector<query::request<2>> batch;
@@ -204,7 +228,7 @@ TEST_P(QueryServiceConcurrent, SubmittersGetOwnOrderBack) {
       }
       // Redeem in submission order; every answer is position-encoded.
       for (int j = 0; j < kTicketsPerThread; ++j) {
-        auto r = service.wait(tickets[j]);
+        auto r = tickets[j].get();
         if (r.latency_seconds < 0) {
           errors[t] = "negative latency";
           return;
@@ -235,6 +259,7 @@ TEST_P(QueryServiceConcurrent, SubmittersGetOwnOrderBack) {
   for (auto& th : threads) th.join();
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(errors[t], "") << "thread " << t;
 
+  service.close();
   EXPECT_EQ(service.size(),
             initial + kThreads * kTicketsPerThread * kPointsPerTicket);
   const auto stats = service.stats();
@@ -253,33 +278,263 @@ INSTANTIATE_TEST_SUITE_P(
       return query::backend_name(info.param);
     });
 
+TEST(QueryService, SubmitWithoutWaiterDrainsAlone) {
+  // The acceptance property of the dedicated drain thread: a ticket nobody
+  // blocks on still executes. Submit, never call get(), and watch the
+  // drain counters advance on their own.
+  auto service = make_service<2>(backend::bdltree, 2, shard_policy::hash);
+  std::vector<query::request<2>> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(query::request<2>::make_insert(point<2>{{1.0 * i, 2.0}}));
+  }
+  auto c = service.submit(std::move(batch));
+  wait_until([&] { return service.stats().num_requests >= 8; },
+             "drain thread never executed the un-waited ticket");
+  EXPECT_TRUE(c.ready());
+  auto r = c.get();  // instant: the result was already retained
+  EXPECT_EQ(r.responses.size(), 8u);
+  EXPECT_GE(r.latency_seconds, 0.0);
+  service.close();
+  EXPECT_EQ(service.size(), 8u);
+}
+
+TEST(QueryService, CallbacksFireExactlyOnce) {
+  auto service = make_service<2>(backend::bdltree, 2, shard_policy::hash);
+  service.bootstrap(datagen::uniform<2>(100, 3));
+
+  constexpr int kTickets = 12;
+  std::vector<std::atomic<int>> fired(kTickets);
+  for (auto& f : fired) f = 0;
+  std::atomic<int> total{0};
+  std::atomic<int> errors{0};
+
+  std::vector<query::completion<2>> held;  // keep handles alive past firing
+  held.reserve(kTickets);
+  for (int j = 0; j < kTickets; ++j) {
+    std::vector<query::request<2>> batch{
+        query::request<2>::make_insert(point<2>{{100.0 + j, 5.0}}),
+        query::request<2>::make_knn(point<2>{{100.0 + j, 5.0}}, 1),
+    };
+    auto c = service.submit(std::move(batch));
+    c.on_complete([&, j](query::ticket_result<2>&& r, std::exception_ptr err) {
+      if (err || r.responses.size() != 2) ++errors;
+      ++fired[j];
+      ++total;
+    });
+    held.push_back(std::move(c));
+  }
+  wait_until([&] { return total.load() == kTickets; },
+             "callbacks did not all fire");
+  service.close();
+  EXPECT_EQ(errors.load(), 0);
+  for (int j = 0; j < kTickets; ++j) {
+    EXPECT_EQ(fired[j].load(), 1) << "callback " << j;
+  }
+  // A callback consumes the handle's one redemption.
+  EXPECT_THROW(held[0].get(), std::logic_error);
+  // Callbacks are delivered, never retained.
+  EXPECT_EQ(service.stats().results_retained, 0u);
+}
+
+TEST(QueryService, CallbackOutlivesDroppedHandle) {
+  // Registering on_complete and dropping the handle must still fire the
+  // callback exactly once (the record stays alive for delivery).
+  auto service = make_service<2>(backend::bdltree, 1, shard_policy::hash);
+  std::atomic<int> fired{0};
+  {
+    auto c = service.submit({query::request<2>::make_insert(point<2>{{1, 1}})});
+    c.on_complete([&](query::ticket_result<2>&&, std::exception_ptr) {
+      ++fired;
+    });
+  }  // handle destroyed here, likely before the drain fulfils it
+  wait_until([&] { return fired.load() == 1; }, "dropped-handle callback");
+  service.close();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(QueryService, CloseFlushesInFlightTickets) {
+  // close() with submitted-but-unexecuted tickets must neither deadlock
+  // nor drop responses: every handle redeems normally afterwards.
+  auto service = make_service<2>(backend::bdltree, 2, shard_policy::hash);
+  service.bootstrap(datagen::uniform<2>(150, 7));
+  std::vector<query::completion<2>> cs;
+  for (int j = 0; j < 10; ++j) {
+    std::vector<query::request<2>> batch{
+        query::request<2>::make_insert(point<2>{{500.0 + j, 1.0}}),
+        query::request<2>::make_knn(point<2>{{500.0 + j, 1.0}}, 1),
+        query::request<2>::make_ball(point<2>{{500.0 + j, 1.0}}, 0.25),
+    };
+    cs.push_back(service.submit(std::move(batch)));
+  }
+  service.close();  // flushes all 10 tickets deterministically
+  for (int j = 0; j < 10; ++j) {
+    auto r = cs[j].get();
+    ASSERT_EQ(r.responses.size(), 3u) << "ticket " << j;
+    EXPECT_EQ(r.responses[1].points.size(), 1u);
+    EXPECT_TRUE(r.responses[1].points[0] == (point<2>{{500.0 + j, 1.0}}));
+  }
+  EXPECT_EQ(service.size(), 160u);
+  EXPECT_EQ(service.stats().num_requests, 30u);
+  // Intake is cut after close.
+  EXPECT_THROW(
+      service.submit({query::request<2>::make_insert(point<2>{{0, 0}})}),
+      std::runtime_error);
+  service.close();  // idempotent
+}
+
+TEST(QueryService, HandlesOutliveTheService) {
+  // The destructor runs close(): handles redeem fine from a dead service.
+  std::vector<query::completion<2>> cs;
+  {
+    auto service =
+        std::make_unique<query::query_service<2>>(make_config<2>(
+            backend::zdtree, 2, shard_policy::hash));
+    service->bootstrap(datagen::uniform<2>(80, 11));
+    for (int j = 0; j < 4; ++j) {
+      cs.push_back(service->submit(
+          {query::request<2>::make_knn(point<2>{{1.0 + j, 1.0}}, 2)}));
+    }
+  }  // ~query_service flushes and joins here
+  for (auto& c : cs) {
+    auto r = c.get();
+    ASSERT_EQ(r.responses.size(), 1u);
+    EXPECT_EQ(r.responses[0].points.size(), 2u);
+  }
+}
+
+TEST(QueryService, DoubleGetAndEmptyHandlesThrow) {
+  auto service = make_service<2>(backend::bdltree, 1, shard_policy::hash);
+  auto c = service.submit({query::request<2>::make_insert(point<2>{{1, 1}})});
+  c.get();
+  EXPECT_THROW(c.get(), std::logic_error);  // second redemption
+  EXPECT_THROW(c.on_complete([](query::ticket_result<2>&&,
+                                std::exception_ptr) {}),
+               std::logic_error);
+
+  query::completion<2> never;  // nothing was ever submitted
+  EXPECT_FALSE(never.valid());
+  EXPECT_FALSE(never.ready());
+  EXPECT_THROW(never.get(), std::logic_error);
+
+  // Moved-from handles behave like empty ones.
+  auto c2 = service.submit({query::request<2>::make_insert(point<2>{{2, 2}})});
+  query::completion<2> c3 = std::move(c2);
+  EXPECT_THROW(c2.get(), std::logic_error);
+  c3.get();
+}
+
+TEST(QueryService, RetentionCapEvictsOldestUnredeemed) {
+  // Satellite: completed-but-unredeemed results are bounded. With a cap of
+  // 2, five un-waited tickets leave exactly the two newest redeemable; the
+  // three oldest report eviction instead of deadlocking or leaking.
+  auto cfg = make_config<2>(backend::bdltree, 1, shard_policy::hash);
+  cfg.max_retained = 2;
+  query::query_service<2> service(cfg);
+  std::vector<query::completion<2>> cs;
+  for (int j = 0; j < 5; ++j) {
+    cs.push_back(service.submit(
+        {query::request<2>::make_insert(point<2>{{1.0 * j, 0.0}})}));
+  }
+  service.close();  // all five fulfilled; cap enforced along the way
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.results_retained, 2u);
+  EXPECT_EQ(stats.results_evicted, 3u);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_THROW(cs[j].get(), std::runtime_error) << "ticket " << j;
+  }
+  for (int j = 3; j < 5; ++j) {
+    EXPECT_EQ(cs[j].get().responses.size(), 1u) << "ticket " << j;
+  }
+  EXPECT_EQ(service.size(), 5u);  // eviction drops results, not writes
+  EXPECT_EQ(service.stats().results_retained, 0u);
+}
+
+TEST(QueryService, DroppedHandleReleasesItsResult) {
+  // Redemption-by-destruction: dropping an unredeemed handle evicts its
+  // retained result immediately (nothing waits for the cap).
+  auto service = make_service<2>(backend::bdltree, 1, shard_policy::hash);
+  {
+    auto c = service.submit(
+        {query::request<2>::make_insert(point<2>{{3, 3}})});
+    wait_until([&] { return service.stats().num_requests >= 1; },
+               "drain never ran");
+    EXPECT_EQ(service.stats().results_retained, 1u);
+  }  // handle dropped here
+  EXPECT_EQ(service.stats().results_retained, 0u);
+  service.close();
+  EXPECT_EQ(service.size(), 1u);
+}
+
+TEST(QueryService, ReadTicketsSeeEarlierWriteTickets) {
+  // FIFO program order across tickets survives the snapshot path: a
+  // read-only ticket submitted after a write ticket snapshots state that
+  // already includes the write, and is stamped with a snapshot epoch.
+  auto service = make_service<2>(backend::kdtree, 2, shard_policy::hash);
+  service.bootstrap(datagen::uniform<2>(120, 13));
+  const point<2> fresh{{900.0, 900.0}};
+  auto w = service.submit({query::request<2>::make_insert(fresh)});
+  auto r = service.submit({query::request<2>::make_knn(fresh, 1),
+                           query::request<2>::make_ball(fresh, 0.1)});
+  auto rr = r.get();
+  ASSERT_EQ(rr.responses.size(), 2u);
+  ASSERT_EQ(rr.responses[0].points.size(), 1u);
+  EXPECT_TRUE(rr.responses[0].points[0] == fresh);
+  EXPECT_EQ(rr.responses[1].points.size(), 1u);
+  // The read executed against published epoch snapshots.
+  EXPECT_GE(rr.snapshot_epoch, 1u);
+  w.get();
+  service.close();
+  const auto stats = service.stats();
+  EXPECT_GE(stats.num_read_groups, 1u);
+  EXPECT_GE(stats.num_write_groups, 1u);
+}
+
+TEST(QueryService, ReadOnlyStreamUsesSnapshotPath) {
+  // A pure-read stream drains entirely through the snapshot executors.
+  auto service = make_service<2>(backend::zdtree, 2, shard_policy::hash);
+  service.bootstrap(datagen::uniform<2>(300, 17));
+  std::vector<query::completion<2>> cs;
+  for (int j = 0; j < 6; ++j) {
+    cs.push_back(service.submit(
+        {query::request<2>::make_knn(point<2>{{2.0 * j, 3.0}}, 3)}));
+  }
+  for (auto& c : cs) {
+    auto r = c.get();
+    ASSERT_EQ(r.responses.size(), 1u);
+    EXPECT_EQ(r.responses[0].points.size(), 3u);
+    EXPECT_GE(r.snapshot_epoch, 1u);
+  }
+  service.close();
+  const auto stats = service.stats();
+  EXPECT_GE(stats.num_read_groups, 1u);
+  EXPECT_EQ(stats.num_write_groups, 0u);
+  EXPECT_EQ(stats.num_read_groups, stats.num_drains);
+}
+
 TEST(QueryService, IngestWindowGroupsPendingBatches) {
-  auto submit3 = [](query::query_service<2>& service) {
-    std::vector<query::ticket> ts;
+  {
+    // Window larger than everything pending: the dedicated drain groups
+    // whatever has accumulated when it wakes — never more drains than
+    // tickets, and the window invariant caps each group.
+    query::service_config cfg;
+    cfg.backend = backend::bdltree;
+    cfg.shards = 2;
+    query::query_service<2> service(cfg);
+    std::vector<query::completion<2>> cs;
     for (int j = 0; j < 3; ++j) {
       std::vector<query::request<2>> batch;
       for (int i = 0; i < 4; ++i) {
         batch.push_back(query::request<2>::make_insert(
             point<2>{{10.0 * j + i, 1.0}}));
       }
-      ts.push_back(service.submit(std::move(batch)));
+      cs.push_back(service.submit(std::move(batch)));
     }
-    return ts;
-  };
-
-  {
-    // Window larger than everything pending: one drain serves all tickets,
-    // even when the last ticket is redeemed first.
-    query::service_config cfg;
-    cfg.backend = backend::bdltree;
-    cfg.shards = 2;
-    query::query_service<2> service(cfg);
-    auto ts = submit3(service);
-    service.wait(ts[2]);
-    EXPECT_EQ(service.stats().num_drains, 1u);
-    service.wait(ts[0]);
-    service.wait(ts[1]);
-    EXPECT_EQ(service.stats().num_drains, 1u);
+    for (auto& c : cs) c.get();
+    service.close();
+    const auto stats = service.stats();
+    EXPECT_GE(stats.num_drains, 1u);
+    EXPECT_LE(stats.num_drains, 3u);
+    EXPECT_EQ(stats.num_requests, 12u);
     EXPECT_EQ(service.size(), 12u);
   }
   {
@@ -290,8 +545,17 @@ TEST(QueryService, IngestWindowGroupsPendingBatches) {
     cfg.shards = 2;
     cfg.ingest_window = 1;
     query::query_service<2> service(cfg);
-    auto ts = submit3(service);
-    for (const auto& t : ts) service.wait(t);
+    std::vector<query::completion<2>> cs;
+    for (int j = 0; j < 3; ++j) {
+      std::vector<query::request<2>> batch;
+      for (int i = 0; i < 4; ++i) {
+        batch.push_back(query::request<2>::make_insert(
+            point<2>{{10.0 * j + i, 1.0}}));
+      }
+      cs.push_back(service.submit(std::move(batch)));
+    }
+    for (auto& c : cs) c.get();
+    service.close();
     EXPECT_EQ(service.stats().num_drains, 3u);
     EXPECT_EQ(service.size(), 12u);
   }
@@ -304,8 +568,7 @@ TEST(QueryService, TicketResultCarriesGroupStatsAndLatency) {
       query::request<2>::make_insert(point<2>{{2, 2}}),
       query::request<2>::make_knn(point<2>{{1, 1}}, 1),
   };
-  auto t = service.submit(batch);
-  auto r = service.wait(t);
+  auto r = service.submit(std::move(batch)).get();
   ASSERT_EQ(r.responses.size(), 3u);
   EXPECT_GE(r.latency_seconds, 0.0);
   // Phases: [insert x2][read x1]; response phase ids index stats.phases.
@@ -315,28 +578,23 @@ TEST(QueryService, TicketResultCarriesGroupStatsAndLatency) {
   for (const auto& resp : r.responses) {
     EXPECT_LT(resp.phase, r.stats.num_phases());
   }
+  service.close();
   const auto stats = service.stats();
   EXPECT_EQ(stats.num_tickets, 1u);
   EXPECT_EQ(stats.num_drains, 1u);
   EXPECT_EQ(stats.num_requests, 3u);
 }
 
-TEST(QueryService, InvalidConfigAndTicketsThrow) {
+TEST(QueryService, InvalidConfigThrows) {
   query::service_config cfg;
   cfg.shards = 0;
   EXPECT_THROW(query::query_service<2>{cfg}, std::invalid_argument);
   cfg.shards = 1;
   cfg.ingest_window = 0;
   EXPECT_THROW(query::query_service<2>{cfg}, std::invalid_argument);
-
-  auto service = make_service<2>(backend::bdltree, 1, shard_policy::hash);
-  EXPECT_THROW(service.wait(query::ticket{}), std::invalid_argument);
-  EXPECT_THROW(service.wait(query::ticket{42}), std::invalid_argument);
-
-  // Redeeming twice throws rather than parking the caller forever.
-  auto t = service.submit({query::request<2>::make_insert(point<2>{{1, 1}})});
-  service.wait(t);
-  EXPECT_THROW(service.wait(t), std::invalid_argument);
+  cfg.ingest_window = 1;
+  cfg.max_retained = 0;
+  EXPECT_THROW(query::query_service<2>{cfg}, std::invalid_argument);
 }
 
 TEST(QueryService, NegativeBallRadiusMatchesUnshardedAcrossPolicies) {
@@ -376,6 +634,7 @@ TEST(QueryService, NegativeZeroRoutesLikeZero) {
                               query::request<2>::make_ball(pos, 0.1)});
     EXPECT_TRUE(r.responses[2].points.empty())
         << query::shard_policy_name(policy);
+    service.close();
     EXPECT_EQ(service.size(), 100u) << query::shard_policy_name(policy);
   }
 }
