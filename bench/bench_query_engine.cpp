@@ -9,13 +9,23 @@
 // Part 2 sweeps threads at the 90%-read point for batch-internal scaling.
 // Part 3 drives the asynchronous completion pipeline with 4 concurrent
 // producers at >= 90% reads: read-only ticket groups execute on the
-// snapshot-read pool while the dedicated drain thread applies write groups,
-// and the `lag` column counts read drains that retired after the live write
+// snapshot-read pool while the drain pipeline applies write groups, and
+// the `lag` column counts read drains that retired after the live write
 // epoch had already moved past their snapshot — the epoch-snapshot
 // concurrency the service exists for.
+// Part 4 (`parallel_drain`) pits the per-shard drain pipelines against the
+// single-drainer baseline on the 50%-write sweep: one producer streams
+// asynchronously (no mid-stream waits), so groups can pipeline across
+// shard lanes; the row also carries the routing-scratch recycling
+// counters (reuses dominating allocs == the per-drain allocation churn is
+// gone).
+// Part 5 (`cache_zipf`) measures the hot k-NN result cache on zipf 90%-read
+// traffic (hot-key serving: most payloads re-probe a few keys), cache off
+// vs on, with hit/miss/evict counters and the hit rate.
 //
 // `--json` emits one JSON object per row instead of the aligned table, so
 // EXPERIMENTS.md can be regenerated mechanically.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -71,6 +81,10 @@ async_row run_async_producers(query::backend b, std::size_t shards,
   cfg.backend = b;
   cfg.shards = shards;
   cfg.policy = query::shard_policy::hash;
+  // Producers redeem only after submitting everything, so completed
+  // tickets can pile up far past the serving default; the retention cap
+  // must cover the whole stream or the tail gets evicted mid-bench.
+  cfg.max_retained = std::size_t{1} << 20;
   query::query_service<kDim> service(cfg);
 
   auto spec = make_spec(initial_n, num_ops / kProducers, 0.90);
@@ -108,6 +122,86 @@ async_row run_async_producers(query::backend b, std::size_t shards,
   row.stats = service.stats();
   row.ops_per_sec =
       secs > 0 ? static_cast<double>(row.stats.num_requests) / secs : 0;
+  return row;
+}
+
+struct drain_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+};
+
+// One producer streams the whole spec through the completion API without
+// waiting mid-stream (redeems everything at the end), so the drain
+// pipeline — not the producer — is the bottleneck and groups can overlap
+// across shard lanes under drain_mode::per_shard. The cache is off here to
+// isolate drain parallelism.
+drain_row run_drain_throughput(query::backend b, std::size_t shards,
+                               query::drain_mode mode,
+                               const query::workload_spec& spec) {
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = shards;
+  cfg.policy = query::shard_policy::hash;
+  cfg.drain = mode;
+  cfg.cache_capacity = 0;
+  // One drain group per submitted batch: with the default window the whole
+  // backlog collapses into one giant group and nothing can pipeline.
+  cfg.ingest_window = std::max<std::size_t>(1, spec.batch_size);
+  // Bounded producer (the backpressure satellite in action): a few groups
+  // in flight keeps lanes busy while routing stays paced to execution —
+  // which is also what lets the scratch pool actually recycle.
+  cfg.max_pending_requests = 4 * cfg.ingest_window;
+  cfg.max_retained = std::size_t{1} << 20;  // nothing redeems mid-stream
+  query::query_service<kDim> service(cfg);
+
+  auto initial = query::make_initial<kDim>(spec);
+  service.bootstrap(initial);
+  const auto reqs = query::make_requests<kDim>(spec, std::move(initial));
+
+  timer clock;
+  std::vector<query::completion<kDim>> pending;
+  const std::size_t bs = std::max<std::size_t>(1, spec.batch_size);
+  for (std::size_t off = 0; off < reqs.size(); off += bs) {
+    const std::size_t end = std::min(reqs.size(), off + bs);
+    pending.push_back(
+        service.submit({reqs.begin() + off, reqs.begin() + end}));
+  }
+  for (auto& c : pending) c.get();
+  const double secs = clock.elapsed();
+  service.close();
+
+  drain_row row;
+  row.stats = service.stats();
+  row.ops_per_sec =
+      secs > 0 ? static_cast<double>(reqs.size()) / secs : 0;
+  return row;
+}
+
+struct cache_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+};
+
+// Zipf hot-key serving traffic (90% reads, skewed key reuse) with the
+// k-NN result cache off vs on: identical streams, so the ops/s delta and
+// the hit rate are directly attributable to the cache.
+cache_row run_cache_zipf(query::backend b, std::size_t cache_capacity,
+                         std::size_t initial_n, std::size_t num_ops) {
+  auto spec = make_spec(initial_n, num_ops, 0.90);
+  spec.dist = query::distribution::zipf;
+  spec.zipf_s = 1.8;        // steep skew: a handful of keys dominate
+  spec.zipf_hot_frac = 0.95;  // payloads nearly always re-probe hot keys
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = 2;
+  cfg.policy = query::shard_policy::hash;
+  cfg.cache_capacity = cache_capacity;
+  query::query_service<kDim> service(cfg);
+  const auto stats = query::run_workload<kDim>(service, spec);
+  service.close();
+  cache_row row;
+  row.ops_per_sec = stats.ops_per_sec();
+  row.stats = service.stats();
   return row;
 }
 
@@ -190,6 +284,71 @@ int main(int argc, char** argv) {
                   query::backend_name(b), row.ops_per_sec,
                   row.stats.num_drains, row.stats.num_read_groups,
                   row.stats.num_write_groups, row.stats.snapshot_lag_drains);
+    }
+  }
+
+  if (!json) {
+    bench::print_header(
+        "parallel drain: per-shard lanes vs single drainer (50% reads, "
+        "async producer)",
+        "backend            shards  drain            ops/s  scratch "
+        "reuse/alloc");
+  }
+  auto drain_spec = make_spec(initial_n, num_ops, 0.50);
+  drain_spec.batch_size = 512;  // enough groups to pipeline across lanes
+  for (auto b : {query::backend::kdtree, query::backend::zdtree,
+                 query::backend::bdltree}) {
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      for (auto mode :
+           {query::drain_mode::single, query::drain_mode::per_shard}) {
+        const auto row = run_drain_throughput(b, shards, mode, drain_spec);
+        if (json) {
+          std::printf(
+              "{\"section\":\"parallel_drain\",\"backend\":\"%s\","
+              "\"shards\":%zu,\"drain\":\"%s\",\"read_frac\":0.50,"
+              "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f,"
+              "\"drains\":%zu,\"scratch_reuses\":%zu,"
+              "\"scratch_allocs\":%zu}\n",
+              query::backend_name(b), shards, query::drain_mode_name(mode),
+              initial_n, num_ops, row.ops_per_sec, row.stats.num_drains,
+              row.stats.scratch_reuses, row.stats.scratch_allocs);
+        } else {
+          std::printf("%-18s %6zu  %-9s %12.0f  %8zu/%zu\n",
+                      query::backend_name(b), shards,
+                      query::drain_mode_name(mode), row.ops_per_sec,
+                      row.stats.scratch_reuses, row.stats.scratch_allocs);
+        }
+      }
+    }
+  }
+
+  if (!json) {
+    bench::print_header(
+        "hot k-NN cache: zipf 90% reads, 2 shards, cache off vs on",
+        "backend            cache            ops/s       hits     misses  "
+        "hit%   evict");
+  }
+  for (auto b : {query::backend::kdtree, query::backend::zdtree,
+                 query::backend::bdltree}) {
+    for (const std::size_t cap : {std::size_t{0}, std::size_t{4096}}) {
+      const auto row = run_cache_zipf(b, cap, initial_n, num_ops);
+      const auto& cs = row.stats.cache;
+      if (json) {
+        std::printf(
+            "{\"section\":\"cache_zipf\",\"backend\":\"%s\","
+            "\"cache\":\"%s\",\"cache_capacity\":%zu,\"read_frac\":0.90,"
+            "\"shards\":2,\"initial_n\":%zu,\"num_ops\":%zu,"
+            "\"ops_per_sec\":%.0f,\"cache_hits\":%zu,\"cache_misses\":%zu,"
+            "\"hit_rate\":%.3f,\"cache_evictions\":%zu}\n",
+            query::backend_name(b), cap > 0 ? "on" : "off", cap, initial_n,
+            num_ops, row.ops_per_sec, cs.hits, cs.misses, cs.hit_rate(),
+            cs.evictions);
+      } else {
+        std::printf("%-18s %-6s %14.0f %10zu %10zu %5.0f%% %7zu\n",
+                    query::backend_name(b), cap > 0 ? "on" : "off",
+                    row.ops_per_sec, cs.hits, cs.misses,
+                    cs.hit_rate() * 100, cs.evictions);
+      }
     }
   }
   return 0;

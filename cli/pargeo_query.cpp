@@ -3,17 +3,22 @@
 //   pargeo_query <backend> <dim 2|3> <initial_n> <num_ops>
 //                [read_frac=0.9] [dist uniform|clustered|zipf]
 //                [batch_size=2048] [seed=1] [shards=1] [policy hash|spatial]
+//                [drain single|per_shard] [cache_capacity=4096]
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
 // across `shards` engines by `policy`; reads scatter/gather-merge, writes
-// route to owning shards. Reads split 70% k-NN / 15% box range / 15% ball
-// range; writes split evenly between inserts and erases. Prints throughput,
-// batch-latency percentiles (a request's latency is its phase's wall-clock;
-// phases complete together), and the drain pipeline's counters: total drain
-// groups, read (snapshot-path) vs write groups, and `lag` — read drains
-// that retired while the live write epoch had already advanced past their
-// snapshot (reads overlapping a write drain).
+// route to owning shards. `drain` picks the execution strategy: per-shard
+// executor lanes (default; groups pipeline across shards) or the
+// single-drainer baseline. `cache_capacity` sizes the epoch-keyed hot
+// k-NN result cache (0 disables it). Reads split 70% k-NN / 15% box range
+// / 15% ball range; writes split evenly between inserts and erases.
+// Prints throughput, batch-latency percentiles (a request's latency is
+// its phase's wall-clock; phases complete together), the drain pipeline's
+// counters (total drain groups, read/snapshot-path vs write groups, `lag`
+// — read drains that retired after the live write epoch had already
+// advanced past their snapshot), per-lane drain counts, and the cache's
+// hit/miss/evict line.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -38,17 +43,16 @@ query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
 
 template <int D>
 int run_backend(query::backend b, const query::workload_spec& spec,
-                std::size_t shards, query::shard_policy policy) {
-  query::service_config cfg;
+                const query::service_config& base_cfg) {
+  query::service_config cfg = base_cfg;
   cfg.backend = b;
-  cfg.shards = shards;
-  cfg.policy = policy;
   query::query_service<D> service(cfg);
   std::vector<query::response<D>> responses;
   const auto stats = query::run_workload<D>(service, spec, &responses);
 
-  // Result checksum: total hits returned, comparable across backends and
-  // shard counts (sharded == unsharded on the same stream).
+  // Result checksum: total hits returned, comparable across backends,
+  // shard counts, drain modes, and cache settings (identical streams
+  // yield identical hits).
   std::size_t hits = 0;
   for (const auto& r : responses) hits += r.points.size();
 
@@ -58,22 +62,26 @@ int run_backend(query::backend b, const query::workload_spec& spec,
 
   service.close();
   const auto svc = service.stats();
+  std::size_t lane_drains = 0;
+  for (const auto& lane : svc.per_shard) lane_drains += lane.num_drains;
   std::printf(
       "%-8s ops=%zu reads=%zu writes=%zu phases=%zu  %10.0f ops/s  "
       "lat p50=%.3fms p90=%.3fms p99=%.3fms  hits=%zu size=%zu  "
-      "drains=%zu (r=%zu w=%zu lag=%zu)\n",
+      "drains=%zu (r=%zu w=%zu lag=%zu lane=%zu)  "
+      "cache h=%zu m=%zu (%.0f%%) ev=%zu\n",
       query::backend_name(b), stats.num_requests, stats.num_reads,
       stats.num_writes, stats.num_phases(), stats.ops_per_sec(),
       query::percentile(phase_ms, 50), query::percentile(phase_ms, 90),
       query::percentile(phase_ms, 99), hits, service.size(),
       svc.num_drains, svc.num_read_groups, svc.num_write_groups,
-      svc.snapshot_lag_drains);
+      svc.snapshot_lag_drains, lane_drains, svc.cache.hits, svc.cache.misses,
+      svc.cache.hit_rate() * 100, svc.cache.evictions);
   return 0;
 }
 
 template <int D>
 int run(const std::string& backend_arg, const query::workload_spec& spec,
-        std::size_t shards, query::shard_policy policy) {
+        const query::service_config& cfg) {
   std::vector<query::backend> backends;
   if (backend_arg == "all") {
     backends = {query::backend::kdtree, query::backend::zdtree,
@@ -88,12 +96,13 @@ int run(const std::string& backend_arg, const query::workload_spec& spec,
   }
   std::printf(
       "workload: dim=%d initial=%zu ops=%zu dist=%s batch=%zu seed=%llu "
-      "shards=%zu policy=%s\n",
+      "shards=%zu policy=%s drain=%s cache=%zu\n",
       D, spec.initial_points, spec.num_ops,
       query::distribution_name(spec.dist), spec.batch_size,
-      static_cast<unsigned long long>(spec.seed), shards,
-      query::shard_policy_name(policy));
-  for (auto b : backends) run_backend<D>(b, spec, shards, policy);
+      static_cast<unsigned long long>(spec.seed), cfg.shards,
+      query::shard_policy_name(cfg.policy), query::drain_mode_name(cfg.drain),
+      cfg.cache_capacity);
+  for (auto b : backends) run_backend<D>(b, spec, cfg);
   return 0;
 }
 
@@ -106,7 +115,8 @@ int main(int argc, char** argv) {
         "usage: %s <backend kdtree|zdtree|bdltree|all> <dim 2|3> "
         "<initial_n> <num_ops> [read_frac=0.9] "
         "[dist uniform|clustered|zipf] [batch_size=2048] [seed=1] "
-        "[shards=1] [policy hash|spatial]\n",
+        "[shards=1] [policy hash|spatial] [drain single|per_shard] "
+        "[cache_capacity=4096]\n",
         argv[0]);
     return 2;
   }
@@ -135,22 +145,44 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "shards must be >= 1\n");
     return 2;
   }
-  const std::size_t shards = static_cast<std::size_t>(shards_arg);
-  query::shard_policy policy = query::shard_policy::hash;
+  query::service_config cfg;
+  cfg.shards = static_cast<std::size_t>(shards_arg);
   if (argc > 10) {
     try {
-      policy = query::shard_policy_from_string(argv[10]);
+      cfg.policy = query::shard_policy_from_string(argv[10]);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
   }
+  if (argc > 11) {
+    try {
+      cfg.drain = query::drain_mode_from_string(argv[11]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  if (argc > 12) {
+    // Strict parse: atoll would turn a typo into 0 and silently disable
+    // the cache a benchmark meant to measure.
+    char* end = nullptr;
+    const long long cap = std::strtoll(argv[12], &end, 10);
+    if (end == argv[12] || *end != '\0' || cap < 0) {
+      std::fprintf(stderr,
+                   "cache_capacity must be a non-negative integer (got "
+                   "'%s')\n",
+                   argv[12]);
+      return 2;
+    }
+    cfg.cache_capacity = static_cast<std::size_t>(cap);
+  }
 
   const auto spec =
       make_spec(initial_n, num_ops, read_frac, dist, batch_size, seed);
   switch (dim) {
-    case 2: return run<2>(backend_arg, spec, shards, policy);
-    case 3: return run<3>(backend_arg, spec, shards, policy);
+    case 2: return run<2>(backend_arg, spec, cfg);
+    case 3: return run<3>(backend_arg, spec, cfg);
     default:
       std::fprintf(stderr, "unsupported dim %d (want 2 or 3)\n", dim);
       return 2;

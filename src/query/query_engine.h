@@ -287,11 +287,14 @@ class query_engine {
     return result;
   }
 
- private:
-  // A write phase is one batched update: all payload points of the run go
-  // through the backend's batch entry point at once.
-  void execute_write_phase(const std::vector<request<D>>& batch,
-                           std::size_t begin, std::size_t end) {
+  /// Applies one same-kind write run `batch[begin, end)` as a single
+  /// batched update against the backend. Public because the
+  /// query_service's per-shard drain executors drive phases themselves
+  /// (they intercept read phases for the k-NN result cache) and hand
+  /// write runs back to the engine; same single-caller contract as
+  /// execute().
+  void apply_write_phase(const std::vector<request<D>>& batch,
+                         std::size_t begin, std::size_t end) {
     std::vector<point<D>> pts;
     pts.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) pts.push_back(batch[i].p);
@@ -300,6 +303,14 @@ class query_engine {
     } else {
       index_->batch_erase(pts);
     }
+  }
+
+ private:
+  // A write phase is one batched update: all payload points of the run go
+  // through the backend's batch entry point at once.
+  void execute_write_phase(const std::vector<request<D>>& batch,
+                           std::size_t begin, std::size_t end) {
+    apply_write_phase(batch, begin, end);
   }
 
   std::unique_ptr<spatial_index<D>> index_;

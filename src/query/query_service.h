@@ -3,12 +3,13 @@
 //
 // A `query_service<D>` owns N `query_engine<D>` shards behind one logical
 // index, built from a `service_config` (backend, shard count, shard policy,
-// ingest-batch window, read concurrency, retention cap):
+// drain mode, ingest-batch window, read concurrency, backpressure bound,
+// cache capacity, retention cap):
 //
 //   *Sharding*. Every stored point is owned by exactly one shard —
 //   `shard_policy::hash` routes by a hash of the coordinates,
 //   `shard_policy::spatial` by quantile stripes along the widest dimension
-//   of the first point set seen (bootstrap, or the first write phase).
+//   of the first point set seen (bootstrap, or the first write group).
 //   Writes are routed to their owning shard and applied there as batched
 //   updates. Reads scatter data-parallel across shards and gather-merge:
 //   k-NN rows are re-merged by distance and truncated to k, range rows are
@@ -28,17 +29,50 @@
 //   service thread — keep callbacks light and never block on another
 //   completion inside one).
 //
+//   *Per-shard drain pipelines* (`drain_mode::per_shard`, the default).
+//   The drain thread routes each group exactly once into per-shard
+//   sub-batches, then hands them to a pool of shard executors — one lane
+//   (FIFO queue + worker thread) per shard — and immediately moves on to
+//   the next group. Lanes apply writes and run reads concurrently across
+//   shards AND across groups: shard 1 can already execute group G+1 while
+//   shard 0 is still on G. Correctness holds because a sub-batch preserves
+//   the combined stream's relative order restricted to its shard, and
+//   every request that can affect a shard's answers is in that shard's
+//   sub-batch (writes go to their owner, reads to every serving shard) —
+//   so per-shard FIFO is exactly the ordering the answers depend on. The
+//   last lane to finish a group gather-merges and fulfils it.
+//   `drain_mode::single` keeps the PR 3 behavior (the drain thread
+//   executes each group to completion before the next) as the measurable
+//   baseline. Per-lane counters (sub-batch drains, execute seconds, queue
+//   depths) are surfaced through `service_stats::per_shard`.
+//
 //   *Epoch-snapshot reads*. A group of read-only tickets does not execute
-//   on the drain thread: the drainer stamps it with per-shard epoch
-//   snapshots (`spatial_index::snapshot()`) and hands it to a snapshot-read
-//   executor pool (`read_threads`), then moves straight on to the next
-//   group. Isolated snapshots (kdtree: shared tree + copied write buffers;
-//   zdtree: copy-on-write Morton array) let those reads run fully
-//   concurrently with the next write drain — the read observes its
-//   snapshot epoch while the live index advances. Pinned snapshots
-//   (bdltree) hold the write drain at the gate until the read retires.
-//   FIFO program order is preserved either way: a read group snapshots
-//   after every earlier write applied, and never observes later writes.
+//   on the drain pipeline: it is routed once, then each involved lane
+//   stamps its shard's epoch snapshot (`spatial_index::snapshot()`) after
+//   the shard's earlier writes — per-shard FIFO again — and the fully
+//   stamped group executes on a snapshot-read executor pool
+//   (`read_threads`). Isolated snapshots (kdtree: shared tree + copied
+//   write buffers; zdtree: copy-on-write Morton array) let those reads run
+//   fully concurrently with the next write drains. Pinned snapshots
+//   (bdltree) hold ONLY their own shard's write gate until the read
+//   retires — other shards keep draining.
+//
+//   *Hot k-NN result cache*. Each shard carries an epoch-invalidated LRU
+//   cache of k-NN rows (query/result_cache.h) keyed by (query point, k,
+//   shard write epoch); `cache_capacity` entries are split across shards
+//   (0 disables). Both read paths — live reads inside mixed groups and
+//   snapshot reads — probe it, so zipf-hot keys answer without touching
+//   the tree; hits are byte-identical to re-execution because the key
+//   pins the exact contents. Hit/miss/evict counters aggregate into
+//   `service_stats::cache`.
+//
+//   *Ingest backpressure*. `max_pending_requests` bounds admitted-but-
+//   unfulfilled requests across the whole pipeline (0 = unbounded, the
+//   PR 3 behavior). Past the bound `submit()` blocks the producer until
+//   drains fulfil enough in-flight work (an over-sized batch is admitted
+//   alone rather than deadlocking); `try_submit()` returns std::nullopt
+//   instead of blocking. close() wakes blocked producers, which then
+//   throw like any post-close submit.
 //
 //   *Bounded retention*. Completed-but-unredeemed results are retained in
 //   a bounded buffer: redemption (get / callback / handle destruction)
@@ -47,12 +81,14 @@
 //   `close()` and even after the service is destroyed.
 //
 // `close()` (also run by the destructor) stops intake, flushes every
-// in-flight ticket through the pipeline deterministically, and joins the
-// service threads. `execute(batch)` is the single-caller synchronous
-// convenience: submit + get.
+// in-flight ticket through the pipeline deterministically (drain thread,
+// then shard lanes, then snapshot readers), and joins the service threads.
+// `execute(batch)` is the single-caller synchronous convenience: submit +
+// get.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
@@ -63,14 +99,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/timer.h"
 #include "query/query_engine.h"
+#include "query/result_cache.h"
 #include "query/spatial_index.h"
 
 namespace pargeo::query {
@@ -92,17 +131,48 @@ inline shard_policy shard_policy_from_string(const std::string& s) {
                               "' (want spatial|hash)");
 }
 
+/// How drain groups execute: `per_shard` pipelines sub-batches through one
+/// executor lane per shard (groups overlap across shards); `single` runs
+/// each group to completion on the drain thread (the serialized baseline).
+enum class drain_mode { single, per_shard };
+
+inline const char* drain_mode_name(drain_mode m) {
+  switch (m) {
+    case drain_mode::single: return "single";
+    case drain_mode::per_shard: return "per_shard";
+  }
+  return "?";
+}
+
+inline drain_mode drain_mode_from_string(const std::string& s) {
+  if (s == "single") return drain_mode::single;
+  if (s == "per_shard") return drain_mode::per_shard;
+  throw std::invalid_argument("unknown drain mode '" + s +
+                              "' (want single|per_shard)");
+}
+
 struct service_config {
   query::backend backend = query::backend::bdltree;
   std::size_t shards = 1;
   shard_policy policy = shard_policy::hash;
+  /// Drain-group execution: per-shard executor lanes (default) or the
+  /// single-drainer baseline.
+  drain_mode drain = drain_mode::per_shard;
   /// Max requests grouped into one drain (a single over-sized batch still
   /// drains alone).
   std::size_t ingest_window = std::size_t{1} << 16;
   /// Snapshot-read executors. Read-only ticket groups execute on this pool
-  /// against epoch snapshots, concurrently with the drain thread's write
+  /// against epoch snapshots, concurrently with the drain pipeline's write
   /// groups. 0 serializes reads behind the write drain (no extra threads).
   std::size_t read_threads = 2;
+  /// Backpressure: max admitted-but-unfulfilled requests across the whole
+  /// pipeline. 0 = unbounded. Past the bound submit() blocks and
+  /// try_submit() rejects; a batch larger than the bound is admitted alone
+  /// once the pipeline is empty.
+  std::size_t max_pending_requests = 0;
+  /// Total hot k-NN cache entries, split evenly across shards (see
+  /// query/result_cache.h). 0 disables the cache.
+  std::size_t cache_capacity = 4096;
   /// Completed-but-unredeemed results kept before the oldest are evicted
   /// (an evicted handle's get() throws). Must be >= 1.
   std::size_t max_retained = 1024;
@@ -111,7 +181,10 @@ struct service_config {
 
 /// Completed batch as seen by one submitter. `stats` describes the whole
 /// drain group the ticket executed in (tickets grouped into one drain share
-/// phases, and `response::phase` indexes `stats.phases`).
+/// phases, and `response::phase` indexes `stats.phases`). Under
+/// `drain_mode::per_shard` phases pipeline across shards, so per-phase
+/// seconds are the group's wall-clock apportioned by request count rather
+/// than directly measured.
 template <int D>
 struct ticket_result {
   std::vector<response<D>> responses;  // responses[i] answers batch[i]
@@ -120,6 +193,15 @@ struct ticket_result {
   /// For snapshot-path read groups: the largest shard epoch the reads
   /// observed (0 for write/mixed groups — those read the live index).
   std::uint64_t snapshot_epoch = 0;
+};
+
+/// Per-lane drain counters (populated under `drain_mode::per_shard`).
+struct shard_drain_stats {
+  std::size_t num_drains = 0;    // sub-batches this lane executed
+  std::size_t num_requests = 0;  // requests across those sub-batches
+  double execute_seconds = 0;    // wall-clock this lane spent executing
+  std::size_t queue_depth = 0;   // tasks waiting in the lane right now
+  std::size_t max_queue_depth = 0;  // high-water mark of queue_depth
 };
 
 struct service_stats {
@@ -135,6 +217,17 @@ struct service_stats {
   std::size_t results_retained = 0;  // completed, not yet redeemed
   std::size_t results_evicted = 0;   // dropped by the retention cap
   double execute_seconds = 0;  // total wall-clock spent executing drains
+  /// Backpressure: admitted-but-unfulfilled requests right now, and how
+  /// often producers hit the bound.
+  std::size_t pending_requests = 0;
+  std::size_t submit_waits = 0;        // submit() calls that had to block
+  std::size_t try_submit_rejects = 0;  // try_submit() nullopt returns
+  /// Routing scratch recycling: sub-batch buffers reused from the pool vs
+  /// freshly allocated (reuse dominating == allocation churn is gone).
+  std::size_t scratch_reuses = 0;
+  std::size_t scratch_allocs = 0;
+  std::vector<shard_drain_stats> per_shard;  // one entry per lane
+  cache_stats cache;  // hot k-NN cache, aggregated across shards
 };
 
 template <int D>
@@ -368,14 +461,28 @@ class query_service {
       throw std::invalid_argument("service_config.max_retained must be >= 1");
     }
     engines_.reserve(cfg_.shards);
+    caches_.reserve(cfg_.shards);
+    lanes_.reserve(cfg_.shards);
+    const std::size_t per_shard_cache =
+        cfg_.cache_capacity == 0
+            ? 0
+            : (cfg_.cache_capacity + cfg_.shards - 1) / cfg_.shards;
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       engines_.push_back(std::make_unique<query_engine<D>>(
           make_index<D>(cfg_.backend, cfg_.index)));
+      caches_.push_back(
+          std::make_unique<knn_result_cache<D>>(per_shard_cache));
+      lanes_.push_back(std::make_unique<shard_lane>());
     }
     hub_ = std::make_shared<detail::completion_hub<D>>();
     hub_->max_retained = cfg_.max_retained;
     drainer_ = std::thread([this] { drain_loop(); });
     try {
+      if (cfg_.drain == drain_mode::per_shard) {
+        for (std::size_t s = 0; s < cfg_.shards; ++s) {
+          lanes_[s]->worker = std::thread([this, s] { shard_loop(s); });
+        }
+      }
       readers_.reserve(cfg_.read_threads);
       for (std::size_t i = 0; i < cfg_.read_threads; ++i) {
         readers_.emplace_back([this] { read_loop(); });
@@ -407,20 +514,35 @@ class query_service {
         [&](std::size_t s) { engines_[s]->bootstrap(parts[s]); }, 1);
   }
 
-  /// Multi-producer entry point: enqueues `batch` for the drain thread and
-  /// returns a completion handle immediately. Safe to call from any number
-  /// of threads. Throws once the service is closed.
+  /// Multi-producer entry point: enqueues `batch` for the drain pipeline
+  /// and returns a completion handle immediately. Safe to call from any
+  /// number of threads. With `max_pending_requests` set, blocks while the
+  /// pipeline is at the bound. Throws once the service is closed (also
+  /// when close() arrives while blocked).
   completion<D> submit(std::vector<request<D>> batch) {
-    std::lock_guard<std::mutex> lk(hub_->mu);
+    std::unique_lock<std::mutex> lk(hub_->mu);
+    if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
+      ++stats_.submit_waits;
+      space_cv_.wait(lk, [&] { return hub_->closed || admits(batch.size()); });
+    }
     if (hub_->closed) {
       throw std::runtime_error("query_service::submit() after close()");
     }
-    const std::uint64_t id = next_ticket_++;
-    hub_->tickets.emplace(id, typename detail::completion_hub<D>::record{});
-    pending_.push_back(pending_entry{id, std::move(batch), timer{}});
-    ++stats_.num_tickets;
-    work_cv_.notify_one();
-    return completion<D>(hub_, id);
+    return enqueue_locked(std::move(batch));
+  }
+
+  /// Non-blocking submit: std::nullopt when admission would block on the
+  /// backpressure bound (never waits). Throws once the service is closed.
+  std::optional<completion<D>> try_submit(std::vector<request<D>> batch) {
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    if (hub_->closed) {
+      throw std::runtime_error("query_service::try_submit() after close()");
+    }
+    if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
+      ++stats_.try_submit_rejects;
+      return std::nullopt;
+    }
+    return enqueue_locked(std::move(batch));
   }
 
   /// Single-caller convenience: submit + get.
@@ -431,18 +553,29 @@ class query_service {
 
   /// Orderly shutdown: stops intake, flushes every in-flight ticket
   /// through the drain pipeline (results stay redeemable from their
-  /// handles), and joins the service threads. Idempotent; also run by the
-  /// destructor. Submissions racing close() either enter before the cut
-  /// (and are flushed) or throw.
+  /// handles), and joins the service threads — drainer first (it finishes
+  /// routing), then the shard lanes (they finish executing and stamping),
+  /// then the snapshot readers. Idempotent; also run by the destructor.
+  /// Submissions racing close() either enter before the cut (and are
+  /// flushed) or throw; producers blocked on backpressure wake and throw.
   void close() {
     {
       std::lock_guard<std::mutex> lk(hub_->mu);
       hub_->closed = true;
       work_cv_.notify_all();
+      space_cv_.notify_all();
     }
     std::lock_guard<std::mutex> cg(close_mu_);
     if (threads_joined_) return;
     if (drainer_.joinable()) drainer_.join();
+    for (auto& lane : lanes_) {
+      {
+        std::lock_guard<std::mutex> lk(lane->mu);
+        lane->shutdown = true;
+        lane->cv.notify_all();
+      }
+      if (lane->worker.joinable()) lane->worker.join();
+    }
     {
       std::lock_guard<std::mutex> lk(read_mu_);
       read_shutdown_ = true;
@@ -454,13 +587,30 @@ class query_service {
     threads_joined_ = true;
   }
 
-  /// Ingest/drain/retention counters. Safe to call concurrently with
+  /// Ingest/drain/retention/cache counters. Safe to call concurrently with
   /// submitters and the drain pipeline.
   service_stats stats() const {
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    service_stats s = stats_;
-    s.results_retained = hub_->retained;
-    s.results_evicted = hub_->evicted_total;
+    service_stats s;
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      s = stats_;
+      s.results_retained = hub_->retained;
+      s.results_evicted = hub_->evicted_total;
+      s.pending_requests = in_flight_requests_;
+    }
+    s.per_shard.reserve(cfg_.shards);
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      shard_drain_stats ls = lane->stats;
+      ls.queue_depth = lane->q.size();
+      s.per_shard.push_back(ls);
+    }
+    for (const auto& c : caches_) s.cache.accumulate(c->stats());
+    {
+      std::lock_guard<std::mutex> lk(scratch_mu_);
+      s.scratch_reuses = scratch_reuses_;
+      s.scratch_allocs = scratch_allocs_;
+    }
     return s;
   }
 
@@ -488,16 +638,57 @@ class query_service {
     timer clock;  // started at submit; read when the ticket completes
   };
 
-  /// A read-only drain group, fully routed and epoch-stamped by the drain
-  /// thread, executed by a snapshot-read executor.
-  struct read_task {
-    std::vector<pending_entry> group;
+  /// A write/mixed drain group in flight on the shard lanes: routed once
+  /// by the drain thread, executed per shard, merged and fulfilled by the
+  /// last lane to finish.
+  struct shard_group {
+    std::vector<pending_entry> tickets;
+    std::vector<request<D>> combined;               // group batches, FIFO
+    std::vector<std::vector<std::size_t>> sub_idx;  // per shard -> combined
+    std::vector<batch_result<D>> shard_res;         // per shard
+    batch_result<D> result;  // responses/phases pre-stamped by the router
+    std::atomic<std::size_t> remaining{0};          // lanes still executing
+    std::size_t total = 0;
+    timer exec_clock;  // routing done -> last lane finished
+    std::mutex err_mu;
+    std::exception_ptr error;  // first lane failure wins
+  };
+
+  /// A read-only drain group: routed by the drain thread, epoch-stamped by
+  /// each involved lane (after that shard's earlier writes), executed by a
+  /// snapshot-read executor.
+  struct read_group {
+    std::vector<pending_entry> tickets;
     std::vector<request<D>> combined;               // group batches, FIFO
     std::vector<std::vector<request<D>>> sub;       // per-shard requests
     std::vector<std::vector<std::size_t>> sub_idx;  // -> combined index
     std::vector<std::shared_ptr<const index_snapshot<D>>> snaps;
+    std::vector<unsigned char> pinned;  // lanes holding their write gate
+    std::atomic<std::size_t> stamps_remaining{0};
     std::size_t total = 0;
-    bool pinned = false;  // holds the write gate (non-isolated snapshot)
+    std::mutex err_mu;
+    std::exception_ptr error;  // first stamping failure wins
+  };
+
+  /// One unit of lane work: either execute a sub-batch of a shard_group or
+  /// stamp this shard's snapshot for a read_group.
+  struct shard_task {
+    std::shared_ptr<shard_group> exec;  // set for execute tasks
+    std::shared_ptr<read_group> stamp;  // set for stamp tasks
+    std::vector<request<D>> sub;        // execute: this lane's requests
+  };
+
+  /// Per-shard executor lane: FIFO task queue + worker thread + the
+  /// shard's write gate (pins from pinned snapshot readers). `mu` guards
+  /// q, stats, pins, shutdown; `cv` signals new work AND unpins.
+  struct shard_lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<shard_task> q;
+    bool shutdown = false;
+    std::size_t pins = 0;  // in-flight pinned snapshot readers
+    shard_drain_stats stats;
+    std::thread worker;
   };
 
   static bool batch_is_read_only(const std::vector<request<D>>& batch) {
@@ -507,12 +698,61 @@ class query_service {
     return true;
   }
 
+  // ---- scratch recycling --------------------------------------------------
+
+  // Routing buffers (per-shard request/index vectors, combined streams)
+  // cycle through a small pool instead of being reallocated every group:
+  // the drain thread takes them, the lane/reader that consumed them gives
+  // them back with capacity intact.
+  std::vector<request<D>> take_req_vec() {
+    std::lock_guard<std::mutex> lk(scratch_mu_);
+    if (!spare_req_.empty()) {
+      auto v = std::move(spare_req_.back());
+      spare_req_.pop_back();
+      ++scratch_reuses_;
+      return v;
+    }
+    ++scratch_allocs_;
+    return {};
+  }
+  void give_req_vec(std::vector<request<D>>&& v) {
+    v.clear();
+    std::lock_guard<std::mutex> lk(scratch_mu_);
+    if (spare_req_.size() < scratch_pool_cap()) {
+      spare_req_.push_back(std::move(v));
+    }
+  }
+  std::vector<std::size_t> take_idx_vec() {
+    std::lock_guard<std::mutex> lk(scratch_mu_);
+    if (!spare_idx_.empty()) {
+      auto v = std::move(spare_idx_.back());
+      spare_idx_.pop_back();
+      ++scratch_reuses_;
+      return v;
+    }
+    ++scratch_allocs_;
+    return {};
+  }
+  void give_idx_vec(std::vector<std::size_t>&& v) {
+    v.clear();
+    std::lock_guard<std::mutex> lk(scratch_mu_);
+    if (spare_idx_.size() < scratch_pool_cap()) {
+      spare_idx_.push_back(std::move(v));
+    }
+  }
+  std::size_t scratch_pool_cap() const {
+    // Enough for the groups that can be in flight at once (one routing +
+    // one per lane + the read queue) without hoarding memory.
+    return 4 * cfg_.shards + 8;
+  }
+
   // ---- drain pipeline -----------------------------------------------------
 
   // The dedicated drainer: pops FIFO groups of same-kind tickets (read-only
-  // vs writing, bounded by ingest_window requests), executes write groups
-  // in place, and hands read groups — routed and snapshot-stamped — to the
-  // read pool. Exits once closed and the queue is flushed.
+  // vs writing, bounded by ingest_window requests), routes each group once,
+  // and dispatches it — write/mixed groups to the shard lanes (per_shard)
+  // or executed in place (single), read-only groups toward the snapshot
+  // readers. Exits once closed and the queue is flushed.
   void drain_loop() {
     for (;;) {
       std::unique_lock<std::mutex> lk(hub_->mu);
@@ -521,7 +761,7 @@ class query_service {
         if (hub_->closed) return;
         continue;
       }
-      const bool read_group =
+      const bool read_group_kind =
           cfg_.read_threads > 0 && batch_is_read_only(pending_.front().batch);
       std::vector<pending_entry> group;
       group.push_back(std::move(pending_.front()));
@@ -531,7 +771,7 @@ class query_service {
         const auto& next = pending_.front();
         if (total + next.batch.size() > cfg_.ingest_window) break;
         if (cfg_.read_threads > 0 &&
-            batch_is_read_only(next.batch) != read_group) {
+            batch_is_read_only(next.batch) != read_group_kind) {
           break;
         }
         total += next.batch.size();
@@ -539,13 +779,476 @@ class query_service {
         pending_.pop_front();
       }
       lk.unlock();
-      if (read_group) {
-        dispatch_read_group(std::move(group), total);
+      if (read_group_kind) {
+        route_read_group(std::move(group), total);
+      } else if (cfg_.drain == drain_mode::per_shard) {
+        dispatch_shard_group(std::move(group), total);
       } else {
         run_sync_group(std::move(group), total);
       }
     }
   }
+
+  // ---- per-shard drain pipelines ------------------------------------------
+
+  // Routes a write/mixed group once and fans its per-shard sub-batches out
+  // to the lanes, then returns immediately — the drain thread never
+  // executes. Phase structure (response kinds/ids, read/write counts) is
+  // pre-stamped here so lanes only produce rows.
+  void dispatch_shard_group(std::vector<pending_entry> tickets,
+                            std::size_t total) {
+    auto g = std::make_shared<shard_group>();
+    g->tickets = std::move(tickets);
+    g->total = total;
+    g->combined = take_req_vec();
+    g->combined.reserve(total);
+    for (const auto& e : g->tickets) {
+      g->combined.insert(g->combined.end(), e.batch.begin(), e.batch.end());
+    }
+    if (cfg_.policy == shard_policy::spatial && !bounds_set_) {
+      derive_bounds_from_writes(g->combined);
+    }
+    stamp_phases(g->combined, g->result);
+
+    g->sub_idx.resize(cfg_.shards);
+    g->shard_res.resize(cfg_.shards);
+    std::vector<std::vector<request<D>>> sub(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      sub[s] = take_req_vec();
+      g->sub_idx[s] = take_idx_vec();
+    }
+    for (std::size_t i = 0; i < g->combined.size(); ++i) {
+      const auto& r = g->combined[i];
+      if (is_read(r.kind)) {
+        for (std::size_t s = 0; s < cfg_.shards; ++s) {
+          if (!shard_serves(s, r)) continue;
+          sub[s].push_back(r);
+          g->sub_idx[s].push_back(i);
+        }
+      } else {
+        const std::size_t s = owner_of(r.p);
+        sub[s].push_back(r);
+        g->sub_idx[s].push_back(i);
+      }
+    }
+
+    std::size_t active = 0;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (!sub[s].empty()) ++active;
+    }
+    if (active == 0) {  // every ticket in the group had an empty batch
+      for (auto& v : sub) give_req_vec(std::move(v));
+      finalize_shard_group(g);
+      return;
+    }
+    g->remaining.store(active, std::memory_order_relaxed);
+    g->exec_clock.reset();
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (sub[s].empty()) {
+        give_req_vec(std::move(sub[s]));
+        continue;
+      }
+      shard_task task;
+      task.exec = g;
+      task.sub = std::move(sub[s]);
+      enqueue_lane_task(s, std::move(task));
+    }
+  }
+
+  void enqueue_lane_task(std::size_t s, shard_task task) {
+    auto& lane = *lanes_[s];
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      lane.q.push_back(std::move(task));
+      lane.stats.max_queue_depth =
+          std::max(lane.stats.max_queue_depth, lane.q.size());
+    }
+    lane.cv.notify_one();
+  }
+
+  // Lane worker: executes this shard's sub-batches and snapshot stamps in
+  // FIFO order until shutdown (queue flushed first).
+  void shard_loop(std::size_t s) {
+    auto& lane = *lanes_[s];
+    for (;;) {
+      shard_task task;
+      {
+        std::unique_lock<std::mutex> lk(lane.mu);
+        lane.cv.wait(lk, [&] { return lane.shutdown || !lane.q.empty(); });
+        if (lane.q.empty()) return;  // shutdown, queue flushed
+        task = std::move(lane.q.front());
+        lane.q.pop_front();
+      }
+      if (task.exec) {
+        run_lane_subbatch(s, std::move(task));
+      } else {
+        run_lane_stamp(s, std::move(task));
+      }
+    }
+  }
+
+  // Executes one lane's sub-batch of a shard_group (waiting out this
+  // shard's pinned readers first if the sub-batch writes), records the
+  // lane's counters, and — if this lane finishes the group — merges and
+  // fulfils it.
+  void run_lane_subbatch(std::size_t s, shard_task task) {
+    auto g = std::move(task.exec);
+    bool writes = false;
+    for (const auto& r : task.sub) {
+      if (!is_read(r.kind)) {
+        writes = true;
+        break;
+      }
+    }
+    if (writes) wait_shard_gate(s);
+    timer clock;
+    batch_result<D> res;
+    try {
+      res = execute_shard_batch(s, task.sub);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(g->err_mu);
+      if (!g->error) g->error = std::current_exception();
+    }
+    const double secs = clock.elapsed();
+    {
+      auto& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      ++lane.stats.num_drains;
+      lane.stats.num_requests += task.sub.size();
+      lane.stats.execute_seconds += secs;
+    }
+    g->shard_res[s] = std::move(res);
+    give_req_vec(std::move(task.sub));
+    if (g->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finalize_shard_group(g);
+    }
+  }
+
+  // Stamps this shard's epoch snapshot for a read group (pinning the
+  // shard's write gate for non-isolated snapshots); the lane that stamps
+  // last hands the group to the snapshot readers. A failed snapshot
+  // (allocation) fails the group instead of unwinding the lane thread.
+  void run_lane_stamp(std::size_t s, shard_task task) {
+    auto g = std::move(task.stamp);
+    try {
+      stamp_shard_snapshot(*g, s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(g->err_mu);
+      if (!g->error) g->error = std::current_exception();
+    }
+    if (g->stamps_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      enqueue_read_task(std::move(g));
+    }
+  }
+
+  void stamp_shard_snapshot(read_group& g, std::size_t s) {
+    g.snaps[s] = engines_[s]->index().snapshot();
+    if (!g.snaps[s]->isolated()) {
+      auto& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      ++lane.pins;
+      g.pinned[s] = 1;
+    }
+  }
+
+  // Executes one lane's sub-batch with the engine's phase discipline:
+  // write runs go to the backend as batched updates, read runs through the
+  // cache-intercepted read path against the live index at its current
+  // epoch (stable here — only this lane writes this shard).
+  batch_result<D> execute_shard_batch(std::size_t s,
+                                      const std::vector<request<D>>& sub) {
+    auto& engine = *engines_[s];
+    batch_result<D> res;
+    execute_phases<D>(sub, res.responses, res.stats,
+                      [&](std::size_t begin, std::size_t end, bool read) {
+                        if (read) {
+                          run_shard_reads(s, sub, begin, end, engine.index(),
+                                          engine.index().epoch(),
+                                          res.responses);
+                        } else {
+                          engine.apply_write_phase(sub, begin, end);
+                        }
+                      });
+    return res;
+  }
+
+  // Merges per-shard rows into the pre-stamped group result and fulfils
+  // every ticket. Called by the last lane to finish (or the router, for
+  // all-empty groups).
+  void finalize_shard_group(const std::shared_ptr<shard_group>& g) {
+    const double secs = g->exec_clock.elapsed();
+    std::exception_ptr error = g->error;  // all lanes are done; no races
+    if (!error) {
+      merge_shard_reads(g->combined, 0, g->combined.size(), g->sub_idx,
+                        g->shard_res, g->result.responses);
+      // Phases pipeline across lanes, so per-phase wall-clock is not
+      // individually measurable: apportion the group's clock by request
+      // count (sums back to the group total).
+      g->result.stats.seconds = secs;
+      for (auto& ph : g->result.stats.phases) {
+        ph.seconds = g->total > 0
+                         ? secs * static_cast<double>(ph.num_requests) /
+                               static_cast<double>(g->total)
+                         : 0;
+      }
+    }
+    give_req_vec(std::move(g->combined));
+    for (auto& idx : g->sub_idx) give_idx_vec(std::move(idx));
+    fulfill_group(std::move(g->tickets), g->total, std::move(g->result),
+                  error, /*snapshot_epoch=*/0, /*read_group=*/false,
+                  /*lagged=*/false, secs);
+  }
+
+  // Pre-stamps a group's phase structure (response kinds/phase ids,
+  // read/write counts, phase list) without executing anything; lanes fill
+  // in the rows and the finalizer fills in the timings.
+  static void stamp_phases(const std::vector<request<D>>& combined,
+                           batch_result<D>& result) {
+    execute_phases<D>(combined, result.responses, result.stats,
+                      [](std::size_t, std::size_t, bool) {});
+  }
+
+  // Spatial stripes not carved yet: derive them from this group's write
+  // payloads (the first mass to ever enter the index). Bounds are fixed
+  // from then on, so routing and read pruning stay mutually consistent.
+  void derive_bounds_from_writes(const std::vector<request<D>>& combined) {
+    std::vector<point<D>> pts;
+    for (const auto& r : combined) {
+      if (!is_read(r.kind)) pts.push_back(r.p);
+    }
+    if (!pts.empty()) set_spatial_bounds(pts);
+  }
+
+  // Writes on shard s may not run while a pinned (non-isolated) snapshot
+  // read of s is in flight. Pins for s are only created by lane s's own
+  // stamp tasks (FIFO before the write task), so no new pin can appear
+  // while the lane waits here; the snapshot readers unpin.
+  void wait_shard_gate(std::size_t s) {
+    auto& lane = *lanes_[s];
+    std::unique_lock<std::mutex> lk(lane.mu);
+    lane.cv.wait(lk, [&] { return lane.pins == 0; });
+  }
+
+  // Single mode: writes wait for every shard's pinned readers (the global
+  // gate the single drainer had before lanes existed).
+  void wait_all_shard_gates() {
+    for (std::size_t s = 0; s < cfg_.shards; ++s) wait_shard_gate(s);
+  }
+
+  // ---- cache-intercepted reads --------------------------------------------
+
+  // One read run `batch[begin, end)` for shard s against `target` (the
+  // live index or an epoch snapshot) whose contents are at `epoch`: k-NN
+  // rows are served from the shard's result cache when the exact (point,
+  // k, epoch) key hits; only the misses touch the tree, and their rows are
+  // stored back. Identical missed keys within the run execute once — the
+  // duplicates (zipf-hot keys repeat inside a batch) copy the first row
+  // and count as hits. Rows land in responses[begin..end).
+  template <class Target>
+  void run_shard_reads(std::size_t s, const std::vector<request<D>>& batch,
+                       std::size_t begin, std::size_t end,
+                       const Target& target, std::uint64_t epoch,
+                       std::vector<response<D>>& responses) {
+    auto& cache = *caches_[s];
+    if (!cache.enabled()) {
+      detail::execute_read_phase_on<D>(target, batch, begin, end, responses);
+      return;
+    }
+    std::vector<request<D>> misses;
+    std::vector<std::size_t> miss_idx;
+    // Same-run dedup, hashed on the shared canonical k-NN key (the epoch
+    // is constant within the run) — no ordered-map node churn on the hot
+    // read path.
+    std::unordered_map<detail::knn_key<D>, std::size_t,
+                       detail::knn_key_hash<D>>
+        first_miss;
+    std::vector<std::pair<std::size_t, std::size_t>> dups;  // (resp i, miss j)
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& r = batch[i];
+      if (r.kind == op::knn && r.k > 0) {
+        const detail::knn_key<D> key(r.p, r.k, epoch);
+        auto dit = first_miss.find(key);
+        if (dit != first_miss.end()) {  // same-run duplicate of a miss
+          dups.emplace_back(i, dit->second);
+          continue;
+        }
+        if (cache.lookup(r.p, r.k, epoch, responses[i].points)) continue;
+        first_miss.emplace(key, misses.size());
+      }
+      misses.push_back(r);
+      miss_idx.push_back(i);
+    }
+    if (!dups.empty()) cache.add_hits(dups.size());
+    if (misses.empty() && dups.empty()) return;
+    std::vector<response<D>> rows(misses.size());
+    detail::execute_read_phase_on<D>(target, misses, 0, misses.size(), rows);
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      responses[miss_idx[j]].points = std::move(rows[j].points);
+      if (misses[j].kind == op::knn && misses[j].k > 0) {
+        cache.store(misses[j].p, misses[j].k, epoch,
+                    responses[miss_idx[j]].points);
+      }
+    }
+    for (const auto& [i, j] : dups) {
+      responses[i].points = responses[miss_idx[j]].points;
+    }
+  }
+
+  // ---- snapshot-read path -------------------------------------------------
+
+  // Routes a read-only group once. per_shard: each involved lane stamps
+  // its own snapshot in queue order (so it observes exactly that shard's
+  // earlier writes) and the last stamp hands the group to the readers.
+  // single: the drain thread stamps everything inline, preserving the
+  // serialized baseline's timing.
+  void route_read_group(std::vector<pending_entry> tickets,
+                        std::size_t total) {
+    auto g = std::make_shared<read_group>();
+    g->tickets = std::move(tickets);
+    g->total = total;
+    g->combined = take_req_vec();
+    g->combined.reserve(total);
+    for (const auto& e : g->tickets) {
+      g->combined.insert(g->combined.end(), e.batch.begin(), e.batch.end());
+    }
+    g->sub.resize(cfg_.shards);
+    g->sub_idx.resize(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      g->sub[s] = take_req_vec();
+      g->sub_idx[s] = take_idx_vec();
+    }
+    for (std::size_t i = 0; i < g->combined.size(); ++i) {
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (!shard_serves(s, g->combined[i])) continue;
+        g->sub[s].push_back(g->combined[i]);
+        g->sub_idx[s].push_back(i);
+      }
+    }
+    g->snaps.resize(cfg_.shards);
+    g->pinned.assign(cfg_.shards, 0);
+
+    std::size_t active = 0;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (!g->sub[s].empty()) ++active;
+    }
+    if (active == 0) {  // every ticket in the group had an empty batch
+      recycle_read_group(*g);
+      fulfill_group(std::move(g->tickets), g->total, batch_result<D>{},
+                    nullptr, /*snapshot_epoch=*/0, /*read_group=*/true,
+                    /*lagged=*/false, /*exec_seconds=*/0);
+      return;
+    }
+    if (cfg_.drain == drain_mode::per_shard) {
+      g->stamps_remaining.store(active, std::memory_order_relaxed);
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (g->sub[s].empty()) continue;
+        shard_task task;
+        task.stamp = g;
+        enqueue_lane_task(s, std::move(task));
+      }
+    } else {
+      try {
+        for (std::size_t s = 0; s < cfg_.shards; ++s) {
+          if (!g->sub[s].empty()) stamp_shard_snapshot(*g, s);
+        }
+      } catch (...) {
+        g->error = std::current_exception();  // fails the group, not the thread
+      }
+      enqueue_read_task(std::move(g));
+    }
+  }
+
+  void enqueue_read_task(std::shared_ptr<read_group> g) {
+    {
+      std::lock_guard<std::mutex> lk(read_mu_);
+      read_q_.push_back(std::move(g));
+    }
+    read_cv_.notify_one();
+  }
+
+  // Snapshot-read executors: drain the read queue until shutdown.
+  void read_loop() {
+    for (;;) {
+      std::shared_ptr<read_group> g;
+      {
+        std::unique_lock<std::mutex> lk(read_mu_);
+        read_cv_.wait(lk, [&] { return read_shutdown_ || !read_q_.empty(); });
+        if (read_q_.empty()) return;  // shutdown, queue flushed
+        g = std::move(read_q_.front());
+        read_q_.pop_front();
+      }
+      run_read_task(std::move(g));
+    }
+  }
+
+  // Executes one read group against its epoch snapshots (through the k-NN
+  // cache) and fulfils it.
+  void run_read_task(std::shared_ptr<read_group> g) {
+    timer clock;
+    batch_result<D> result;
+    std::exception_ptr error = g->error;  // all stamps retired; no race
+    std::uint64_t snap_epoch = 0;
+    if (!error) {
+      try {
+        result.responses.resize(g->combined.size());
+        std::vector<batch_result<D>> shard_res(cfg_.shards);
+        par::parallel_for(
+            0, cfg_.shards,
+            [&](std::size_t s) {
+              if (g->sub[s].empty()) return;
+              shard_res[s].responses.resize(g->sub[s].size());
+              run_shard_reads(s, g->sub[s], 0, g->sub[s].size(), *g->snaps[s],
+                              g->snaps[s]->epoch(), shard_res[s].responses);
+            },
+            1);
+        merge_shard_reads(g->combined, 0, g->combined.size(), g->sub_idx,
+                          shard_res, result.responses);
+        for (std::size_t i = 0; i < g->combined.size(); ++i) {
+          result.responses[i].kind = g->combined[i].kind;
+          result.responses[i].phase = 0;
+        }
+        for (const auto& snap : g->snaps) {
+          if (snap) snap_epoch = std::max(snap_epoch, snap->epoch());
+        }
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    const double secs = clock.elapsed();
+    result.stats.num_requests = g->total;
+    result.stats.num_reads = g->total;
+    result.stats.seconds = secs;
+    result.stats.phases = {
+        {g->combined.empty() ? op::knn : g->combined.front().kind, g->total,
+         secs}};
+    // Lag is judged before unpinning: any divergence here means a write
+    // drain advanced the live index while this read was executing.
+    bool lagged = false;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (g->snaps[s] &&
+          g->snaps[s]->epoch() != engines_[s]->index().epoch()) {
+        lagged = true;
+      }
+    }
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (!g->pinned[s]) continue;
+      auto& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      --lane.pins;
+      lane.cv.notify_all();
+    }
+    recycle_read_group(*g);
+    fulfill_group(std::move(g->tickets), g->total, std::move(result), error,
+                  snap_epoch, /*read_group=*/true, lagged, secs);
+  }
+
+  void recycle_read_group(read_group& g) {
+    give_req_vec(std::move(g.combined));
+    for (auto& v : g.sub) give_req_vec(std::move(v));
+    for (auto& v : g.sub_idx) give_idx_vec(std::move(v));
+  }
+
+  // ---- single-drainer baseline --------------------------------------------
 
   // Executes a writing (or pool-disabled) group on the drain thread with
   // the engine's phase discipline, after waiting out pinned readers.
@@ -555,7 +1258,7 @@ class query_service {
     for (const auto& e : group) {
       combined.insert(combined.end(), e.batch.begin(), e.batch.end());
     }
-    wait_for_pinned_readers();
+    wait_all_shard_gates();
     batch_result<D> result;
     std::exception_ptr error;
     try {
@@ -569,119 +1272,83 @@ class query_service {
                   /*lagged=*/false, secs);
   }
 
-  // Routes and epoch-stamps a read-only group on the drain thread (so its
-  // snapshots observe exactly the writes that preceded it in FIFO order),
-  // then enqueues it for the read pool and returns immediately.
-  void dispatch_read_group(std::vector<pending_entry> group,
-                           std::size_t total) {
-    read_task task;
-    task.group = std::move(group);
-    task.total = total;
-    task.combined.reserve(total);
-    for (const auto& e : task.group) {
-      task.combined.insert(task.combined.end(), e.batch.begin(),
-                           e.batch.end());
-    }
-    task.sub.resize(cfg_.shards);
-    task.sub_idx.resize(cfg_.shards);
-    for (std::size_t i = 0; i < task.combined.size(); ++i) {
-      for (std::size_t s = 0; s < cfg_.shards; ++s) {
-        if (!shard_serves(s, task.combined[i])) continue;
-        task.sub[s].push_back(task.combined[i]);
-        task.sub_idx[s].push_back(i);
-      }
-    }
-    task.snaps.resize(cfg_.shards);
-    bool need_pin = false;
-    for (std::size_t s = 0; s < cfg_.shards; ++s) {
-      task.snaps[s] = engines_[s]->index().snapshot();
-      if (!task.snaps[s]->isolated()) need_pin = true;
-    }
-    if (need_pin) {
-      std::lock_guard<std::mutex> g(gate_mu_);
-      ++pins_;
-      task.pinned = true;
-    }
-    {
-      std::lock_guard<std::mutex> lk(read_mu_);
-      read_q_.push_back(std::move(task));
-    }
-    read_cv_.notify_one();
-  }
-
-  // Snapshot-read executors: drain the read queue until shutdown.
-  void read_loop() {
-    for (;;) {
-      read_task task;
-      {
-        std::unique_lock<std::mutex> lk(read_mu_);
-        read_cv_.wait(lk, [&] { return read_shutdown_ || !read_q_.empty(); });
-        if (read_q_.empty()) return;  // shutdown, queue flushed
-        task = std::move(read_q_.front());
-        read_q_.pop_front();
-      }
-      run_read_task(std::move(task));
-    }
-  }
-
-  // Executes one read group against its epoch snapshots and fulfils it.
-  void run_read_task(read_task task) {
-    timer clock;
+  // Executes one combined stream with the engine's phase discipline
+  // (execute_phases): writes routed to owning shards, reads scattered,
+  // cache-probed, and merged. Only ever called by the drain thread.
+  batch_result<D> run_group(const std::vector<request<D>>& batch) {
+    // One shard: the engine IS the logical index — skip the scatter/gather
+    // bookkeeping and the redundant k-NN re-sort entirely (the per-shard
+    // executor path already runs phases with cache interception).
+    if (cfg_.shards == 1) return execute_shard_batch(0, batch);
     batch_result<D> result;
-    std::exception_ptr error;
-    std::uint64_t snap_epoch = 0;
-    try {
-      result.responses.resize(task.combined.size());
-      std::vector<batch_result<D>> shard_res(cfg_.shards);
-      par::parallel_for(
-          0, cfg_.shards,
-          [&](std::size_t s) {
-            if (!task.sub[s].empty()) {
-              shard_res[s] =
-                  query_engine<D>::execute_reads(task.sub[s], *task.snaps[s]);
-            }
-          },
-          1);
-      merge_shard_reads(task.combined, 0, task.combined.size(), task.sub_idx,
-                        shard_res, result.responses);
-      for (std::size_t i = 0; i < task.combined.size(); ++i) {
-        result.responses[i].kind = task.combined[i].kind;
-        result.responses[i].phase = 0;
-      }
-      for (const auto& snap : task.snaps) {
-        snap_epoch = std::max(snap_epoch, snap->epoch());
-      }
-    } catch (...) {
-      error = std::current_exception();
-    }
-    const double secs = clock.elapsed();
-    result.stats.num_requests = task.total;
-    result.stats.num_reads = task.total;
-    result.stats.seconds = secs;
-    result.stats.phases = {
-        {task.combined.empty() ? op::knn : task.combined.front().kind,
-         task.total, secs}};
-    // Lag is judged before unpinning: any divergence here means a write
-    // drain advanced the live index while this read was executing.
-    bool lagged = false;
-    for (std::size_t s = 0; s < cfg_.shards; ++s) {
-      if (task.snaps[s] &&
-          task.snaps[s]->epoch() != engines_[s]->index().epoch()) {
-        lagged = true;
-      }
-    }
-    if (task.pinned) {
-      std::lock_guard<std::mutex> g(gate_mu_);
-      --pins_;
-      gate_cv_.notify_all();
-    }
-    fulfill_group(std::move(task.group), task.total, std::move(result), error,
-                  snap_epoch, /*read_group=*/true, lagged, secs);
+    execute_phases<D>(batch, result.responses, result.stats,
+                      [&](std::size_t begin, std::size_t end, bool read) {
+                        if (read) {
+                          run_read_phase(batch, begin, end, result.responses);
+                        } else {
+                          run_write_phase(batch, begin, end);
+                        }
+                      });
+    return result;
   }
+
+  void run_write_phase(const std::vector<request<D>>& batch, std::size_t begin,
+                       std::size_t end) {
+    if (cfg_.policy == shard_policy::spatial && !bounds_set_) {
+      // No bootstrap data carved the space yet: derive the stripes from
+      // this first write phase. Bounds are fixed from then on, so routing
+      // and read pruning stay mutually consistent.
+      std::vector<point<D>> pts;
+      pts.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) pts.push_back(batch[i].p);
+      set_spatial_bounds(pts);
+    }
+    std::vector<std::vector<request<D>>> sub(cfg_.shards);
+    for (std::size_t i = begin; i < end; ++i) {
+      sub[owner_of(batch[i].p)].push_back(batch[i]);
+    }
+    par::parallel_for(
+        0, cfg_.shards,
+        [&](std::size_t s) {
+          if (!sub[s].empty()) {
+            engines_[s]->apply_write_phase(sub[s], 0, sub[s].size());
+          }
+        },
+        1);
+  }
+
+  void run_read_phase(const std::vector<request<D>>& batch, std::size_t begin,
+                      std::size_t end, std::vector<response<D>>& responses) {
+    std::vector<std::vector<request<D>>> sub(cfg_.shards);
+    std::vector<std::vector<std::size_t>> sub_idx(cfg_.shards);
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (!shard_serves(s, batch[i])) continue;
+        sub[s].push_back(batch[i]);
+        sub_idx[s].push_back(i);
+      }
+    }
+
+    std::vector<batch_result<D>> shard_res(cfg_.shards);
+    par::parallel_for(
+        0, cfg_.shards,
+        [&](std::size_t s) {
+          if (sub[s].empty()) return;
+          shard_res[s].responses.resize(sub[s].size());
+          run_shard_reads(s, sub[s], 0, sub[s].size(), engines_[s]->index(),
+                          engines_[s]->index().epoch(),
+                          shard_res[s].responses);
+        },
+        1);
+    merge_shard_reads(batch, begin, end, sub_idx, shard_res, responses);
+  }
+
+  // ---- fulfilment ---------------------------------------------------------
 
   // Slices a drain group's combined result back into per-ticket results,
-  // stores (or callback-delivers) each, enforces the retention cap, and
-  // updates stats. Callbacks fire outside the lock, in ticket order.
+  // stores (or callback-delivers) each, enforces the retention cap, frees
+  // the group's backpressure budget, and updates stats. Callbacks fire
+  // outside the lock, in ticket order.
   void fulfill_group(std::vector<pending_entry> group, std::size_t total,
                      batch_result<D> result, std::exception_ptr error,
                      std::uint64_t snap_epoch, bool read_group, bool lagged,
@@ -730,6 +1397,8 @@ class query_service {
       }
       stats_.num_requests += total;
       stats_.execute_seconds += exec_seconds;
+      in_flight_requests_ -= total;
+      space_cv_.notify_all();
       hub_->done_cv.notify_all();
     }
     for (auto& [fn, tr] : callbacks) {
@@ -742,79 +1411,27 @@ class query_service {
     }
   }
 
-  // Writes may not run while a pinned (non-isolated) snapshot read is in
-  // flight. Only the drain thread pins, so no new pins can appear while it
-  // waits here.
-  void wait_for_pinned_readers() {
-    std::unique_lock<std::mutex> lk(gate_mu_);
-    gate_cv_.wait(lk, [&] { return pins_ == 0; });
+  // ---- submission (hub_->mu held) -----------------------------------------
+
+  // Backpressure admission: room under the bound, or an over-sized batch
+  // alone in an empty pipeline (otherwise it could never be admitted).
+  bool admits(std::size_t n) const {
+    if (n == 0) return true;  // empty batches carry no payload
+    return in_flight_requests_ == 0 ||
+           in_flight_requests_ + n <= cfg_.max_pending_requests;
   }
 
-  // ---- sharded execution --------------------------------------------------
-
-  // Executes one combined stream with the engine's phase discipline
-  // (execute_phases): writes routed to owning shards, reads scattered and
-  // merged. Only ever called by the drain thread.
-  batch_result<D> run_group(const std::vector<request<D>>& batch) {
-    // One shard: the engine IS the logical index — skip the scatter/gather
-    // bookkeeping and the redundant k-NN re-sort entirely.
-    if (cfg_.shards == 1) return engines_[0]->execute(batch);
-    batch_result<D> result;
-    execute_phases<D>(batch, result.responses, result.stats,
-                      [&](std::size_t begin, std::size_t end, bool read) {
-                        if (read) {
-                          run_read_phase(batch, begin, end, result.responses);
-                        } else {
-                          run_write_phase(batch, begin, end);
-                        }
-                      });
-    return result;
+  completion<D> enqueue_locked(std::vector<request<D>> batch) {
+    const std::uint64_t id = next_ticket_++;
+    hub_->tickets.emplace(id, typename detail::completion_hub<D>::record{});
+    in_flight_requests_ += batch.size();
+    pending_.push_back(pending_entry{id, std::move(batch), timer{}});
+    ++stats_.num_tickets;
+    work_cv_.notify_one();
+    return completion<D>(hub_, id);
   }
 
-  void run_write_phase(const std::vector<request<D>>& batch, std::size_t begin,
-                       std::size_t end) {
-    if (cfg_.policy == shard_policy::spatial && !bounds_set_) {
-      // No bootstrap data carved the space yet: derive the stripes from
-      // this first write phase. Bounds are fixed from then on, so routing
-      // and read pruning stay mutually consistent.
-      std::vector<point<D>> pts;
-      pts.reserve(end - begin);
-      for (std::size_t i = begin; i < end; ++i) pts.push_back(batch[i].p);
-      set_spatial_bounds(pts);
-    }
-    std::vector<std::vector<request<D>>> sub(cfg_.shards);
-    for (std::size_t i = begin; i < end; ++i) {
-      sub[owner_of(batch[i].p)].push_back(batch[i]);
-    }
-    par::parallel_for(
-        0, cfg_.shards,
-        [&](std::size_t s) {
-          if (!sub[s].empty()) engines_[s]->execute(sub[s]);
-        },
-        1);
-  }
-
-  void run_read_phase(const std::vector<request<D>>& batch, std::size_t begin,
-                      std::size_t end, std::vector<response<D>>& responses) {
-    std::vector<std::vector<request<D>>> sub(cfg_.shards);
-    std::vector<std::vector<std::size_t>> sub_idx(cfg_.shards);
-    for (std::size_t i = begin; i < end; ++i) {
-      for (std::size_t s = 0; s < cfg_.shards; ++s) {
-        if (!shard_serves(s, batch[i])) continue;
-        sub[s].push_back(batch[i]);
-        sub_idx[s].push_back(i);
-      }
-    }
-
-    std::vector<batch_result<D>> shard_res(cfg_.shards);
-    par::parallel_for(
-        0, cfg_.shards,
-        [&](std::size_t s) {
-          if (!sub[s].empty()) shard_res[s] = engines_[s]->execute(sub[s]);
-        },
-        1);
-    merge_shard_reads(batch, begin, end, sub_idx, shard_res, responses);
-  }
+  // ---- sharded gather-merge -----------------------------------------------
 
   // Gather-merge for scattered reads: range rows concatenate; k-NN rows
   // collect candidates from every shard, then re-sort by distance and
@@ -905,19 +1522,10 @@ class query_service {
   }
 
   static std::size_t hash_point(const point<D>& p) {
-    // FNV-1a over the coordinate bit patterns: equal points (the routing
-    // key) always hash alike.
-    std::uint64_t h = 1469598103934665603ull;
-    for (int d = 0; d < D; ++d) {
-      // -0.0 == 0.0 as a point coordinate, so they must share a bit
-      // pattern here or equal points could land on different shards.
-      const double coord = p[d] == 0.0 ? 0.0 : p[d];
-      std::uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(double));
-      std::memcpy(&bits, &coord, sizeof(bits));
-      h = (h ^ bits) * 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
+    // FNV-1a over canonical coordinate bits (result_cache.h holds the one
+    // definition): equal points (the routing key) always hash alike, and
+    // routing stays bit-for-bit consistent with the cache keys.
+    return static_cast<std::size_t>(detail::point_fnv1a(p));
   }
 
   std::vector<std::vector<point<D>>> partition_points(
@@ -929,32 +1537,42 @@ class query_service {
 
   service_config cfg_;
   std::vector<std::unique_ptr<query_engine<D>>> engines_;
+  /// Hot k-NN result caches, one per shard (query/result_cache.h).
+  std::vector<std::unique_ptr<knn_result_cache<D>>> caches_;
+  /// Per-shard executor lanes (workers run only under per_shard; the pin
+  /// gates and counters are used in both modes).
+  std::vector<std::unique_ptr<shard_lane>> lanes_;
 
   // Spatial stripes; fixed once set (no rebalancing), so write routing and
   // read pruning agree forever. Only touched by bootstrap or the drain
-  // thread (read tasks receive routed sub-batches, never raw bounds).
+  // thread (lanes and read tasks receive routed sub-batches, never raw
+  // bounds).
   int split_dim_ = 0;
   std::vector<double> bounds_;
   bool bounds_set_ = false;
 
-  // Ingest queue + completion state. hub_->mu guards pending_, next_ticket_
-  // and stats_ as well; the hub outlives the service for late redemptions.
+  // Ingest queue + completion state. hub_->mu guards pending_, next_ticket_,
+  // in_flight_requests_ and stats_ as well; the hub outlives the service
+  // for late redemptions.
   std::shared_ptr<detail::completion_hub<D>> hub_;
-  std::condition_variable work_cv_;  // drain thread wakeup (hub_->mu)
+  std::condition_variable work_cv_;   // drain thread wakeup (hub_->mu)
+  std::condition_variable space_cv_;  // backpressure wakeup (hub_->mu)
   std::deque<pending_entry> pending_;
   std::uint64_t next_ticket_ = 1;
+  std::size_t in_flight_requests_ = 0;  // admitted, not yet fulfilled
   service_stats stats_;
 
-  // Write gate: pinned (non-isolated) snapshot reads in flight. Only the
-  // drain thread pins; only read executors unpin.
-  std::mutex gate_mu_;
-  std::condition_variable gate_cv_;
-  std::size_t pins_ = 0;
+  // Routing scratch recycling pool.
+  mutable std::mutex scratch_mu_;
+  std::vector<std::vector<request<D>>> spare_req_;
+  std::vector<std::vector<std::size_t>> spare_idx_;
+  std::size_t scratch_reuses_ = 0;
+  std::size_t scratch_allocs_ = 0;
 
   // Snapshot-read executor pool.
   std::mutex read_mu_;
   std::condition_variable read_cv_;
-  std::deque<read_task> read_q_;
+  std::deque<std::shared_ptr<read_group>> read_q_;
   bool read_shutdown_ = false;
 
   std::mutex close_mu_;

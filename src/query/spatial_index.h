@@ -117,6 +117,16 @@ class spatial_index {
   /// Monotonic write-epoch counter: bumped by build() and by every
   /// content-changing batch_insert/batch_erase. Safe to read concurrently
   /// with writes (it is an atomic counter, not a structure guard).
+  ///
+  /// The epoch doubles as a content-version token: within one epoch the
+  /// stored multiset — and therefore every query answer — is fixed, so
+  /// (query, epoch) keys memoized results (the query_service's k-NN
+  /// result cache relies on this, see query/result_cache.h). Backends
+  /// uphold the contract by *not* bumping on no-op batches (an erase that
+  /// matched nothing) and by bumping before any same-content restructure
+  /// (the kd-tree's threshold rebuild happens inside the write batch that
+  /// already bumped, so tie-order among equidistant neighbors can only
+  /// change across epochs, never within one).
   virtual std::uint64_t epoch() const = 0;
 
   /// Publishes a read snapshot of the current contents at the current

@@ -59,6 +59,10 @@ struct workload_spec {
   double range_extent = 4.0;   // box half-width; ball radius scales on it
   distribution dist = distribution::uniform;
   double zipf_s = 1.2;         // Zipf exponent for key reuse (dist == zipf)
+  /// Fraction of zipf payload points drawn from the hot-key pool instead
+  /// of fresh space (dist == zipf). Higher values model cache-friendlier
+  /// traffic: the same keys are re-queried, re-inserted, and re-erased.
+  double zipf_hot_frac = 0.8;
   uint64_t seed = 1;
 
   /// Derived coordinate scale for stream payloads, matching the cube the
@@ -165,7 +169,7 @@ std::vector<request<D>> make_requests(const workload_spec& spec,
   // Payload point for op i: fresh, or a reused hot key under zipf.
   auto pick_point = [&](std::size_t i) {
     if (spec.dist == distribution::zipf && !pool.empty() &&
-        par::rand_double(seed + 20, i) < 0.8) {
+        par::rand_double(seed + 20, i) < spec.zipf_hot_frac) {
       const std::size_t r = detail::zipf_rank(par::rand_double(seed + 21, i),
                                               pool.size(), spec.zipf_s);
       return pool[r];

@@ -1,0 +1,225 @@
+// Hot k-NN result cache: LRU/epoch unit tests on knn_result_cache<D> plus
+// the end-to-end correctness oracle — a zipf stream with interleaved
+// writes (and kd-tree rebuilds) answered by a cache-enabled service must
+// be byte-identical to the cache-disabled run, on every backend, while
+// actually hitting the cache.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "query/query_service.h"
+#include "query/result_cache.h"
+#include "query/workload.h"
+
+using namespace pargeo;
+using query::backend;
+using query::knn_result_cache;
+
+namespace {
+
+point<2> pt(double x, double y) { return point<2>{{x, y}}; }
+
+std::vector<point<2>> row(std::initializer_list<point<2>> pts) {
+  return std::vector<point<2>>(pts);
+}
+
+}  // namespace
+
+TEST(KnnResultCache, MissThenStoreThenHit) {
+  knn_result_cache<2> cache(8);
+  std::vector<point<2>> out;
+  EXPECT_FALSE(cache.lookup(pt(1, 2), 3, 7, out));
+  cache.store(pt(1, 2), 3, 7, row({pt(1, 2), pt(1, 3)}));
+  ASSERT_TRUE(cache.lookup(pt(1, 2), 3, 7, out));
+  EXPECT_EQ(out, row({pt(1, 2), pt(1, 3)}));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(KnnResultCache, KeyCoversPointKAndEpoch) {
+  knn_result_cache<2> cache(16);
+  cache.store(pt(1, 1), 2, 5, row({pt(1, 1)}));
+  std::vector<point<2>> out;
+  // Same point+k, later epoch: the write invalidated the entry.
+  EXPECT_FALSE(cache.lookup(pt(1, 1), 2, 6, out));
+  // Same point+epoch, different k.
+  EXPECT_FALSE(cache.lookup(pt(1, 1), 3, 5, out));
+  // Different point.
+  EXPECT_FALSE(cache.lookup(pt(1, 2), 2, 5, out));
+  // The original key still hits (stale epochs age out via LRU, they are
+  // not flushed).
+  EXPECT_TRUE(cache.lookup(pt(1, 1), 2, 5, out));
+}
+
+TEST(KnnResultCache, NegativeZeroKeysLikeZero) {
+  knn_result_cache<2> cache(4);
+  point<2> neg = pt(0.0, 1.0);
+  neg[0] = -0.0;
+  cache.store(pt(0.0, 1.0), 1, 1, row({pt(0.0, 1.0)}));
+  std::vector<point<2>> out;
+  EXPECT_TRUE(cache.lookup(neg, 1, 1, out));  // -0.0 == 0.0 as a point
+}
+
+TEST(KnnResultCache, LruEvictsLeastRecentlyUsed) {
+  knn_result_cache<2> cache(2);
+  cache.store(pt(1, 0), 1, 1, row({pt(1, 0)}));
+  cache.store(pt(2, 0), 1, 1, row({pt(2, 0)}));
+  std::vector<point<2>> out;
+  ASSERT_TRUE(cache.lookup(pt(1, 0), 1, 1, out));  // refresh A
+  cache.store(pt(3, 0), 1, 1, row({pt(3, 0)}));    // evicts B (LRU)
+  EXPECT_FALSE(cache.lookup(pt(2, 0), 1, 1, out));
+  EXPECT_TRUE(cache.lookup(pt(1, 0), 1, 1, out));
+  EXPECT_TRUE(cache.lookup(pt(3, 0), 1, 1, out));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(KnnResultCache, DuplicateStoreKeepsOneEntry) {
+  knn_result_cache<2> cache(4);
+  cache.store(pt(1, 1), 1, 1, row({pt(1, 1)}));
+  cache.store(pt(1, 1), 1, 1, row({pt(1, 1)}));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(KnnResultCache, CapacityZeroDisablesEverything) {
+  knn_result_cache<2> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.store(pt(1, 1), 1, 1, row({pt(1, 1)}));
+  std::vector<point<2>> out;
+  EXPECT_FALSE(cache.lookup(pt(1, 1), 1, 1, out));
+  const auto s = cache.stats();  // disabled instances count nothing
+  EXPECT_EQ(s.hits + s.misses + s.entries + s.evictions, 0u);
+}
+
+namespace {
+
+// Runs `spec` through a service configured by `cfg` and collects every
+// response in stream order.
+std::vector<query::response<2>> run_service(query::service_config cfg,
+                                            const query::workload_spec& spec,
+                                            query::service_stats* out_stats) {
+  query::query_service<2> service(cfg);
+  std::vector<query::response<2>> responses;
+  query::run_workload<2>(service, spec, &responses);
+  service.close();
+  if (out_stats) *out_stats = service.stats();
+  return responses;
+}
+
+class CacheOracle : public ::testing::TestWithParam<backend> {};
+
+}  // namespace
+
+// The acceptance property of the cache: cached k-NN answers are
+// byte-identical to fresh-tree answers across interleaved writes and
+// rebuilds. Zipf keys make the stream cache-friendly; a small kdtree
+// rebuild threshold forces frequent rebuilds under the same epochs the
+// cache keys on; a small capacity forces LRU evictions mid-stream.
+TEST_P(CacheOracle, CachedAnswersEqualFreshAnswers) {
+  query::workload_spec spec;
+  spec.initial_points = 500;
+  spec.num_ops = 3000;
+  spec.batch_size = 256;
+  spec.k = 5;
+  spec.dist = query::distribution::zipf;
+  spec.zipf_s = 1.4;
+  spec.zipf_hot_frac = 0.9;
+  spec.insert_frac = 0.05;
+  spec.erase_frac = 0.05;
+  spec.knn_frac = 0.7;
+  spec.range_frac = 0.1;
+  spec.ball_frac = 0.1;
+
+  query::service_config cfg;
+  cfg.backend = GetParam();
+  cfg.shards = 3;
+  cfg.policy = query::shard_policy::hash;
+  cfg.index.kdtree_rebuild_threshold = 0.02;  // rebuild often
+
+  auto cached_cfg = cfg;
+  cached_cfg.cache_capacity = 96;  // small: forces evictions too
+  auto uncached_cfg = cfg;
+  uncached_cfg.cache_capacity = 0;
+
+  query::service_stats cached_stats;
+  query::service_stats uncached_stats;
+  const auto got = run_service(cached_cfg, spec, &cached_stats);
+  const auto want = run_service(uncached_cfg, spec, &uncached_stats);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].kind, want[i].kind) << "response " << i;
+    // Exact point-for-point equality, not just matching distances: a hit
+    // replays the very rows the tree produced.
+    EXPECT_EQ(got[i].points, want[i].points) << "response " << i;
+  }
+  // The oracle only proves something if the cache actually served hits
+  // and churned.
+  EXPECT_GT(cached_stats.cache.hits, 0u);
+  EXPECT_GT(cached_stats.cache.evictions, 0u);
+  EXPECT_EQ(uncached_stats.cache.hits, 0u);
+  EXPECT_EQ(uncached_stats.cache.misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, CacheOracle,
+    ::testing::Values(backend::kdtree, backend::zdtree, backend::bdltree),
+    [](const ::testing::TestParamInfo<backend>& info) {
+      return query::backend_name(info.param);
+    });
+
+TEST(CacheService, RepeatedHotKeyHitsWithoutWrites) {
+  // Pure-read traffic on a frozen index: every repeat of a (point, k) key
+  // after the first is a hit, on the snapshot path.
+  query::service_config cfg;
+  cfg.backend = backend::bdltree;
+  cfg.shards = 2;
+  cfg.cache_capacity = 64;
+  query::query_service<2> service(cfg);
+  service.bootstrap(datagen::uniform<2>(400, 3));
+
+  std::vector<query::request<2>> batch;
+  for (int rep = 0; rep < 10; ++rep) {
+    batch.push_back(query::request<2>::make_knn(point<2>{{5.0, 5.0}}, 4));
+  }
+  auto r = service.execute(batch);
+  for (const auto& resp : r.responses) {
+    EXPECT_EQ(resp.points.size(), 4u);
+    EXPECT_EQ(resp.points, r.responses[0].points);
+  }
+  service.close();
+  const auto stats = service.stats();
+  // 2 shards x 10 probes: the first probe per shard misses, the rest hit.
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.hits, 18u);
+  EXPECT_GE(stats.cache.hit_rate(), 0.5);
+}
+
+TEST(CacheService, WritesInvalidateThroughEpochs) {
+  // A write between two identical k-NN queries must produce a fresh
+  // (and different) answer: the epoch key fences the stale row off.
+  query::service_config cfg;
+  cfg.backend = backend::bdltree;
+  cfg.shards = 1;
+  cfg.cache_capacity = 64;
+  query::query_service<2> service(cfg);
+  service.bootstrap({point<2>{{0, 0}}, point<2>{{10, 10}}});
+
+  const auto q = query::request<2>::make_knn(point<2>{{1, 1}}, 1);
+  auto r1 = service.execute({q, q});  // miss then hit
+  EXPECT_TRUE(r1.responses[0].points[0] == (point<2>{{0, 0}}));
+  auto r2 = service.execute({query::request<2>::make_insert(point<2>{{1, 1}}),
+                             q});
+  EXPECT_TRUE(r2.responses[1].points[0] == (point<2>{{1, 1}}))
+      << "stale cached answer served across a write";
+  service.close();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+}
