@@ -22,9 +22,16 @@
 // Part 5 (`cache_zipf`) measures the hot k-NN result cache on zipf 90%-read
 // traffic (hot-key serving: most payloads re-probe a few keys), cache off
 // vs on, with hit/miss/evict counters and the hit rate.
+// Part 6 (`skew_drain`) is the adversarial-skew section: payload points
+// concentrate in one corner stripe (dist=skewed) under spatial sharding,
+// so per-shard routing funnels nearly every write into one lane. It pits
+// drain_mode::per_shard against ::stealing, with stripe rebalancing off
+// vs on; the steal/rebalance counters prove the mechanisms engaged.
 //
 // `--json` emits one JSON object per row instead of the aligned table, so
-// EXPERIMENTS.md can be regenerated mechanically.
+// EXPERIMENTS.md can be regenerated mechanically. The first JSON line is a
+// `meta` row stamping `hardware_concurrency`, so consumers can tell a
+// 1-core container run (lanes cannot add compute) from real hardware.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -205,6 +212,60 @@ cache_row run_cache_zipf(query::backend b, std::size_t cache_capacity,
   return row;
 }
 
+struct skew_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+  std::size_t steals = 0;
+  std::size_t steal_scans = 0;
+};
+
+// Adversarially skewed stream under spatial stripes: one async producer
+// (no mid-stream waits, bounded by backpressure) so lane queues actually
+// build up and idle lanes have something to steal. Cache off to isolate
+// the drain path.
+skew_row run_skew_drain(query::backend b, query::drain_mode mode,
+                        double rebalance_threshold,
+                        const query::workload_spec& spec) {
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = 4;
+  cfg.policy = query::shard_policy::spatial;
+  cfg.drain = mode;
+  cfg.cache_capacity = 0;
+  cfg.rebalance_threshold = rebalance_threshold;
+  cfg.ingest_window = std::max<std::size_t>(1, spec.batch_size);
+  // Deeper in-flight backlog than the uniform drain bench: under skew the
+  // hot lane's queue depth is what idle lanes can steal from.
+  cfg.max_pending_requests = 8 * cfg.ingest_window;
+  cfg.max_retained = std::size_t{1} << 20;  // nothing redeems mid-stream
+  query::query_service<kDim> service(cfg);
+
+  auto initial = query::make_initial<kDim>(spec);
+  service.bootstrap(initial);
+  const auto reqs = query::make_requests<kDim>(spec, std::move(initial));
+
+  timer clock;
+  std::vector<query::completion<kDim>> pending;
+  const std::size_t bs = std::max<std::size_t>(1, spec.batch_size);
+  for (std::size_t off = 0; off < reqs.size(); off += bs) {
+    const std::size_t end = std::min(reqs.size(), off + bs);
+    pending.push_back(
+        service.submit({reqs.begin() + off, reqs.begin() + end}));
+  }
+  for (auto& c : pending) c.get();
+  const double secs = clock.elapsed();
+  service.close();
+
+  skew_row row;
+  row.stats = service.stats();
+  row.ops_per_sec = secs > 0 ? static_cast<double>(reqs.size()) / secs : 0;
+  for (const auto& lane : row.stats.per_shard) {
+    row.steals += lane.steals;
+    row.steal_scans += lane.steal_scans;
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,6 +273,17 @@ int main(int argc, char** argv) {
   const std::size_t initial_n = bench::base_n();
   const std::size_t num_ops = bench::base_n();
   const auto policy = query::shard_policy::hash;
+
+  if (json) {
+    // Machine-readable hardware context: a 1-core container measures lane
+    // parallelism at parity by construction.
+    std::printf("{\"section\":\"meta\",\"hardware_concurrency\":%u,"
+                "\"base_n\":%zu}\n",
+                std::thread::hardware_concurrency(), initial_n);
+  } else {
+    std::printf("# hardware_concurrency=%u\n",
+                std::thread::hardware_concurrency());
+  }
 
   if (!json) {
     bench::print_header(
@@ -348,6 +420,48 @@ int main(int argc, char** argv) {
                     query::backend_name(b), cap > 0 ? "on" : "off",
                     row.ops_per_sec, cs.hits, cs.misses,
                     cs.hit_rate() * 100, cs.evictions);
+      }
+    }
+  }
+
+  if (!json) {
+    bench::print_header(
+        "skew drain: skewed writes, spatial stripes, 4 shards — per_shard "
+        "vs stealing, rebalance off/on",
+        "backend            drain     rebal            ops/s    steals/"
+        "scans  rebal/moved");
+  }
+  auto skew_spec = make_spec(initial_n, num_ops, 0.50);
+  skew_spec.dist = query::distribution::skewed;
+  skew_spec.skew_frac = 0.1;  // hot cube well inside one stripe of four
+  // ~64 drain groups at any PARGEO_N: queue depth on the hot lane (what
+  // thieves steal from) comes from group count, not group size.
+  skew_spec.batch_size = std::max<std::size_t>(64, num_ops / 64);
+  for (auto b : {query::backend::kdtree, query::backend::zdtree,
+                 query::backend::bdltree}) {
+    for (auto mode :
+         {query::drain_mode::per_shard, query::drain_mode::stealing}) {
+      for (const double rebal : {0.0, 1.3}) {
+        const auto row = run_skew_drain(b, mode, rebal, skew_spec);
+        if (json) {
+          std::printf(
+              "{\"section\":\"skew_drain\",\"backend\":\"%s\","
+              "\"shards\":4,\"policy\":\"spatial\",\"drain\":\"%s\","
+              "\"dist\":\"skewed\",\"read_frac\":0.50,"
+              "\"rebalance_threshold\":%.2f,\"initial_n\":%zu,"
+              "\"num_ops\":%zu,\"ops_per_sec\":%.0f,\"steals\":%zu,"
+              "\"steal_scans\":%zu,\"rebalances\":%zu,"
+              "\"rebalance_moved\":%zu,\"drains\":%zu}\n",
+              query::backend_name(b), query::drain_mode_name(mode), rebal,
+              initial_n, num_ops, row.ops_per_sec, row.steals,
+              row.steal_scans, row.stats.rebalances,
+              row.stats.rebalance_moved, row.stats.num_drains);
+        } else {
+          std::printf("%-18s %-9s %5.2f %16.0f %9zu/%-7zu %5zu/%zu\n",
+                      query::backend_name(b), query::drain_mode_name(mode),
+                      rebal, row.ops_per_sec, row.steals, row.steal_scans,
+                      row.stats.rebalances, row.stats.rebalance_moved);
+        }
       }
     }
   }

@@ -1,23 +1,31 @@
 // CLI: run a synthetic mixed read/write workload through the query service.
 //
 //   pargeo_query <backend> <dim 2|3> <initial_n> <num_ops>
-//                [read_frac=0.9] [dist uniform|clustered|zipf]
+//                [read_frac=0.9]
+//                [dist uniform|clustered|zipf|skewed|drifting]
 //                [batch_size=2048] [seed=1] [shards=1] [policy hash|spatial]
-//                [drain single|per_shard] [cache_capacity=4096]
+//                [drain single|per_shard|stealing] [cache_capacity=4096]
+//                [rebalance_threshold=0]
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
 // across `shards` engines by `policy`; reads scatter/gather-merge, writes
 // route to owning shards. `drain` picks the execution strategy: per-shard
-// executor lanes (default; groups pipeline across shards) or the
-// single-drainer baseline. `cache_capacity` sizes the epoch-keyed hot
-// k-NN result cache (0 disables it). Reads split 70% k-NN / 15% box range
-// / 15% ball range; writes split evenly between inserts and erases.
-// Prints throughput, batch-latency percentiles (a request's latency is
-// its phase's wall-clock; phases complete together), the drain pipeline's
-// counters (total drain groups, read/snapshot-path vs write groups, `lag`
-// — read drains that retired after the live write epoch had already
-// advanced past their snapshot), per-lane drain counts, and the cache's
+// executor lanes (default; groups pipeline across shards), `stealing`
+// (lanes additionally drain the deepest sibling queue when idle — the
+// skew-resilient variant), or the single-drainer baseline.
+// `cache_capacity` sizes the epoch-keyed hot k-NN result cache (0
+// disables it). `rebalance_threshold` (> 1, spatial policy only) enables
+// online stripe rebalancing when max/mean shard imbalance crosses it.
+// `skewed`/`drifting` concentrate payload points in a (moving) corner
+// cube — the adversarial stream for spatial stripes. Reads split 70%
+// k-NN / 15% box range / 15% ball range; writes split evenly between
+// inserts and erases. Prints throughput, batch-latency percentiles (a
+// request's latency is its phase's wall-clock; phases complete
+// together), the drain pipeline's counters (total drain groups,
+// read/snapshot-path vs write groups, `lag` — read drains that retired
+// after the live write epoch had already advanced past their snapshot),
+// per-lane drain/steal counts, rebalance counters, and the cache's
 // hit/miss/evict line.
 #include <cstdio>
 #include <cstdlib>
@@ -62,19 +70,23 @@ int run_backend(query::backend b, const query::workload_spec& spec,
 
   service.close();
   const auto svc = service.stats();
-  std::size_t lane_drains = 0;
-  for (const auto& lane : svc.per_shard) lane_drains += lane.num_drains;
+  std::size_t lane_drains = 0, steals = 0;
+  for (const auto& lane : svc.per_shard) {
+    lane_drains += lane.num_drains;
+    steals += lane.steals;
+  }
   std::printf(
       "%-8s ops=%zu reads=%zu writes=%zu phases=%zu  %10.0f ops/s  "
       "lat p50=%.3fms p90=%.3fms p99=%.3fms  hits=%zu size=%zu  "
-      "drains=%zu (r=%zu w=%zu lag=%zu lane=%zu)  "
-      "cache h=%zu m=%zu (%.0f%%) ev=%zu\n",
+      "drains=%zu (r=%zu w=%zu lag=%zu lane=%zu steal=%zu)  "
+      "rebal=%zu moved=%zu  cache h=%zu m=%zu (%.0f%%) ev=%zu\n",
       query::backend_name(b), stats.num_requests, stats.num_reads,
       stats.num_writes, stats.num_phases(), stats.ops_per_sec(),
       query::percentile(phase_ms, 50), query::percentile(phase_ms, 90),
       query::percentile(phase_ms, 99), hits, service.size(),
       svc.num_drains, svc.num_read_groups, svc.num_write_groups,
-      svc.snapshot_lag_drains, lane_drains, svc.cache.hits, svc.cache.misses,
+      svc.snapshot_lag_drains, lane_drains, steals, svc.rebalances,
+      svc.rebalance_moved, svc.cache.hits, svc.cache.misses,
       svc.cache.hit_rate() * 100, svc.cache.evictions);
   return 0;
 }
@@ -96,12 +108,12 @@ int run(const std::string& backend_arg, const query::workload_spec& spec,
   }
   std::printf(
       "workload: dim=%d initial=%zu ops=%zu dist=%s batch=%zu seed=%llu "
-      "shards=%zu policy=%s drain=%s cache=%zu\n",
+      "shards=%zu policy=%s drain=%s cache=%zu rebalance=%.2f\n",
       D, spec.initial_points, spec.num_ops,
       query::distribution_name(spec.dist), spec.batch_size,
       static_cast<unsigned long long>(spec.seed), cfg.shards,
       query::shard_policy_name(cfg.policy), query::drain_mode_name(cfg.drain),
-      cfg.cache_capacity);
+      cfg.cache_capacity, cfg.rebalance_threshold);
   for (auto b : backends) run_backend<D>(b, spec, cfg);
   return 0;
 }
@@ -114,9 +126,10 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <backend kdtree|zdtree|bdltree|all> <dim 2|3> "
         "<initial_n> <num_ops> [read_frac=0.9] "
-        "[dist uniform|clustered|zipf] [batch_size=2048] [seed=1] "
-        "[shards=1] [policy hash|spatial] [drain single|per_shard] "
-        "[cache_capacity=4096]\n",
+        "[dist uniform|clustered|zipf|skewed|drifting] [batch_size=2048] "
+        "[seed=1] [shards=1] [policy hash|spatial] "
+        "[drain single|per_shard|stealing] [cache_capacity=4096] "
+        "[rebalance_threshold=0]\n",
         argv[0]);
     return 2;
   }
@@ -176,6 +189,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     cfg.cache_capacity = static_cast<std::size_t>(cap);
+  }
+  if (argc > 13) {
+    char* end = nullptr;
+    const double thr = std::strtod(argv[13], &end);
+    if (end == argv[13] || *end != '\0' || thr < 0) {
+      std::fprintf(stderr,
+                   "rebalance_threshold must be a non-negative number "
+                   "(got '%s'; > 1 enables, spatial policy only)\n",
+                   argv[13]);
+      return 2;
+    }
+    cfg.rebalance_threshold = thr;
   }
 
   const auto spec =

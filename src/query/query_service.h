@@ -46,6 +46,29 @@
 //   baseline. Per-lane counters (sub-batch drains, execute seconds, queue
 //   depths) are surfaced through `service_stats::per_shard`.
 //
+//   *Work-stealing lanes* (`drain_mode::stealing`). Same pipeline, but an
+//   idle lane worker drains the deepest sibling queue instead of
+//   blocking: each lane carries an execution token, tasks are popped from
+//   the front only while holding it, and the token is held until the
+//   task retires — so a shard's tasks still run one at a time in queue
+//   order (per-shard FIFO and the single-writer discipline are
+//   untouched; only the executing thread changes). A zipf/clustered
+//   write stream that routes every sub-batch to one shard no longer
+//   collapses the service to one busy worker. `steals`/`steal_scans`
+//   counters land in `service_stats::per_shard`; `per_shard` stays the
+//   no-stealing comparable baseline.
+//
+//   *Online stripe rebalancing* (`rebalance_threshold`, spatial policy).
+//   The drain thread tracks per-shard resident sizes as it routes writes;
+//   when max/mean imbalance crosses the threshold at a drain boundary it
+//   quiesces the lanes, re-derives the quantile stripe bounds from a
+//   sample of the live points, and migrates misplaced points to their new
+//   owners as an internal write group (batch_erase/batch_insert, so
+//   epochs bump on affected shards and cached k-NN rows invalidate
+//   through the normal epoch keys). Earlier groups execute fully under
+//   the old bounds and later groups route under the new ones, so write
+//   routing and read pruning never disagree.
+//
 //   *Epoch-snapshot reads*. A group of read-only tickets does not execute
 //   on the drain pipeline: it is routed once, then each involved lane
 //   stamps its shard's epoch snapshot (`spatial_index::snapshot()`) after
@@ -89,6 +112,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
@@ -96,6 +120,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -132,14 +157,18 @@ inline shard_policy shard_policy_from_string(const std::string& s) {
 }
 
 /// How drain groups execute: `per_shard` pipelines sub-batches through one
-/// executor lane per shard (groups overlap across shards); `single` runs
-/// each group to completion on the drain thread (the serialized baseline).
-enum class drain_mode { single, per_shard };
+/// executor lane per shard (groups overlap across shards); `stealing` is
+/// per_shard plus work stealing — an idle lane worker drains the deepest
+/// sibling queue, so a skewed stream that routes everything to one shard
+/// still keeps every worker busy; `single` runs each group to completion
+/// on the drain thread (the serialized baseline).
+enum class drain_mode { single, per_shard, stealing };
 
 inline const char* drain_mode_name(drain_mode m) {
   switch (m) {
     case drain_mode::single: return "single";
     case drain_mode::per_shard: return "per_shard";
+    case drain_mode::stealing: return "stealing";
   }
   return "?";
 }
@@ -147,8 +176,9 @@ inline const char* drain_mode_name(drain_mode m) {
 inline drain_mode drain_mode_from_string(const std::string& s) {
   if (s == "single") return drain_mode::single;
   if (s == "per_shard") return drain_mode::per_shard;
+  if (s == "stealing") return drain_mode::stealing;
   throw std::invalid_argument("unknown drain mode '" + s +
-                              "' (want single|per_shard)");
+                              "' (want single|per_shard|stealing)");
 }
 
 struct service_config {
@@ -176,6 +206,20 @@ struct service_config {
   /// Completed-but-unredeemed results kept before the oldest are evicted
   /// (an evicted handle's get() throws). Must be >= 1.
   std::size_t max_retained = 1024;
+  /// Online stripe rebalancing (spatial policy only): when the largest
+  /// shard's resident size exceeds `rebalance_threshold` x the mean at a
+  /// drain boundary, the quantile stripe bounds are re-derived from a
+  /// sample of live points and misplaced points migrate to their new
+  /// owners as an internal write group (epochs bump on every affected
+  /// shard, so cached k-NN rows and pinned snapshots invalidate through
+  /// the normal channels). <= 1 disables (the PR 4 behavior: stripes are
+  /// fixed once set). Meaningful values start around 1.2-2.0.
+  double rebalance_threshold = 0;
+  /// Ignore imbalance below this many total resident points (tiny sets
+  /// would re-stripe constantly for no win).
+  std::size_t rebalance_min_points = 256;
+  /// Sample size for re-deriving the quantile stripe bounds.
+  std::size_t rebalance_sample = 4096;
   index_options index;  // forwarded to every shard's backend
 };
 
@@ -195,13 +239,20 @@ struct ticket_result {
   std::uint64_t snapshot_epoch = 0;
 };
 
-/// Per-lane drain counters (populated under `drain_mode::per_shard`).
+/// Per-lane drain counters (populated under `drain_mode::per_shard` and
+/// `::stealing`). `num_drains`/`num_requests`/`execute_seconds` describe
+/// work executed ON this shard (whichever worker ran it); `steals` and
+/// `steal_scans` describe work this lane's WORKER took from siblings.
 struct shard_drain_stats {
-  std::size_t num_drains = 0;    // sub-batches this lane executed
+  std::size_t num_drains = 0;    // sub-batches executed on this shard
   std::size_t num_requests = 0;  // requests across those sub-batches
-  double execute_seconds = 0;    // wall-clock this lane spent executing
+  double execute_seconds = 0;    // wall-clock spent executing this shard
   std::size_t queue_depth = 0;   // tasks waiting in the lane right now
   std::size_t max_queue_depth = 0;  // high-water mark of queue_depth
+  /// Work stealing (drain_mode::stealing): tasks this lane's worker stole
+  /// from sibling queues, and the idle scans that went looking for one.
+  std::size_t steals = 0;
+  std::size_t steal_scans = 0;
 };
 
 struct service_stats {
@@ -226,6 +277,10 @@ struct service_stats {
   /// freshly allocated (reuse dominating == allocation churn is gone).
   std::size_t scratch_reuses = 0;
   std::size_t scratch_allocs = 0;
+  /// Online stripe rebalancing (spatial policy): bound re-derivations
+  /// performed, and points migrated between shards by them.
+  std::size_t rebalances = 0;
+  std::size_t rebalance_moved = 0;
   std::vector<shard_drain_stats> per_shard;  // one entry per lane
   cache_stats cache;  // hot k-NN cache, aggregated across shards
 };
@@ -474,11 +529,12 @@ class query_service {
           std::make_unique<knn_result_cache<D>>(per_shard_cache));
       lanes_.push_back(std::make_unique<shard_lane>());
     }
+    resident_est_.assign(cfg_.shards, 0);
     hub_ = std::make_shared<detail::completion_hub<D>>();
     hub_->max_retained = cfg_.max_retained;
     drainer_ = std::thread([this] { drain_loop(); });
     try {
-      if (cfg_.drain == drain_mode::per_shard) {
+      if (cfg_.drain != drain_mode::single) {
         for (std::size_t s = 0; s < cfg_.shards; ++s) {
           lanes_[s]->worker = std::thread([this, s] { shard_loop(s); });
         }
@@ -505,10 +561,24 @@ class query_service {
 
   /// Loads the initial point set, partitioned across shards (replacing any
   /// current contents). Not thread-safe; call before serving traffic.
+  /// Throws std::invalid_argument on non-finite coordinates (they would
+  /// corrupt stripe derivation and route arbitrarily, like at submit()).
   void bootstrap(const std::vector<point<D>>& pts) {
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (int d = 0; d < D; ++d) {
+        if (!std::isfinite(pts[i][d])) {
+          throw std::invalid_argument(
+              "query_service::bootstrap: point " + std::to_string(i) +
+              " has a non-finite coordinate");
+        }
+      }
+    }
     bounds_set_ = false;
     if (cfg_.policy == shard_policy::spatial) set_spatial_bounds(pts);
     auto parts = partition_points(pts);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      resident_est_[s] = parts[s].size();
+    }
     par::parallel_for(
         0, cfg_.shards,
         [&](std::size_t s) { engines_[s]->bootstrap(parts[s]); }, 1);
@@ -518,8 +588,10 @@ class query_service {
   /// and returns a completion handle immediately. Safe to call from any
   /// number of threads. With `max_pending_requests` set, blocks while the
   /// pipeline is at the bound. Throws once the service is closed (also
-  /// when close() arrives while blocked).
+  /// when close() arrives while blocked), and std::invalid_argument on a
+  /// request with non-finite coordinates (no ticket is created).
   completion<D> submit(std::vector<request<D>> batch) {
+    validate_batch(batch);
     std::unique_lock<std::mutex> lk(hub_->mu);
     if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
       ++stats_.submit_waits;
@@ -532,8 +604,10 @@ class query_service {
   }
 
   /// Non-blocking submit: std::nullopt when admission would block on the
-  /// backpressure bound (never waits). Throws once the service is closed.
+  /// backpressure bound (never waits). Throws once the service is closed,
+  /// and std::invalid_argument on non-finite coordinates.
   std::optional<completion<D>> try_submit(std::vector<request<D>> batch) {
+    validate_batch(batch);
     std::lock_guard<std::mutex> lk(hub_->mu);
     if (hub_->closed) {
       throw std::runtime_error("query_service::try_submit() after close()");
@@ -680,12 +754,18 @@ class query_service {
 
   /// Per-shard executor lane: FIFO task queue + worker thread + the
   /// shard's write gate (pins from pinned snapshot readers). `mu` guards
-  /// q, stats, pins, shutdown; `cv` signals new work AND unpins.
+  /// q, busy, stats, pins, shutdown; `cv` signals new work, unpins, AND
+  /// token releases. `busy` is the lane's execution token: a task may
+  /// only be popped (front, under `mu`) by a thread that takes the token,
+  /// and the token is held until the task retires — so this shard's tasks
+  /// run one at a time, in queue order, whichever worker runs them. Under
+  /// drain_mode::stealing that worker can be a sibling lane's.
   struct shard_lane {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<shard_task> q;
     bool shutdown = false;
+    bool busy = false;     // execution token (see above)
     std::size_t pins = 0;  // in-flight pinned snapshot readers
     shard_drain_stats stats;
     std::thread worker;
@@ -781,10 +861,16 @@ class query_service {
       lk.unlock();
       if (read_group_kind) {
         route_read_group(std::move(group), total);
-      } else if (cfg_.drain == drain_mode::per_shard) {
-        dispatch_shard_group(std::move(group), total);
       } else {
-        run_sync_group(std::move(group), total);
+        if (cfg_.drain != drain_mode::single) {
+          dispatch_shard_group(std::move(group), total);
+        } else {
+          run_sync_group(std::move(group), total);
+        }
+        // Write groups move mass between shards' resident sets; a drain
+        // boundary is the only point where stripes may be re-derived
+        // (routing and pruning stay mutually consistent group to group).
+        maybe_rebalance();
       }
     }
   }
@@ -829,6 +915,7 @@ class query_service {
         const std::size_t s = owner_of(r.p);
         sub[s].push_back(r);
         g->sub_idx[s].push_back(i);
+        note_routed_write(s, r);
       }
     }
 
@@ -867,24 +954,110 @@ class query_service {
   }
 
   // Lane worker: executes this shard's sub-batches and snapshot stamps in
-  // FIFO order until shutdown (queue flushed first).
+  // FIFO order until shutdown (own queue flushed first; a task in flight
+  // on a thief completes on the thief's thread). Under drain_mode::stealing
+  // an idle worker periodically rescans the sibling queues and drains the
+  // deepest one instead of blocking.
   void shard_loop(std::size_t s) {
     auto& lane = *lanes_[s];
+    const bool stealing = cfg_.drain == drain_mode::stealing;
+    bool just_stole = false;  // successful thief: rescan without sleeping
     for (;;) {
       shard_task task;
+      bool have = false;
       {
         std::unique_lock<std::mutex> lk(lane.mu);
-        lane.cv.wait(lk, [&] { return lane.shutdown || !lane.q.empty(); });
-        if (lane.q.empty()) return;  // shutdown, queue flushed
-        task = std::move(lane.q.front());
-        lane.q.pop_front();
+        const auto can_pop = [&] { return !lane.q.empty() && !lane.busy; };
+        const auto can_exit = [&] {
+          return lane.shutdown && lane.q.empty() && !lane.busy;
+        };
+        if (stealing) {
+          // Bounded wait so an idle thief keeps rescanning siblings (a
+          // thief holding our token notifies cv when it releases); after
+          // a successful steal, go straight back for the next task.
+          if (!can_pop() && !can_exit() && !just_stole) {
+            lane.cv.wait_for(lk, std::chrono::milliseconds(1),
+                             [&] { return can_pop() || can_exit(); });
+          }
+        } else {
+          lane.cv.wait(lk, [&] { return can_pop() || can_exit(); });
+        }
+        if (can_pop()) {
+          lane.busy = true;
+          task = std::move(lane.q.front());
+          lane.q.pop_front();
+          have = true;
+        } else if (can_exit()) {
+          return;
+        }
       }
-      if (task.exec) {
-        run_lane_subbatch(s, std::move(task));
+      if (have) {
+        execute_lane_task(s, std::move(task));
+        just_stole = false;
       } else {
-        run_lane_stamp(s, std::move(task));
+        just_stole = stealing && try_steal(s);
       }
     }
+  }
+
+  // Executes one task popped from shard s's queue (by its own worker or a
+  // thief holding the lane's token) and releases the token. Token release
+  // is what wakes the owner worker, blocked writers waiting out pins, and
+  // quiesce_lanes().
+  void execute_lane_task(std::size_t s, shard_task task) {
+    if (task.exec) {
+      run_lane_subbatch(s, std::move(task));
+    } else {
+      run_lane_stamp(s, std::move(task));
+    }
+    auto& lane = *lanes_[s];
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      lane.busy = false;
+    }
+    lane.cv.notify_all();
+  }
+
+  // Work stealing (drain_mode::stealing): an idle lane worker scans its
+  // siblings and drains one task from the deepest un-held queue. The task
+  // stays a shard-`victim` task — it executes against engines_[victim]
+  // under the victim lane's execution token, so per-shard FIFO and the
+  // single-writer discipline are exactly what they were; only the
+  // executing thread changes. Returns true if a task was stolen and run.
+  bool try_steal(std::size_t thief) {
+    std::size_t victim = thief;
+    std::size_t depth = 0;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (s == thief) continue;
+      auto& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      if (!lane.busy && lane.q.size() > depth) {
+        depth = lane.q.size();
+        victim = s;
+      }
+    }
+    {
+      auto& me = *lanes_[thief];
+      std::lock_guard<std::mutex> lk(me.mu);
+      ++me.stats.steal_scans;
+    }
+    if (victim == thief) return false;
+    shard_task task;
+    {
+      auto& lane = *lanes_[victim];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      if (lane.busy || lane.q.empty()) return false;  // raced; rescan later
+      lane.busy = true;
+      task = std::move(lane.q.front());
+      lane.q.pop_front();
+    }
+    {
+      auto& me = *lanes_[thief];
+      std::lock_guard<std::mutex> lk(me.mu);
+      ++me.stats.steals;
+    }
+    execute_lane_task(victim, std::move(task));
+    return true;
   }
 
   // Executes one lane's sub-batch of a shard_group (waiting out this
@@ -1020,9 +1193,10 @@ class query_service {
   }
 
   // Writes on shard s may not run while a pinned (non-isolated) snapshot
-  // read of s is in flight. Pins for s are only created by lane s's own
-  // stamp tasks (FIFO before the write task), so no new pin can appear
-  // while the lane waits here; the snapshot readers unpin.
+  // read of s is in flight. Pins for s are only created by shard s's own
+  // stamp tasks, which run under the lane's execution token in queue
+  // order — i.e. before the write task that waits here — so no new pin
+  // can appear mid-wait; the snapshot readers unpin and notify.
   void wait_shard_gate(std::size_t s) {
     auto& lane = *lanes_[s];
     std::unique_lock<std::mutex> lk(lane.mu);
@@ -1033,6 +1207,169 @@ class query_service {
   // gate the single drainer had before lanes existed).
   void wait_all_shard_gates() {
     for (std::size_t s = 0; s < cfg_.shards; ++s) wait_shard_gate(s);
+  }
+
+  // ---- online stripe rebalancing ------------------------------------------
+
+  // Routed-write bookkeeping for the rebalance trigger: cheap per-shard
+  // resident estimates (inserts routed in minus erases routed in, clamped
+  // at zero). No-op erases drift the estimate, but rebalance_stripes()
+  // re-checks against exact sizes before touching anything. Drain-thread
+  // only (like the bounds themselves).
+  void note_routed_write(std::size_t s, const request<D>& r) {
+    ++writes_since_rebalance_;
+    if (r.kind == op::insert) {
+      ++resident_est_[s];
+    } else if (resident_est_[s] > 0) {
+      --resident_est_[s];
+    }
+  }
+
+  static bool skewed_sizes(const std::vector<std::size_t>& sizes,
+                           double threshold) {
+    std::size_t total = 0, maxv = 0;
+    for (std::size_t n : sizes) {
+      total += n;
+      maxv = std::max(maxv, n);
+    }
+    if (total == 0) return false;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(sizes.size());
+    return static_cast<double>(maxv) > threshold * mean;
+  }
+
+  // Drain-boundary trigger: estimates crossed the configured max/mean
+  // imbalance. The backoff counts writes routed since the last attempt
+  // (NOT resident-total drift — a balanced insert/erase stream with a
+  // drifting hot region keeps the total flat while the skew rebuilds, and
+  // must still be chased): enough new writes to plausibly change the
+  // balance, and a much longer leash after a futile attempt, so an
+  // un-fixable skew (fewer distinct coordinates than shards, say) cannot
+  // quiesce the pipeline on every group.
+  void maybe_rebalance() {
+    if (cfg_.policy != shard_policy::spatial || cfg_.shards < 2) return;
+    if (cfg_.rebalance_threshold <= 1.0 || !bounds_set_) return;
+    std::size_t total = 0;
+    for (std::size_t n : resident_est_) total += n;
+    if (total < cfg_.rebalance_min_points) return;
+    if (rebalance_attempted_) {
+      const std::size_t leash =
+          last_rebalance_futile_ ? std::max<std::size_t>(256, total / 4)
+                                 : std::max<std::size_t>(64, total / 16);
+      if (writes_since_rebalance_ < leash) return;
+    }
+    if (!skewed_sizes(resident_est_, cfg_.rebalance_threshold)) return;
+    rebalance_stripes();
+  }
+
+  // Blocks until every lane queue is empty and no task is executing.
+  // Drain-thread only — nothing else enqueues lane work, so quiescence is
+  // stable once reached (snapshot readers may still be in flight; pinned
+  // ones are excluded per shard by wait_shard_gate below).
+  void quiesce_lanes() {
+    for (auto& lane_ptr : lanes_) {
+      auto& lane = *lane_ptr;
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.cv.wait(lk, [&] { return lane.q.empty() && !lane.busy; });
+    }
+  }
+
+  // Re-derives the quantile stripe bounds from a sample of the live
+  // points and migrates misplaced points to their new owners as an
+  // internal write group. Runs on the drain thread with the lanes
+  // quiesced: every earlier group executed fully under the old bounds,
+  // every later group is routed (and every later read pruned) under the
+  // new ones, so routing and pruning never disagree. Migration goes
+  // through batch_erase/batch_insert, so epochs bump on every shard that
+  // gains or loses points — stale k-NN cache rows become unreachable and
+  // already-stamped snapshot readers keep answering at their epochs.
+  void rebalance_stripes() {
+    quiesce_lanes();
+    std::vector<std::size_t> sizes(cfg_.shards);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      sizes[s] = engines_[s]->index().size();
+      total += sizes[s];
+      resident_est_[s] = sizes[s];  // re-sync the estimates
+    }
+    rebalance_attempted_ = true;
+    writes_since_rebalance_ = 0;
+    if (total == 0 || !skewed_sizes(sizes, cfg_.rebalance_threshold)) {
+      last_rebalance_futile_ = false;  // estimate drift, not a failed fix
+      return;  // the actual sizes are fine; nothing was materialized
+    }
+    std::vector<std::vector<point<D>>> held(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      held[s] = engines_[s]->index().gather();
+    }
+    // Quantile sample, strided across the whole resident multiset so
+    // every shard contributes proportionally to the new bounds.
+    const std::size_t target = std::max<std::size_t>(
+        cfg_.shards, std::min(total, cfg_.rebalance_sample));
+    const std::size_t stride = std::max<std::size_t>(1, total / target);
+    std::vector<point<D>> sample;
+    sample.reserve(total / stride + 1);
+    std::size_t seen = 0;
+    for (const auto& part : held) {
+      for (const auto& p : part) {
+        if (seen++ % stride == 0) sample.push_back(p);
+      }
+    }
+    set_spatial_bounds(sample);
+    // Classify against the new stripes, then erase-before-insert so no
+    // point is counted (or gathered) twice.
+    std::vector<std::vector<point<D>>> arrivals(cfg_.shards);
+    std::vector<std::vector<point<D>>> leavers(cfg_.shards);
+    std::size_t moved = 0;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      for (const auto& p : held[s]) {
+        const std::size_t t = owner_of(p);
+        if (t == s) continue;
+        leavers[s].push_back(p);
+        arrivals[t].push_back(p);
+        ++moved;
+      }
+    }
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (leavers[s].empty()) continue;
+      wait_shard_gate(s);
+      erase_multiset(s, leavers[s]);
+      resident_est_[s] = sizes[s] - leavers[s].size();
+    }
+    for (std::size_t t = 0; t < cfg_.shards; ++t) {
+      if (arrivals[t].empty()) continue;
+      wait_shard_gate(t);
+      engines_[t]->index().batch_insert(arrivals[t]);
+      resident_est_[t] += arrivals[t].size();
+    }
+    // A re-derivation that moved nothing cannot fix this skew (the mass
+    // has fewer distinct coordinates than shards): back off much longer.
+    last_rebalance_futile_ = moved == 0;
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    ++stats_.rebalances;
+    stats_.rebalance_moved += moved;
+  }
+
+  // Erases every entry of `pts` (a multiset) from shard s, exactly one
+  // stored copy per entry. batch_erase only guarantees that for DISTINCT
+  // batch points (backends disagree on duplicated entries), so duplicated
+  // entries are split across successive rounds of distinct points.
+  void erase_multiset(std::size_t s, std::vector<point<D>>& pts) {
+    std::sort(pts.begin(), pts.end());
+    std::vector<point<D>> round, rest;
+    while (!pts.empty()) {
+      round.clear();
+      rest.clear();
+      for (const auto& p : pts) {
+        if (!round.empty() && round.back() == p) {
+          rest.push_back(p);
+        } else {
+          round.push_back(p);
+        }
+      }
+      engines_[s]->index().batch_erase(round);
+      pts.swap(rest);
+    }
   }
 
   // ---- cache-intercepted reads --------------------------------------------
@@ -1138,7 +1475,7 @@ class query_service {
                     /*lagged=*/false, /*exec_seconds=*/0);
       return;
     }
-    if (cfg_.drain == drain_mode::per_shard) {
+    if (cfg_.drain != drain_mode::single) {
       g->stamps_remaining.store(active, std::memory_order_relaxed);
       for (std::size_t s = 0; s < cfg_.shards; ++s) {
         if (g->sub[s].empty()) continue;
@@ -1305,7 +1642,9 @@ class query_service {
     }
     std::vector<std::vector<request<D>>> sub(cfg_.shards);
     for (std::size_t i = begin; i < end; ++i) {
-      sub[owner_of(batch[i].p)].push_back(batch[i]);
+      const std::size_t s = owner_of(batch[i].p);
+      sub[s].push_back(batch[i]);
+      note_routed_write(s, batch[i]);
     }
     par::parallel_for(
         0, cfg_.shards,
@@ -1470,6 +1809,13 @@ class query_service {
 
   // Quantile stripes along the widest dimension of `pts`: bounds_[s-1] is
   // the left edge of shard s, so shard s owns [bounds_[s-1], bounds_[s]).
+  // Duplicate coordinates would let naive quantile cuts collide into
+  // zero-width stripes — shards that can never own a point while every
+  // write funnels into one lane — so cuts are forced strictly increasing:
+  // a colliding cut advances to the next distinct coordinate value, and
+  // when the distinct values run out the remaining cuts are +inf (those
+  // shards stay empty and range pruning skips them, rather than one shard
+  // silently swallowing the whole stream).
   void set_spatial_bounds(const std::vector<point<D>>& pts) {
     if (pts.empty() || cfg_.shards == 1) return;
     aabb<D> box;
@@ -1480,11 +1826,46 @@ class query_service {
       coords[i] = pts[i][split_dim_];
     }
     std::sort(coords.begin(), coords.end());
-    bounds_.assign(cfg_.shards - 1, 0);
+    bounds_.assign(cfg_.shards - 1,
+                   std::numeric_limits<double>::infinity());
+    double prev = coords.front();  // cuts must also exceed the min value
     for (std::size_t s = 0; s + 1 < cfg_.shards; ++s) {
-      bounds_[s] = coords[(s + 1) * coords.size() / cfg_.shards];
+      double cut = coords[(s + 1) * coords.size() / cfg_.shards];
+      if (!(cut > prev)) {
+        const auto it =
+            std::upper_bound(coords.begin(), coords.end(), prev);
+        if (it == coords.end()) break;  // no distinct value left: +inf tail
+        cut = *it;
+      }
+      bounds_[s] = cut;
+      prev = cut;
     }
     bounds_set_ = true;
+  }
+
+  // Non-finite payload coordinates would break routing silently: every
+  // stripe comparison on NaN is false, so owner_of/shard_serves would
+  // dump the request into an arbitrary shard, and bit-distinct NaNs
+  // defeat the canonicalization that keeps routing and cache keys
+  // consistent. Reject at the front door instead.
+  static void validate_batch(const std::vector<request<D>>& batch) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& r = batch[i];
+      bool ok = true;
+      if (r.kind == op::range_box) {
+        for (int d = 0; d < D; ++d) {
+          ok = ok && std::isfinite(r.box.lo[d]) && std::isfinite(r.box.hi[d]);
+        }
+      } else {
+        for (int d = 0; d < D; ++d) ok = ok && std::isfinite(r.p[d]);
+        if (r.kind == op::range_ball) ok = ok && std::isfinite(r.radius);
+      }
+      if (!ok) {
+        throw std::invalid_argument(
+            "query_service: request " + std::to_string(i) + " (" +
+            op_name(r.kind) + ") has a non-finite coordinate");
+      }
+    }
   }
 
   std::size_t owner_of(const point<D>& p) const {
@@ -1543,13 +1924,19 @@ class query_service {
   /// gates and counters are used in both modes).
   std::vector<std::unique_ptr<shard_lane>> lanes_;
 
-  // Spatial stripes; fixed once set (no rebalancing), so write routing and
-  // read pruning agree forever. Only touched by bootstrap or the drain
-  // thread (lanes and read tasks receive routed sub-batches, never raw
-  // bounds).
+  // Spatial stripes. Only touched by bootstrap or the drain thread (lanes
+  // and read tasks receive routed sub-batches, never raw bounds); with
+  // rebalance_threshold set they are re-derived at drain boundaries by
+  // rebalance_stripes() — always with the lanes quiesced, so every group
+  // routes AND executes under one consistent set of bounds.
   int split_dim_ = 0;
   std::vector<double> bounds_;
   bool bounds_set_ = false;
+  // Rebalance trigger state (drain-thread only, like the bounds).
+  std::vector<std::size_t> resident_est_;  // per-shard resident estimates
+  std::size_t writes_since_rebalance_ = 0;
+  bool rebalance_attempted_ = false;
+  bool last_rebalance_futile_ = false;
 
   // Ingest queue + completion state. hub_->mu guards pending_, next_ticket_,
   // in_flight_requests_ and stats_ as well; the hub outlives the service

@@ -171,8 +171,11 @@ class knn_result_cache {
   /// Counts `n` extra hits served outside the map — the read path dedups
   /// identical missed keys within one run (the duplicates reuse the first
   /// execution's row without re-probing), which is a cache-layer win that
-  /// would otherwise be invisible in the counters.
+  /// would otherwise be invisible in the counters. Disabled instances
+  /// count nothing (same contract as lookup/store: capacity 0 must never
+  /// report cache activity).
   void add_hits(std::size_t n) {
+    if (!enabled()) return;
     std::lock_guard<std::mutex> lk(mu_);
     hits_ += n;
   }

@@ -24,13 +24,22 @@
 
 namespace pargeo::query {
 
-enum class distribution { uniform, clustered, zipf };
+/// `skewed` and `drifting` are the adversarial modes for spatial
+/// sharding: payload points concentrate in a small corner cube of the
+/// occupied space (`workload_spec::skew_frac` of each side), so under
+/// stripe routing nearly every write lands in one shard. `skewed` pins
+/// the hot cube at the origin corner; `drifting` slides it along the
+/// main diagonal over the life of the stream, so stripes that were
+/// balanced at bootstrap go stale and stay stale.
+enum class distribution { uniform, clustered, zipf, skewed, drifting };
 
 inline const char* distribution_name(distribution d) {
   switch (d) {
     case distribution::uniform: return "uniform";
     case distribution::clustered: return "clustered";
     case distribution::zipf: return "zipf";
+    case distribution::skewed: return "skewed";
+    case distribution::drifting: return "drifting";
   }
   return "?";
 }
@@ -39,8 +48,11 @@ inline distribution distribution_from_string(const std::string& s) {
   if (s == "uniform") return distribution::uniform;
   if (s == "clustered") return distribution::clustered;
   if (s == "zipf") return distribution::zipf;
-  throw std::invalid_argument("unknown distribution '" + s +
-                              "' (want uniform|clustered|zipf)");
+  if (s == "skewed") return distribution::skewed;
+  if (s == "drifting") return distribution::drifting;
+  throw std::invalid_argument(
+      "unknown distribution '" + s +
+      "' (want uniform|clustered|zipf|skewed|drifting)");
 }
 
 struct workload_spec {
@@ -63,6 +75,12 @@ struct workload_spec {
   /// of fresh space (dist == zipf). Higher values model cache-friendlier
   /// traffic: the same keys are re-queried, re-inserted, and re-erased.
   double zipf_hot_frac = 0.8;
+  /// Side of the hot payload cube as a fraction of the occupied cube's
+  /// side (dist == skewed or drifting). Payload points — inserts, query
+  /// centers, box corners — are drawn from that cube, so both the write
+  /// mass and the read interest concentrate spatially; erase targets
+  /// still sample the whole pool.
+  double skew_frac = 0.1;
   uint64_t seed = 1;
 
   /// Derived coordinate scale for stream payloads, matching the cube the
@@ -151,6 +169,22 @@ std::vector<request<D>> make_requests(const workload_spec& spec,
 
   auto fresh_point = [&](std::size_t i) {
     point<D> p;
+    if (spec.dist == distribution::skewed ||
+        spec.dist == distribution::drifting) {
+      // Hot corner cube; under `drifting` it slides along the main
+      // diagonal as the stream progresses.
+      const double frac = std::min(1.0, std::max(spec.skew_frac, 1e-3));
+      const double width = side * frac;
+      double lo = 0;
+      if (spec.dist == distribution::drifting && spec.num_ops > 1) {
+        lo = (side - width) * static_cast<double>(i) /
+             static_cast<double>(spec.num_ops - 1);
+      }
+      for (int d = 0; d < D; ++d) {
+        p[d] = lo + width * par::rand_double(seed + 12 + d, i);
+      }
+      return p;
+    }
     if (spec.dist == distribution::clustered && !pool.empty()) {
       // Jitter around a random pool point: keeps new mass near clusters.
       const std::size_t c = par::rand_range(seed + 11, i, pool.size());

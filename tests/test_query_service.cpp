@@ -9,7 +9,10 @@
 // spatial bounds bootstrapping, per-shard drain pipelines (4 producers x
 // 4 lanes, single-vs-per_shard equivalence, lane counters, scratch
 // recycling), ingest backpressure (blocking submit / try_submit /
-// close-while-blocked), and config validation. TSan-clean.
+// close-while-blocked), config validation, non-finite payload rejection,
+// degenerate/duplicate-coordinate stripe derivation, and stealing-mode
+// equivalence. (The adversarial-skew oracle and steal/rebalance mechanism
+// tests live in tests/test_skew_drain.cpp.) TSan-clean.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +20,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -24,11 +28,13 @@
 
 #include "query/query_service.h"
 #include "query/workload.h"
+#include "test_query_util.h"
 
 using namespace pargeo;
 using query::backend;
 using query::op;
 using query::shard_policy;
+using testutil::expect_same_responses;
 
 namespace {
 
@@ -57,38 +63,6 @@ void wait_until(const Pred& done, const char* what) {
   while (!done()) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-}
-
-// Compares a sharded run against the 1-shard reference, response by
-// response. k-NN rows compare as distance sequences (ties across shard
-// boundaries may pick different equidistant points); range rows compare as
-// exact point multisets.
-template <int D>
-void expect_same_responses(const std::vector<query::request<D>>& reqs,
-                           const std::vector<query::response<D>>& got,
-                           const std::vector<query::response<D>>& want) {
-  ASSERT_EQ(got.size(), want.size());
-  ASSERT_EQ(got.size(), reqs.size());
-  for (std::size_t i = 0; i < got.size(); ++i) {
-    ASSERT_EQ(got[i].kind, want[i].kind) << "response " << i;
-    if (reqs[i].kind == op::knn) {
-      ASSERT_EQ(got[i].points.size(), want[i].points.size())
-          << "knn response " << i;
-      for (std::size_t j = 0; j < got[i].points.size(); ++j) {
-        EXPECT_EQ(got[i].points[j].dist_sq(reqs[i].p),
-                  want[i].points[j].dist_sq(reqs[i].p))
-            << "knn response " << i << " row " << j;
-      }
-    } else if (query::is_read(reqs[i].kind)) {
-      auto a = got[i].points;
-      auto b = want[i].points;
-      std::sort(a.begin(), a.end());
-      std::sort(b.begin(), b.end());
-      EXPECT_EQ(a, b) << "range response " << i;
-    } else {
-      EXPECT_TRUE(got[i].points.empty()) << "write ack " << i;
-    }
   }
 }
 
@@ -850,6 +824,134 @@ TEST(QueryService, OversizedBatchAdmitsAloneUnderBackpressure) {
   EXPECT_EQ(r.responses.size(), 8u);
   service.close();
   EXPECT_EQ(service.size(), 8u);
+}
+
+TEST(QueryService, NonFiniteCoordinatesRejectedAtSubmit) {
+  // NaN/inf payloads would break routing silently (every stripe
+  // comparison on NaN is false, so the point lands in an arbitrary shard
+  // and bit-distinct NaNs key the cache inconsistently): the front door
+  // rejects them before a ticket exists.
+  auto service = make_service<2>(backend::bdltree, 2, shard_policy::spatial);
+  service.bootstrap(datagen::uniform<2>(100, 3));
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_THROW(
+      service.submit({query::request<2>::make_insert(point<2>{{nan, 1.0}})}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service.submit({query::request<2>::make_knn(point<2>{{1.0, inf}}, 2)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service.submit({query::request<2>::make_ball(point<2>{{1.0, 1.0}}, nan)}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service.submit({query::request<2>::make_range(
+          aabb<2>(point<2>{{nan, 0.0}}, point<2>{{1.0, 1.0}}))}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      service.try_submit({query::request<2>::make_erase(point<2>{{-inf, 0.0}})}),
+      std::invalid_argument);
+
+  // Rejected batches admit nothing: no ticket, no pending request, and
+  // the service still serves valid traffic afterwards.
+  auto r = service.execute({query::request<2>::make_knn(point<2>{{2.0, 2.0}}, 3)});
+  EXPECT_EQ(r.responses[0].points.size(), 3u);
+  service.close();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.num_tickets, 1u);
+  EXPECT_EQ(stats.pending_requests, 0u);
+  EXPECT_EQ(service.size(), 100u);
+}
+
+TEST(QueryService, DuplicateCoordinateStripesStayNonDegenerate) {
+  // Regression: quantile cuts over duplicated coordinates used to
+  // collide into zero-width stripes (shards that could never own a
+  // point, every write funneling into one lane). With 3 distinct values
+  // on the split dimension and 4 shards, 3 shards must end up owning
+  // points — and a sharded run must still match the reference.
+  std::vector<point<2>> pts;
+  for (int i = 0; i < 300; ++i) {
+    // x in {0, 1, 2} (widest dim), y packed into [0, 0.5).
+    pts.push_back(point<2>{{1.0 * (i % 3), 0.5 * (i % 7) / 7.0}});
+  }
+  auto sharded = make_service<2>(backend::bdltree, 4, shard_policy::spatial);
+  sharded.bootstrap(pts);
+  EXPECT_EQ(sharded.size(), 300u);
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    populated += sharded.shard(s).index().size() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(populated, 3u);  // one shard per distinct value; the 4th idle
+
+  std::vector<query::request<2>> batch;
+  for (int x = 0; x < 3; ++x) {
+    batch.push_back(query::request<2>::make_knn(point<2>{{1.0 * x, 0.2}}, 5));
+    batch.push_back(query::request<2>::make_ball(point<2>{{1.0 * x, 0.2}}, 0.3));
+  }
+  batch.push_back(query::request<2>::make_range(
+      aabb<2>(point<2>{{-1.0, -1.0}}, point<2>{{3.0, 1.0}})));
+  auto reference = make_service<2>(backend::bdltree, 1, shard_policy::spatial);
+  reference.bootstrap(pts);
+  auto want = reference.execute(batch);
+  auto got = sharded.execute(batch);
+  expect_same_responses<2>(batch, got.responses, want.responses);
+}
+
+TEST(QueryService, AllIdenticalWritesStillRouteConsistently) {
+  // The fully degenerate case — every write is the same point, so there
+  // is no coordinate spread to stripe on. All copies must land on ONE
+  // owner (insert and erase agree), and answers must match the reference.
+  for (auto b : {backend::kdtree, backend::zdtree, backend::bdltree}) {
+    auto sharded = make_service<2>(b, 4, shard_policy::spatial);
+    auto reference = make_service<2>(b, 1, shard_policy::spatial);
+    const point<2> p{{7.0, 7.0}};
+    std::vector<query::request<2>> writes(20, query::request<2>::make_insert(p));
+    std::vector<query::request<2>> reads{
+        query::request<2>::make_knn(p, 4),
+        query::request<2>::make_ball(p, 0.5),
+        query::request<2>::make_erase(p),
+        query::request<2>::make_ball(p, 0.5),
+    };
+    auto got_w = sharded.execute(writes);
+    auto want_w = reference.execute(writes);
+    auto got = sharded.execute(reads);
+    auto want = reference.execute(reads);
+    expect_same_responses<2>(writes, got_w.responses, want_w.responses);
+    expect_same_responses<2>(reads, got.responses, want.responses);
+    EXPECT_EQ(sharded.size(), reference.size()) << query::backend_name(b);
+    EXPECT_EQ(sharded.size(), 19u) << query::backend_name(b);
+  }
+}
+
+TEST(QueryService, StealingModeMatchesPerShardAndSingle) {
+  // Work stealing is a pure execution-strategy change: the same stream
+  // through single, per_shard, and stealing must produce byte-identical
+  // responses on every backend.
+  query::workload_spec spec;
+  spec.initial_points = 300;
+  spec.num_ops = 800;
+  spec.batch_size = 96;
+  spec.k = 5;
+  for (auto b : {backend::kdtree, backend::zdtree, backend::bdltree}) {
+    auto cfg = make_config<2>(b, 3, shard_policy::hash);
+    cfg.drain = query::drain_mode::single;
+    query::query_service<2> single(cfg);
+    std::vector<query::response<2>> want;
+    query::run_workload<2>(single, spec, &want);
+
+    cfg.drain = query::drain_mode::stealing;
+    query::query_service<2> stealing(cfg);
+    std::vector<query::response<2>> got;
+    query::run_workload<2>(stealing, spec, &got);
+
+    ASSERT_EQ(got.size(), want.size()) << query::backend_name(b);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].points, want[i].points)
+          << query::backend_name(b) << " response " << i;
+    }
+    EXPECT_EQ(stealing.size(), single.size()) << query::backend_name(b);
+  }
 }
 
 TEST(QueryService, SpatialPruningStaysExactAcrossStripes) {

@@ -1,0 +1,46 @@
+// Shared oracle helper for the query-service suites
+// (test_query_service.cpp, test_skew_drain.cpp): compares a sharded /
+// re-drained run against a reference, response by response. k-NN rows
+// compare as distance sequences (equidistant ties across shard boundaries
+// may pick different points), range rows as exact point multisets, write
+// acks as empty.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "query/query_engine.h"
+
+namespace pargeo::testutil {
+
+template <int D>
+void expect_same_responses(const std::vector<query::request<D>>& reqs,
+                           const std::vector<query::response<D>>& got,
+                           const std::vector<query::response<D>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(got.size(), reqs.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].kind, want[i].kind) << "response " << i;
+    if (reqs[i].kind == query::op::knn) {
+      ASSERT_EQ(got[i].points.size(), want[i].points.size())
+          << "knn response " << i;
+      for (std::size_t j = 0; j < got[i].points.size(); ++j) {
+        EXPECT_EQ(got[i].points[j].dist_sq(reqs[i].p),
+                  want[i].points[j].dist_sq(reqs[i].p))
+            << "knn response " << i << " row " << j;
+      }
+    } else if (query::is_read(reqs[i].kind)) {
+      auto a = got[i].points;
+      auto b = want[i].points;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "range response " << i;
+    } else {
+      EXPECT_TRUE(got[i].points.empty()) << "write ack " << i;
+    }
+  }
+}
+
+}  // namespace pargeo::testutil

@@ -97,6 +97,19 @@ TEST(KnnResultCache, CapacityZeroDisablesEverything) {
   EXPECT_EQ(s.hits + s.misses + s.entries + s.evictions, 0u);
 }
 
+TEST(KnnResultCache, AddHitsIsGatedByEnabled) {
+  // Regression: add_hits (the same-run dedup accounting path) skipped the
+  // enabled() guard, so a disabled cache could still report nonzero hits
+  // — stats claiming cache activity on a cache_capacity=0 service.
+  knn_result_cache<2> disabled(0);
+  disabled.add_hits(3);
+  EXPECT_EQ(disabled.stats().hits, 0u);
+
+  knn_result_cache<2> enabled(4);
+  enabled.add_hits(3);  // enabled instances do count dedup hits
+  EXPECT_EQ(enabled.stats().hits, 3u);
+}
+
 namespace {
 
 // Runs `spec` through a service configured by `cfg` and collects every
