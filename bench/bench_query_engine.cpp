@@ -28,11 +28,21 @@
 // drain_mode::per_shard against ::stealing, with stripe rebalancing off
 // vs on; the steal/rebalance counters prove the mechanisms engaged.
 //
+// Part 7 (`telemetry_overhead`) re-runs the zipf 90%-read serving bench at
+// telemetry off / stats / trace and reports the throughput delta — the
+// "<3% with stats on" acceptance number in EXPERIMENTS.md comes from here.
+//
 // `--json` emits one JSON object per row instead of the aligned table, so
 // EXPERIMENTS.md can be regenerated mechanically. The first JSON line is a
-// `meta` row stamping `hardware_concurrency`, so consumers can tell a
-// 1-core container run (lanes cannot add compute) from real hardware.
+// `meta` row stamping `hardware_concurrency` plus build provenance
+// (compiler, build type, sanitizer, git SHA), so consumers can tell a
+// 1-core container run (lanes cannot add compute) from real hardware and
+// a sanitizer build from a clean one. Every throughput row also carries
+// end-to-end completion-latency percentiles (`lat_p50_us`/`p99`/`p999`),
+// and each section is followed by `latency` rows: per-stage
+// p50/p95/p99/p999/max merged across the section's runs.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -56,16 +66,75 @@ query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
   return spec;
 }
 
-double run_ops_per_sec(query::backend b, std::size_t shards,
-                       query::shard_policy policy,
-                       const query::workload_spec& spec) {
+struct sweep_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+};
+
+sweep_row run_ops_per_sec(query::backend b, std::size_t shards,
+                          query::shard_policy policy,
+                          const query::workload_spec& spec) {
   query::service_config cfg;
   cfg.backend = b;
   cfg.shards = shards;
   cfg.policy = policy;
   query::query_service<kDim> service(cfg);
   const auto stats = query::run_workload<kDim>(service, spec);
-  return stats.ops_per_sec();
+  service.close();  // flush the pipeline so stage counters are final
+  sweep_row row;
+  row.ops_per_sec = stats.ops_per_sec();
+  row.stats = service.stats();
+  return row;
+}
+
+// ---- stage-latency reporting ----------------------------------------------
+
+/// End-to-end completion-latency fields appended to every throughput JSON
+/// row: `,"lat_p50_us":..,"lat_p99_us":..,"lat_p999_us":..` (empty string
+/// when the run recorded nothing, e.g. telemetry off).
+std::string completion_fields(const query::service_stats& st) {
+  const auto c =
+      st.telemetry.stage_hist(query::stage::completion).summary();
+  if (c.count == 0) return "";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                ",\"lat_p50_us\":%.1f,\"lat_p99_us\":%.1f,"
+                "\"lat_p999_us\":%.1f",
+                c.p50 / 1e3, c.p99 / 1e3, c.p999 / 1e3);
+  return buf;
+}
+
+/// Flushes one section's merged telemetry as per-stage percentile rows:
+/// `{"section":"latency","of":"<section>","stage":...}` under --json, an
+/// aligned table otherwise. Stages with no samples are skipped.
+void emit_latency(bool json, const char* of,
+                  const query::telemetry_report& rep) {
+  bool header = false;
+  for (std::size_t i = 0; i < query::kNumStages; ++i) {
+    const auto s = rep.stages[i].summary();
+    if (s.count == 0) continue;
+    const char* st = query::stage_name(static_cast<query::stage>(i));
+    if (json) {
+      std::printf(
+          "{\"section\":\"latency\",\"of\":\"%s\",\"stage\":\"%s\","
+          "\"count\":%llu,\"p50_us\":%.1f,\"p95_us\":%.1f,"
+          "\"p99_us\":%.1f,\"p999_us\":%.1f,\"max_us\":%.1f}\n",
+          of, st, static_cast<unsigned long long>(s.count), s.p50 / 1e3,
+          s.p95 / 1e3, s.p99 / 1e3, s.p999 / 1e3, s.max / 1e3);
+    } else {
+      if (!header) {
+        bench::print_header(
+            std::string("stage latency: ") + of + " (us, merged over "
+            "section runs)",
+            "stage               count        p50        p95        p99"
+            "       p999        max");
+        header = true;
+      }
+      std::printf("%-15s %10llu %10.1f %10.1f %10.1f %10.1f %10.1f\n", st,
+                  static_cast<unsigned long long>(s.count), s.p50 / 1e3,
+                  s.p95 / 1e3, s.p99 / 1e3, s.p999 / 1e3, s.max / 1e3);
+    }
+  }
 }
 
 struct async_row {
@@ -192,8 +261,10 @@ struct cache_row {
 // Zipf hot-key serving traffic (90% reads, skewed key reuse) with the
 // k-NN result cache off vs on: identical streams, so the ops/s delta and
 // the hit rate are directly attributable to the cache.
-cache_row run_cache_zipf(query::backend b, std::size_t cache_capacity,
-                         std::size_t initial_n, std::size_t num_ops) {
+cache_row run_cache_zipf(
+    query::backend b, std::size_t cache_capacity, std::size_t initial_n,
+    std::size_t num_ops,
+    query::telemetry_level tl = query::telemetry_level::stats) {
   auto spec = make_spec(initial_n, num_ops, 0.90);
   spec.dist = query::distribution::zipf;
   spec.zipf_s = 1.8;        // steep skew: a handful of keys dominate
@@ -203,6 +274,7 @@ cache_row run_cache_zipf(query::backend b, std::size_t cache_capacity,
   cfg.shards = 2;
   cfg.policy = query::shard_policy::hash;
   cfg.cache_capacity = cache_capacity;
+  cfg.telemetry = tl;
   query::query_service<kDim> service(cfg);
   const auto stats = query::run_workload<kDim>(service, spec);
   service.close();
@@ -275,15 +347,26 @@ int main(int argc, char** argv) {
   const auto policy = query::shard_policy::hash;
 
   if (json) {
-    // Machine-readable hardware context: a 1-core container measures lane
-    // parallelism at parity by construction.
+    // Machine-readable hardware + build context: a 1-core container
+    // measures lane parallelism at parity by construction, and a
+    // sanitizer build's numbers are not comparable to a clean one.
     std::printf("{\"section\":\"meta\",\"hardware_concurrency\":%u,"
-                "\"base_n\":%zu}\n",
-                std::thread::hardware_concurrency(), initial_n);
+                "\"base_n\":%zu,\"compiler\":\"%s\",\"build_type\":\"%s\","
+                "\"sanitize\":\"%s\",\"git_sha\":\"%s\"}\n",
+                std::thread::hardware_concurrency(), initial_n,
+                bench::compiler_id().c_str(), bench::build_type(),
+                bench::sanitize_flags(), bench::git_sha());
   } else {
-    std::printf("# hardware_concurrency=%u\n",
-                std::thread::hardware_concurrency());
+    std::printf("# hardware_concurrency=%u compiler=\"%s\" build=%s "
+                "sanitize=%s sha=%s\n",
+                std::thread::hardware_concurrency(),
+                bench::compiler_id().c_str(), bench::build_type(),
+                bench::sanitize_flags(), bench::git_sha());
   }
+
+  // Merged per-stage telemetry of the section currently running; flushed
+  // (and reset) by emit_latency at each section boundary.
+  query::telemetry_report section_tel;
 
   if (!json) {
     bench::print_header(
@@ -295,21 +378,25 @@ int main(int argc, char** argv) {
     for (auto b : {query::backend::kdtree, query::backend::zdtree,
                    query::backend::bdltree}) {
       for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
-        const double ops = run_ops_per_sec(b, shards, policy, spec);
+        const auto row = run_ops_per_sec(b, shards, policy, spec);
+        section_tel.merge(row.stats.telemetry);
         if (json) {
           std::printf(
               "{\"section\":\"read_sweep\",\"backend\":\"%s\","
               "\"read_frac\":%.2f,\"shards\":%zu,\"policy\":\"%s\","
-              "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f}\n",
+              "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f%s}\n",
               query::backend_name(b), rf, shards,
-              query::shard_policy_name(policy), initial_n, num_ops, ops);
+              query::shard_policy_name(policy), initial_n, num_ops,
+              row.ops_per_sec, completion_fields(row.stats).c_str());
         } else {
           std::printf("%-18s %5.0f%% %7zu %18.0f\n", query::backend_name(b),
-                      rf * 100, shards, ops);
+                      rf * 100, shards, row.ops_per_sec);
         }
       }
     }
   }
+  emit_latency(json, "read_sweep", section_tel);
+  section_tel = query::telemetry_report{};
 
   if (!json) {
     bench::print_header(
@@ -319,18 +406,22 @@ int main(int argc, char** argv) {
   const auto spec = make_spec(initial_n, num_ops, 0.90);
   for (const int t : bench::thread_sweep()) {
     bench::scoped_threads guard(t);
-    const double ops =
+    const auto row =
         run_ops_per_sec(query::backend::bdltree, 4, policy, spec);
+    section_tel.merge(row.stats.telemetry);
     if (json) {
       std::printf(
           "{\"section\":\"thread_sweep\",\"backend\":\"bdltree\","
           "\"shards\":4,\"threads\":%d,\"initial_n\":%zu,\"num_ops\":%zu,"
-          "\"ops_per_sec\":%.0f}\n",
-          t, initial_n, num_ops, ops);
+          "\"ops_per_sec\":%.0f%s}\n",
+          t, initial_n, num_ops, row.ops_per_sec,
+          completion_fields(row.stats).c_str());
     } else {
-      bench::print_throughput_row("bdltree", t, ops);
+      bench::print_throughput_row("bdltree", t, row.ops_per_sec);
     }
   }
+  emit_latency(json, "thread_sweep", section_tel);
+  section_tel = query::telemetry_report{};
 
   if (!json) {
     bench::print_header(
@@ -341,16 +432,18 @@ int main(int argc, char** argv) {
   for (auto b : {query::backend::kdtree, query::backend::zdtree,
                  query::backend::bdltree}) {
     const auto row = run_async_producers(b, 2, initial_n, num_ops);
+    section_tel.merge(row.stats.telemetry);
     if (json) {
       std::printf(
           "{\"section\":\"async_producers\",\"backend\":\"%s\","
           "\"producers\":4,\"read_frac\":0.90,\"shards\":2,"
           "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f,"
           "\"drains\":%zu,\"read_groups\":%zu,\"write_groups\":%zu,"
-          "\"snapshot_lag_drains\":%zu}\n",
+          "\"snapshot_lag_drains\":%zu%s}\n",
           query::backend_name(b), initial_n, num_ops, row.ops_per_sec,
           row.stats.num_drains, row.stats.num_read_groups,
-          row.stats.num_write_groups, row.stats.snapshot_lag_drains);
+          row.stats.num_write_groups, row.stats.snapshot_lag_drains,
+          completion_fields(row.stats).c_str());
     } else {
       std::printf("%-14s %12.0f %8zu %9zu %9zu %13zu\n",
                   query::backend_name(b), row.ops_per_sec,
@@ -358,6 +451,8 @@ int main(int argc, char** argv) {
                   row.stats.num_write_groups, row.stats.snapshot_lag_drains);
     }
   }
+  emit_latency(json, "async_producers", section_tel);
+  section_tel = query::telemetry_report{};
 
   if (!json) {
     bench::print_header(
@@ -374,16 +469,18 @@ int main(int argc, char** argv) {
       for (auto mode :
            {query::drain_mode::single, query::drain_mode::per_shard}) {
         const auto row = run_drain_throughput(b, shards, mode, drain_spec);
+        section_tel.merge(row.stats.telemetry);
         if (json) {
           std::printf(
               "{\"section\":\"parallel_drain\",\"backend\":\"%s\","
               "\"shards\":%zu,\"drain\":\"%s\",\"read_frac\":0.50,"
               "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f,"
               "\"drains\":%zu,\"scratch_reuses\":%zu,"
-              "\"scratch_allocs\":%zu}\n",
+              "\"scratch_allocs\":%zu%s}\n",
               query::backend_name(b), shards, query::drain_mode_name(mode),
               initial_n, num_ops, row.ops_per_sec, row.stats.num_drains,
-              row.stats.scratch_reuses, row.stats.scratch_allocs);
+              row.stats.scratch_reuses, row.stats.scratch_allocs,
+              completion_fields(row.stats).c_str());
         } else {
           std::printf("%-18s %6zu  %-9s %12.0f  %8zu/%zu\n",
                       query::backend_name(b), shards,
@@ -393,6 +490,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  emit_latency(json, "parallel_drain", section_tel);
+  section_tel = query::telemetry_report{};
 
   if (!json) {
     bench::print_header(
@@ -404,6 +503,7 @@ int main(int argc, char** argv) {
                  query::backend::bdltree}) {
     for (const std::size_t cap : {std::size_t{0}, std::size_t{4096}}) {
       const auto row = run_cache_zipf(b, cap, initial_n, num_ops);
+      section_tel.merge(row.stats.telemetry);
       const auto& cs = row.stats.cache;
       if (json) {
         std::printf(
@@ -411,10 +511,12 @@ int main(int argc, char** argv) {
             "\"cache\":\"%s\",\"cache_capacity\":%zu,\"read_frac\":0.90,"
             "\"shards\":2,\"initial_n\":%zu,\"num_ops\":%zu,"
             "\"ops_per_sec\":%.0f,\"cache_hits\":%zu,\"cache_misses\":%zu,"
-            "\"hit_rate\":%.3f,\"cache_evictions\":%zu}\n",
+            "\"hit_rate\":%.3f,\"cache_evictions\":%zu,"
+            "\"avg_hit_us\":%.2f,\"avg_miss_us\":%.2f%s}\n",
             query::backend_name(b), cap > 0 ? "on" : "off", cap, initial_n,
             num_ops, row.ops_per_sec, cs.hits, cs.misses, cs.hit_rate(),
-            cs.evictions);
+            cs.evictions, cs.avg_hit_ns() / 1e3, cs.avg_miss_ns() / 1e3,
+            completion_fields(row.stats).c_str());
       } else {
         std::printf("%-18s %-6s %14.0f %10zu %10zu %5.0f%% %7zu\n",
                     query::backend_name(b), cap > 0 ? "on" : "off",
@@ -423,6 +525,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  emit_latency(json, "cache_zipf", section_tel);
+  section_tel = query::telemetry_report{};
 
   if (!json) {
     bench::print_header(
@@ -443,6 +547,7 @@ int main(int argc, char** argv) {
          {query::drain_mode::per_shard, query::drain_mode::stealing}) {
       for (const double rebal : {0.0, 1.3}) {
         const auto row = run_skew_drain(b, mode, rebal, skew_spec);
+        section_tel.merge(row.stats.telemetry);
         if (json) {
           std::printf(
               "{\"section\":\"skew_drain\",\"backend\":\"%s\","
@@ -451,11 +556,12 @@ int main(int argc, char** argv) {
               "\"rebalance_threshold\":%.2f,\"initial_n\":%zu,"
               "\"num_ops\":%zu,\"ops_per_sec\":%.0f,\"steals\":%zu,"
               "\"steal_scans\":%zu,\"rebalances\":%zu,"
-              "\"rebalance_moved\":%zu,\"drains\":%zu}\n",
+              "\"rebalance_moved\":%zu,\"drains\":%zu%s}\n",
               query::backend_name(b), query::drain_mode_name(mode), rebal,
               initial_n, num_ops, row.ops_per_sec, row.steals,
               row.steal_scans, row.stats.rebalances,
-              row.stats.rebalance_moved, row.stats.num_drains);
+              row.stats.rebalance_moved, row.stats.num_drains,
+              completion_fields(row.stats).c_str());
         } else {
           std::printf("%-18s %-9s %5.2f %16.0f %9zu/%-7zu %5zu/%zu\n",
                       query::backend_name(b), query::drain_mode_name(mode),
@@ -465,5 +571,48 @@ int main(int argc, char** argv) {
       }
     }
   }
+  emit_latency(json, "skew_drain", section_tel);
+  section_tel = query::telemetry_report{};
+
+  // Part 7: telemetry overhead. Same zipf 90%-read serving workload at
+  // telemetry off / stats / trace, best-of-3 to shave scheduler noise —
+  // the stats row's delta vs off is the acceptance number recorded in
+  // EXPERIMENTS.md (<3%).
+  if (!json) {
+    bench::print_header(
+        "telemetry overhead: zipf 90% reads, bdltree, 2 shards — "
+        "off vs stats vs trace (best of 3)",
+        "telemetry             ops/s   vs off");
+  }
+  double off_ops = 0;
+  for (auto tl : {query::telemetry_level::off, query::telemetry_level::stats,
+                  query::telemetry_level::trace}) {
+    double best = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto row =
+          run_cache_zipf(query::backend::bdltree, 4096, initial_n, num_ops,
+                         tl);
+      best = std::max(best, row.ops_per_sec);
+      if (tl != query::telemetry_level::off) {
+        section_tel.merge(row.stats.telemetry);
+      }
+    }
+    if (tl == query::telemetry_level::off) off_ops = best;
+    const double delta_pct =
+        off_ops > 0 ? (off_ops - best) / off_ops * 100 : 0;
+    if (json) {
+      std::printf(
+          "{\"section\":\"telemetry_overhead\",\"backend\":\"bdltree\","
+          "\"read_frac\":0.90,\"dist\":\"zipf\",\"shards\":2,"
+          "\"initial_n\":%zu,\"num_ops\":%zu,\"telemetry\":\"%s\","
+          "\"ops_per_sec\":%.0f,\"overhead_pct_vs_off\":%.2f}\n",
+          initial_n, num_ops, query::telemetry_level_name(tl), best,
+          delta_pct);
+    } else {
+      std::printf("%-12s %14.0f %7.2f%%\n", query::telemetry_level_name(tl),
+                  best, delta_pct);
+    }
+  }
+  emit_latency(json, "telemetry_overhead", section_tel);
   return 0;
 }

@@ -6,6 +6,22 @@
 //                [batch_size=2048] [seed=1] [shards=1] [policy hash|spatial]
 //                [drain single|per_shard|stealing] [cache_capacity=4096]
 //                [rebalance_threshold=0]
+//                [--verbose] [--telemetry off|stats|trace]
+//                [--trace-out <path>] [--metrics-out <path>]
+//
+// Flags (anywhere on the command line, stripped before positional
+// parsing):
+//   --verbose             print the per-shard lane table (drains, queue
+//                         high-water, steals, per-shard execute
+//                         percentiles) after each backend row
+//   --telemetry LEVEL     off | stats (default) | trace
+//   --trace-out PATH      write sampled trace spans as Chrome
+//                         chrome://tracing / Perfetto JSON; implies
+//                         --telemetry trace (sample 1-in-8). With
+//                         backend=all the file is rewritten per backend —
+//                         the last backend's trace survives.
+//   --metrics-out PATH    write Prometheus text exposition of the final
+//                         service counters (same overwrite rule)
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
@@ -26,9 +42,12 @@
 // read/snapshot-path vs write groups, `lag` — read drains that retired
 // after the live write epoch had already advanced past their snapshot),
 // per-lane drain/steal counts, rebalance counters, and the cache's
-// hit/miss/evict line.
+// hit/miss/evict line. With telemetry on (the default) each backend row
+// is followed by the request-lifecycle stage-latency table
+// (p50/p95/p99/p999/max per stage, from query/telemetry.h).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -38,6 +57,13 @@
 using namespace pargeo;
 
 namespace {
+
+/// Flag options, stripped from argv before positional parsing.
+struct cli_opts {
+  bool verbose = false;        // per-shard lane table
+  std::string trace_out;       // Chrome/Perfetto trace JSON path
+  std::string metrics_out;     // Prometheus text exposition path
+};
 
 query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
                                double read_frac, query::distribution dist,
@@ -49,11 +75,30 @@ query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
   return spec;
 }
 
+/// Indented per-stage latency table for one finished run (values us).
+void print_stage_table(const query::telemetry_report& rep) {
+  std::printf("  %-15s %10s %10s %10s %10s %10s %10s\n", "stage", "count",
+              "p50us", "p95us", "p99us", "p999us", "maxus");
+  for (std::size_t i = 0; i < query::kNumStages; ++i) {
+    const auto s = rep.stages[i].summary();
+    if (s.count == 0) continue;
+    std::printf("  %-15s %10llu %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                query::stage_name(static_cast<query::stage>(i)),
+                static_cast<unsigned long long>(s.count), s.p50 / 1e3,
+                s.p95 / 1e3, s.p99 / 1e3, s.p999 / 1e3, s.max / 1e3);
+  }
+}
+
 template <int D>
 int run_backend(query::backend b, const query::workload_spec& spec,
-                const query::service_config& base_cfg) {
+                const query::service_config& base_cfg,
+                const cli_opts& opts) {
   query::service_config cfg = base_cfg;
   cfg.backend = b;
+  if (!opts.trace_out.empty() && cfg.telemetry != query::telemetry_level::trace) {
+    cfg.telemetry = query::telemetry_level::trace;
+    cfg.trace_sample = 8;  // denser than the service default for a CLI run
+  }
   query::query_service<D> service(cfg);
   std::vector<query::response<D>> responses;
   const auto stats = query::run_workload<D>(service, spec, &responses);
@@ -88,12 +133,57 @@ int run_backend(query::backend b, const query::workload_spec& spec,
       svc.snapshot_lag_drains, lane_drains, steals, svc.rebalances,
       svc.rebalance_moved, svc.cache.hits, svc.cache.misses,
       svc.cache.hit_rate() * 100, svc.cache.evictions);
+
+  if (svc.telemetry.level != query::telemetry_level::off) {
+    print_stage_table(svc.telemetry);
+  }
+  if (opts.verbose) {
+    // Per-shard lane table (behind --verbose: at high shard counts this
+    // is a screenful per backend).
+    std::printf("  %-6s %8s %9s %8s %7s %7s %8s %10s %10s\n", "shard",
+                "drains", "requests", "exec_s", "maxq", "steals", "scans",
+                "exec_p50us", "exec_p99us");
+    for (std::size_t s = 0; s < svc.per_shard.size(); ++s) {
+      const auto& lane = svc.per_shard[s];
+      query::latency_histogram exec;  // write + read execution, merged
+      if (s < svc.telemetry.shards.size()) {
+        exec.merge(svc.telemetry.shards[s][query::stage_index(
+            query::stage::execute_write)]);
+        exec.merge(svc.telemetry.shards[s][query::stage_index(
+            query::stage::execute_read)]);
+      }
+      const auto es = exec.summary();
+      std::printf("  %-6zu %8zu %9zu %8.3f %7zu %7zu %8zu %10.1f %10.1f\n",
+                  s, lane.num_drains, lane.num_requests,
+                  lane.execute_seconds, lane.max_queue_depth, lane.steals,
+                  lane.steal_scans, es.p50 / 1e3, es.p99 / 1e3);
+    }
+  }
+  if (!opts.trace_out.empty()) {
+    if (service.dump_trace(opts.trace_out)) {
+      std::printf("  trace: wrote %s\n", opts.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "  trace: tracing disabled, nothing written\n");
+    }
+  }
+  if (!opts.metrics_out.empty()) {
+    const std::string text = query::metrics_text(svc);
+    if (std::FILE* f = std::fopen(opts.metrics_out.c_str(), "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("  metrics: wrote %s\n", opts.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "  metrics: cannot open %s\n",
+                   opts.metrics_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
 template <int D>
 int run(const std::string& backend_arg, const query::workload_spec& spec,
-        const query::service_config& cfg) {
+        const query::service_config& cfg, const cli_opts& opts) {
   std::vector<query::backend> backends;
   if (backend_arg == "all") {
     backends = {query::backend::kdtree, query::backend::zdtree,
@@ -114,13 +204,54 @@ int run(const std::string& backend_arg, const query::workload_spec& spec,
       static_cast<unsigned long long>(spec.seed), cfg.shards,
       query::shard_policy_name(cfg.policy), query::drain_mode_name(cfg.drain),
       cfg.cache_capacity, cfg.rebalance_threshold);
-  for (auto b : backends) run_backend<D>(b, spec, cfg);
+  for (auto b : backends) {
+    if (const int rc = run_backend<D>(b, spec, cfg, opts)) return rc;
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip flags first so they can appear anywhere; what remains is the
+  // positional grammar documented in the usage string.
+  cli_opts opts;
+  query::telemetry_level telemetry = query::telemetry_level::stats;
+  std::vector<char*> pos;
+  pos.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      // --flag VALUE or --flag=VALUE
+      const std::size_t n = std::strlen(flag);
+      if (std::strncmp(a, flag, n) != 0) return nullptr;
+      if (a[n] == '=') return a + n + 1;
+      if (a[n] == '\0' && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (std::strcmp(a, "--verbose") == 0) {
+      opts.verbose = true;
+    } else if (const char* v = value_of("--trace-out")) {
+      opts.trace_out = v;
+    } else if (const char* v = value_of("--metrics-out")) {
+      opts.metrics_out = v;
+    } else if (const char* v = value_of("--telemetry")) {
+      try {
+        telemetry = query::telemetry_level_from_string(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strncmp(a, "--", 2) == 0 && a[2] != '\0') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a);
+      return 2;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(pos.size());
+  argv = pos.data();
+
   if (argc < 5) {
     std::fprintf(
         stderr,
@@ -129,7 +260,9 @@ int main(int argc, char** argv) {
         "[dist uniform|clustered|zipf|skewed|drifting] [batch_size=2048] "
         "[seed=1] [shards=1] [policy hash|spatial] "
         "[drain single|per_shard|stealing] [cache_capacity=4096] "
-        "[rebalance_threshold=0]\n",
+        "[rebalance_threshold=0] [--verbose] "
+        "[--telemetry off|stats|trace] [--trace-out path] "
+        "[--metrics-out path]\n",
         argv[0]);
     return 2;
   }
@@ -159,6 +292,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   query::service_config cfg;
+  cfg.telemetry = telemetry;
   cfg.shards = static_cast<std::size_t>(shards_arg);
   if (argc > 10) {
     try {
@@ -206,8 +340,8 @@ int main(int argc, char** argv) {
   const auto spec =
       make_spec(initial_n, num_ops, read_frac, dist, batch_size, seed);
   switch (dim) {
-    case 2: return run<2>(backend_arg, spec, cfg);
-    case 3: return run<3>(backend_arg, spec, cfg);
+    case 2: return run<2>(backend_arg, spec, cfg, opts);
+    case 3: return run<3>(backend_arg, spec, cfg, opts);
     default:
       std::fprintf(stderr, "unsupported dim %d (want 2 or 3)\n", dim);
       return 2;

@@ -132,10 +132,10 @@
 #include <utility>
 #include <vector>
 
-#include "core/timer.h"
 #include "query/query_engine.h"
 #include "query/result_cache.h"
 #include "query/spatial_index.h"
+#include "query/telemetry.h"
 
 namespace pargeo::query {
 
@@ -220,6 +220,19 @@ struct service_config {
   std::size_t rebalance_min_points = 256;
   /// Sample size for re-deriving the quantile stripe bounds.
   std::size_t rebalance_sample = 4096;
+  /// Request-lifecycle telemetry (query/telemetry.h). `stats` (the
+  /// default) keeps per-stage and per-shard latency histograms — a few
+  /// steady_clock reads and relaxed atomic adds per drain group, cheap
+  /// enough to leave on; `trace` additionally samples full span chains
+  /// into the trace ring (dump_trace() writes them as Chrome/Perfetto
+  /// JSON); `off` disables all measurement (the overhead baseline).
+  telemetry_level telemetry = telemetry_level::stats;
+  /// Trace sampling rate at `trace` level: every 1-in-N ticket gets a
+  /// full span chain (deterministic on the ticket id).
+  std::size_t trace_sample = 64;
+  /// Span ring capacity at `trace` level; the oldest spans are
+  /// overwritten past it.
+  std::size_t trace_capacity = 8192;
   index_options index;  // forwarded to every shard's backend
 };
 
@@ -283,7 +296,115 @@ struct service_stats {
   std::size_t rebalance_moved = 0;
   std::vector<shard_drain_stats> per_shard;  // one entry per lane
   cache_stats cache;  // hot k-NN cache, aggregated across shards
+  /// Per-stage / per-shard latency histograms (query/telemetry.h).
+  /// Empty (level `off`, zero counts) when telemetry is disabled.
+  telemetry_report telemetry;
 };
+
+/// Prometheus text exposition of a service_stats snapshot: counter and
+/// gauge families for the ingest/drain/cache/steal/rebalance counters,
+/// plus one cumulative `pargeo_stage_latency_seconds` histogram per
+/// lifecycle stage (merged across shards, `le` in seconds). Scrape-ready
+/// — serve it from an HTTP handler or drop it in a node_exporter
+/// textfile collector directory.
+inline std::string metrics_text(const service_stats& s) {
+  std::string out;
+  out.reserve(std::size_t{1} << 15);
+  char line[192];
+  const auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  const auto family = [&](const char* name, const char* type,
+                          const char* help) {
+    emit("# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
+  };
+  const auto counter = [&](const char* name, const char* help,
+                           std::uint64_t v) {
+    family(name, "counter", help);
+    emit("%s %llu\n", name, static_cast<unsigned long long>(v));
+  };
+  const auto gauge = [&](const char* name, const char* help,
+                         std::uint64_t v) {
+    family(name, "gauge", help);
+    emit("%s %llu\n", name, static_cast<unsigned long long>(v));
+  };
+
+  counter("pargeo_tickets_total", "Batches submitted", s.num_tickets);
+  counter("pargeo_requests_total", "Requests fulfilled", s.num_requests);
+  family("pargeo_drains_total", "counter",
+         "Drain groups executed, by pipeline path");
+  emit("pargeo_drains_total{path=\"write\"} %llu\n",
+       static_cast<unsigned long long>(s.num_write_groups));
+  emit("pargeo_drains_total{path=\"read\"} %llu\n",
+       static_cast<unsigned long long>(s.num_read_groups));
+  counter("pargeo_snapshot_lag_drains_total",
+          "Snapshot reads that retired behind the live epoch",
+          s.snapshot_lag_drains);
+  counter("pargeo_submit_waits_total",
+          "submit() calls blocked on backpressure", s.submit_waits);
+  counter("pargeo_try_submit_rejects_total",
+          "try_submit() backpressure rejections", s.try_submit_rejects);
+  counter("pargeo_results_evicted_total",
+          "Completed results dropped by the retention cap",
+          s.results_evicted);
+  gauge("pargeo_results_retained", "Completed, not yet redeemed results",
+        s.results_retained);
+  gauge("pargeo_pending_requests", "Admitted, not yet fulfilled requests",
+        s.pending_requests);
+  counter("pargeo_cache_hits_total", "Hot k-NN cache hits", s.cache.hits);
+  counter("pargeo_cache_misses_total", "Hot k-NN cache misses",
+          s.cache.misses);
+  counter("pargeo_cache_evictions_total", "Hot k-NN cache LRU evictions",
+          s.cache.evictions);
+  gauge("pargeo_cache_entries", "Hot k-NN cache resident entries",
+        s.cache.entries);
+  family("pargeo_cache_seconds_total", "counter",
+         "Cache-path wall time: hit = map service, miss = tree execution");
+  emit("pargeo_cache_seconds_total{path=\"hit\"} %.9f\n",
+       static_cast<double>(s.cache.hit_ns) * 1e-9);
+  emit("pargeo_cache_seconds_total{path=\"miss\"} %.9f\n",
+       static_cast<double>(s.cache.miss_ns) * 1e-9);
+  std::uint64_t steals = 0, steal_scans = 0;
+  for (const auto& ps : s.per_shard) {
+    steals += ps.steals;
+    steal_scans += ps.steal_scans;
+  }
+  counter("pargeo_steals_total", "Lane tasks drained by sibling workers",
+          steals);
+  counter("pargeo_steal_scans_total", "Idle steal scans", steal_scans);
+  counter("pargeo_rebalances_total", "Stripe bound re-derivations",
+          s.rebalances);
+  counter("pargeo_rebalance_moved_total", "Points migrated by rebalancing",
+          s.rebalance_moved);
+  counter("pargeo_execute_seconds_total",
+          "Wall-clock seconds spent executing drains",
+          static_cast<std::uint64_t>(s.execute_seconds));
+
+  family("pargeo_stage_latency_seconds", "histogram",
+         "Request-lifecycle stage latency (merged across shards)");
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const auto& h = s.telemetry.stages[i];
+    const char* st = stage_name(static_cast<stage>(i));
+    std::uint64_t cum = 0;
+    for (int b = 0; b + 1 < latency_histogram::kBuckets; ++b) {
+      cum += h.bucket_count(b);
+      emit("pargeo_stage_latency_seconds_bucket{stage=\"%s\",le=\"%.9g\"} "
+           "%llu\n",
+           st, static_cast<double>(latency_histogram::bucket_upper(b)) * 1e-9,
+           static_cast<unsigned long long>(cum));
+    }
+    cum += h.bucket_count(latency_histogram::kBuckets - 1);
+    emit("pargeo_stage_latency_seconds_bucket{stage=\"%s\",le=\"+Inf\"} "
+         "%llu\n",
+         st, static_cast<unsigned long long>(cum));
+    emit("pargeo_stage_latency_seconds_sum{stage=\"%s\"} %.9f\n", st,
+         static_cast<double>(h.sum_ns()) * 1e-9);
+    emit("pargeo_stage_latency_seconds_count{stage=\"%s\"} %llu\n", st,
+         static_cast<unsigned long long>(cum));
+  }
+  return out;
+}
 
 template <int D>
 class query_service;
@@ -505,7 +626,10 @@ class completion {
 template <int D>
 class query_service {
  public:
-  explicit query_service(service_config cfg) : cfg_(std::move(cfg)) {
+  explicit query_service(service_config cfg)
+      : cfg_(std::move(cfg)),
+        tel_(cfg_.telemetry, cfg_.shards, cfg_.trace_sample,
+             cfg_.trace_capacity) {
     if (cfg_.shards == 0) {
       throw std::invalid_argument("service_config.shards must be >= 1");
     }
@@ -525,8 +649,8 @@ class query_service {
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       engines_.push_back(std::make_unique<query_engine<D>>(
           make_index<D>(cfg_.backend, cfg_.index)));
-      caches_.push_back(
-          std::make_unique<knn_result_cache<D>>(per_shard_cache));
+      caches_.push_back(std::make_unique<knn_result_cache<D>>(
+          per_shard_cache, /*timed=*/tel_.enabled()));
       lanes_.push_back(std::make_unique<shard_lane>());
     }
     resident_est_.assign(cfg_.shards, 0);
@@ -685,7 +809,31 @@ class query_service {
       s.scratch_reuses = scratch_reuses_;
       s.scratch_allocs = scratch_allocs_;
     }
+    s.telemetry = tel_.report();
     return s;
+  }
+
+  /// Merged per-stage / per-shard latency histograms (the same report
+  /// that rides in stats().telemetry, without the counter snapshot).
+  telemetry_report telemetry_snapshot() const { return tel_.report(); }
+
+  /// Spans currently resident in the trace ring, oldest first (empty
+  /// unless the service runs at telemetry_level::trace).
+  std::vector<trace_span> trace_events() const { return tel_.spans(); }
+
+  /// Writes the sampled span ring as Chrome `chrome://tracing` /
+  /// Perfetto-loadable trace JSON. Returns false (writing nothing) when
+  /// the service is not at trace level; throws std::runtime_error when
+  /// `path` cannot be opened. Call after the spans of interest retired
+  /// (e.g. post-close()) — recording continues concurrently otherwise.
+  bool dump_trace(const std::string& path) const {
+    return tel_.write_trace_file(path);
+  }
+
+  /// Prometheus text exposition of this service's counters and stage
+  /// histograms (see metrics_text(const service_stats&)).
+  std::string metrics_text() const {
+    return pargeo::query::metrics_text(stats());
   }
 
   /// Total points across shards. Quiescent callers only.
@@ -709,7 +857,11 @@ class query_service {
   struct pending_entry {
     std::uint64_t id;
     std::vector<request<D>> batch;
-    timer clock;  // started at submit; read when the ticket completes
+    /// Telemetry-clock stamp taken at submit (tel_.now_ns()): the time
+    /// base for queue_wait and the ticket's end-to-end completion
+    /// latency. One monotonic clock for every stamp in the pipeline —
+    /// stage spans are ordered by construction.
+    std::uint64_t submit_ns = 0;
   };
 
   /// A write/mixed drain group in flight on the shard lanes: routed once
@@ -723,7 +875,11 @@ class query_service {
     batch_result<D> result;  // responses/phases pre-stamped by the router
     std::atomic<std::size_t> remaining{0};          // lanes still executing
     std::size_t total = 0;
-    timer exec_clock;  // routing done -> last lane finished
+    std::uint64_t exec_start_ns = 0;  // routing done -> last lane finished
+    /// Representative sampled ticket id (0 = group untraced): lanes gate
+    /// their span appends on it, so the ring mutex stays off the
+    /// unsampled path entirely.
+    std::uint64_t trace_ticket = 0;
     std::mutex err_mu;
     std::exception_ptr error;  // first lane failure wins
   };
@@ -740,6 +896,7 @@ class query_service {
     std::vector<unsigned char> pinned;  // lanes holding their write gate
     std::atomic<std::size_t> stamps_remaining{0};
     std::size_t total = 0;
+    std::uint64_t trace_ticket = 0;  // as in shard_group
     std::mutex err_mu;
     std::exception_ptr error;  // first stamping failure wins
   };
@@ -750,6 +907,7 @@ class query_service {
     std::shared_ptr<shard_group> exec;  // set for execute tasks
     std::shared_ptr<read_group> stamp;  // set for stamp tasks
     std::vector<request<D>> sub;        // execute: this lane's requests
+    std::uint64_t enqueue_ns = 0;       // lane_wait stamp (telemetry on)
   };
 
   /// Per-shard executor lane: FIFO task queue + worker thread + the
@@ -859,6 +1017,20 @@ class query_service {
         pending_.pop_front();
       }
       lk.unlock();
+      if (tel_.enabled()) {
+        // One dequeue stamp covers the whole group: every ticket left the
+        // ingest queue at this instant, so queue_wait = dequeue - submit
+        // per ticket (both stamps on the telemetry clock).
+        const std::uint64_t dq = tel_.now_ns();
+        for (const auto& e : group) {
+          const std::uint64_t wait_ns = dq - e.submit_ns;
+          tel_.record(stage::queue_wait, wait_ns);
+          if (tel_.sampled(e.id)) {
+            tel_.add_span("queue_wait", tel_.drain_track(), e.submit_ns,
+                          wait_ns, e.id);
+          }
+        }
+      }
       if (read_group_kind) {
         route_read_group(std::move(group), total);
       } else {
@@ -883,9 +1055,12 @@ class query_service {
   // pre-stamped here so lanes only produce rows.
   void dispatch_shard_group(std::vector<pending_entry> tickets,
                             std::size_t total) {
+    const std::uint64_t route_start = tel_.enabled() ? tel_.now_ns() : 0;
     auto g = std::make_shared<shard_group>();
     g->tickets = std::move(tickets);
     g->total = total;
+    g->trace_ticket = pick_trace_ticket(g->tickets);
+    g->exec_start_ns = route_start;  // re-stamped before the lane fan-out
     g->combined = take_req_vec();
     g->combined.reserve(total);
     for (const auto& e : g->tickets) {
@@ -919,6 +1094,15 @@ class query_service {
       }
     }
 
+    if (tel_.enabled()) {
+      const std::uint64_t route_end = tel_.now_ns();
+      tel_.record(stage::route, route_end - route_start);
+      if (g->trace_ticket) {
+        tel_.add_span("route", tel_.drain_track(), route_start,
+                      route_end - route_start, g->trace_ticket);
+      }
+    }
+
     std::size_t active = 0;
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       if (!sub[s].empty()) ++active;
@@ -929,7 +1113,7 @@ class query_service {
       return;
     }
     g->remaining.store(active, std::memory_order_relaxed);
-    g->exec_clock.reset();
+    g->exec_start_ns = tel_.now_ns();
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       if (sub[s].empty()) {
         give_req_vec(std::move(sub[s]));
@@ -943,6 +1127,7 @@ class query_service {
   }
 
   void enqueue_lane_task(std::size_t s, shard_task task) {
+    if (tel_.enabled()) task.enqueue_ns = tel_.now_ns();
     auto& lane = *lanes_[s];
     {
       std::lock_guard<std::mutex> lk(lane.mu);
@@ -1005,6 +1190,16 @@ class query_service {
   // is what wakes the owner worker, blocked writers waiting out pins, and
   // quiesce_lanes().
   void execute_lane_task(std::size_t s, shard_task task) {
+    if (tel_.enabled() && task.enqueue_ns != 0) {
+      const std::uint64_t wait_ns = tel_.now_ns() - task.enqueue_ns;
+      tel_.record_shard(s, stage::lane_wait, wait_ns);
+      const std::uint64_t tt =
+          task.exec ? task.exec->trace_ticket : task.stamp->trace_ticket;
+      if (tt) {
+        tel_.add_span("lane_wait", tel_.lane_track(s), task.enqueue_ns,
+                      wait_ns, tt, static_cast<std::int32_t>(s));
+      }
+    }
     if (task.exec) {
       run_lane_subbatch(s, std::move(task));
     } else {
@@ -1074,7 +1269,9 @@ class query_service {
       }
     }
     if (writes) wait_shard_gate(s);
-    timer clock;
+    // One ns delta feeds both the execute_write histogram and the legacy
+    // execute_seconds counter — they cannot disagree.
+    const std::uint64_t t0 = tel_.now_ns();
     batch_result<D> res;
     try {
       res = execute_shard_batch(s, task.sub);
@@ -1082,7 +1279,15 @@ class query_service {
       std::lock_guard<std::mutex> lk(g->err_mu);
       if (!g->error) g->error = std::current_exception();
     }
-    const double secs = clock.elapsed();
+    const std::uint64_t dur_ns = tel_.now_ns() - t0;
+    const double secs = static_cast<double>(dur_ns) * 1e-9;
+    if (tel_.enabled()) {
+      tel_.record_shard(s, stage::execute_write, dur_ns);
+      if (g->trace_ticket) {
+        tel_.add_span("execute", tel_.lane_track(s), t0, dur_ns,
+                      g->trace_ticket, static_cast<std::int32_t>(s));
+      }
+    }
     {
       auto& lane = *lanes_[s];
       std::lock_guard<std::mutex> lk(lane.mu);
@@ -1103,11 +1308,16 @@ class query_service {
   // (allocation) fails the group instead of unwinding the lane thread.
   void run_lane_stamp(std::size_t s, shard_task task) {
     auto g = std::move(task.stamp);
+    const std::uint64_t t0 = g->trace_ticket ? tel_.now_ns() : 0;
     try {
       stamp_shard_snapshot(*g, s);
     } catch (...) {
       std::lock_guard<std::mutex> lk(g->err_mu);
       if (!g->error) g->error = std::current_exception();
+    }
+    if (g->trace_ticket) {
+      tel_.add_span("stamp", tel_.lane_track(s), t0, tel_.now_ns() - t0,
+                    g->trace_ticket, static_cast<std::int32_t>(s));
     }
     if (g->stamps_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       enqueue_read_task(std::move(g));
@@ -1149,11 +1359,21 @@ class query_service {
   // every ticket. Called by the last lane to finish (or the router, for
   // all-empty groups).
   void finalize_shard_group(const std::shared_ptr<shard_group>& g) {
-    const double secs = g->exec_clock.elapsed();
+    const double secs =
+        static_cast<double>(tel_.now_ns() - g->exec_start_ns) * 1e-9;
     std::exception_ptr error = g->error;  // all lanes are done; no races
     if (!error) {
+      const std::uint64_t m0 = tel_.enabled() ? tel_.now_ns() : 0;
       merge_shard_reads(g->combined, 0, g->combined.size(), g->sub_idx,
                         g->shard_res, g->result.responses);
+      if (tel_.enabled()) {
+        const std::uint64_t m_ns = tel_.now_ns() - m0;
+        tel_.record(stage::merge, m_ns);
+        if (g->trace_ticket) {
+          tel_.add_span("merge", tel_.fulfil_track(), m0, m_ns,
+                        g->trace_ticket);
+        }
+      }
       // Phases pipeline across lanes, so per-phase wall-clock is not
       // individually measurable: apportion the group's clock by request
       // count (sums back to the group total).
@@ -1169,7 +1389,7 @@ class query_service {
     for (auto& idx : g->sub_idx) give_idx_vec(std::move(idx));
     fulfill_group(std::move(g->tickets), g->total, std::move(g->result),
                   error, /*snapshot_epoch=*/0, /*read_group=*/false,
-                  /*lagged=*/false, secs);
+                  /*lagged=*/false, secs, g->trace_ticket);
   }
 
   // Pre-stamps a group's phase structure (response kinds/phase ids,
@@ -1418,7 +1638,12 @@ class query_service {
     if (!dups.empty()) cache.add_hits(dups.size());
     if (misses.empty() && dups.empty()) return;
     std::vector<response<D>> rows(misses.size());
+    // Miss-side of the cache latency split: the tree execution the
+    // missed probes went on to pay (the hit side is timed inside
+    // lookup()).
+    const std::uint64_t miss_t0 = cache.timed() ? monotonic_ns() : 0;
     detail::execute_read_phase_on<D>(target, misses, 0, misses.size(), rows);
+    if (cache.timed()) cache.add_miss_ns(monotonic_ns() - miss_t0);
     for (std::size_t j = 0; j < misses.size(); ++j) {
       responses[miss_idx[j]].points = std::move(rows[j].points);
       if (misses[j].kind == op::knn && misses[j].k > 0) {
@@ -1440,9 +1665,11 @@ class query_service {
   // serialized baseline's timing.
   void route_read_group(std::vector<pending_entry> tickets,
                         std::size_t total) {
+    const std::uint64_t route_start = tel_.enabled() ? tel_.now_ns() : 0;
     auto g = std::make_shared<read_group>();
     g->tickets = std::move(tickets);
     g->total = total;
+    g->trace_ticket = pick_trace_ticket(g->tickets);
     g->combined = take_req_vec();
     g->combined.reserve(total);
     for (const auto& e : g->tickets) {
@@ -1463,6 +1690,14 @@ class query_service {
     }
     g->snaps.resize(cfg_.shards);
     g->pinned.assign(cfg_.shards, 0);
+    if (tel_.enabled()) {
+      const std::uint64_t route_end = tel_.now_ns();
+      tel_.record(stage::route, route_end - route_start);
+      if (g->trace_ticket) {
+        tel_.add_span("route", tel_.drain_track(), route_start,
+                      route_end - route_start, g->trace_ticket);
+      }
+    }
 
     std::size_t active = 0;
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
@@ -1472,7 +1707,7 @@ class query_service {
       recycle_read_group(*g);
       fulfill_group(std::move(g->tickets), g->total, batch_result<D>{},
                     nullptr, /*snapshot_epoch=*/0, /*read_group=*/true,
-                    /*lagged=*/false, /*exec_seconds=*/0);
+                    /*lagged=*/false, /*exec_seconds=*/0, g->trace_ticket);
       return;
     }
     if (cfg_.drain != drain_mode::single) {
@@ -1521,7 +1756,7 @@ class query_service {
   // Executes one read group against its epoch snapshots (through the k-NN
   // cache) and fulfils it.
   void run_read_task(std::shared_ptr<read_group> g) {
-    timer clock;
+    const std::uint64_t t_start = tel_.now_ns();
     batch_result<D> result;
     std::exception_ptr error = g->error;  // all stamps retired; no race
     std::uint64_t snap_epoch = 0;
@@ -1534,12 +1769,31 @@ class query_service {
             [&](std::size_t s) {
               if (g->sub[s].empty()) return;
               shard_res[s].responses.resize(g->sub[s].size());
+              const std::uint64_t s0 = tel_.enabled() ? tel_.now_ns() : 0;
               run_shard_reads(s, g->sub[s], 0, g->sub[s].size(), *g->snaps[s],
                               g->snaps[s]->epoch(), shard_res[s].responses);
+              if (tel_.enabled()) {
+                const std::uint64_t s_ns = tel_.now_ns() - s0;
+                tel_.record_shard(s, stage::execute_read, s_ns);
+                if (g->trace_ticket) {
+                  tel_.add_span("execute_read", tel_.reader_track(), s0, s_ns,
+                                g->trace_ticket,
+                                static_cast<std::int32_t>(s));
+                }
+              }
             },
             1);
+        const std::uint64_t m0 = tel_.enabled() ? tel_.now_ns() : 0;
         merge_shard_reads(g->combined, 0, g->combined.size(), g->sub_idx,
                           shard_res, result.responses);
+        if (tel_.enabled()) {
+          const std::uint64_t m_ns = tel_.now_ns() - m0;
+          tel_.record(stage::merge, m_ns);
+          if (g->trace_ticket) {
+            tel_.add_span("merge", tel_.fulfil_track(), m0, m_ns,
+                          g->trace_ticket);
+          }
+        }
         for (std::size_t i = 0; i < g->combined.size(); ++i) {
           result.responses[i].kind = g->combined[i].kind;
           result.responses[i].phase = 0;
@@ -1551,7 +1805,7 @@ class query_service {
         error = std::current_exception();
       }
     }
-    const double secs = clock.elapsed();
+    const double secs = static_cast<double>(tel_.now_ns() - t_start) * 1e-9;
     result.stats.num_requests = g->total;
     result.stats.num_reads = g->total;
     result.stats.seconds = secs;
@@ -1576,7 +1830,8 @@ class query_service {
     }
     recycle_read_group(*g);
     fulfill_group(std::move(g->tickets), g->total, std::move(result), error,
-                  snap_epoch, /*read_group=*/true, lagged, secs);
+                  snap_epoch, /*read_group=*/true, lagged, secs,
+                  g->trace_ticket);
   }
 
   void recycle_read_group(read_group& g) {
@@ -1590,12 +1845,14 @@ class query_service {
   // Executes a writing (or pool-disabled) group on the drain thread with
   // the engine's phase discipline, after waiting out pinned readers.
   void run_sync_group(std::vector<pending_entry> group, std::size_t total) {
+    const std::uint64_t trace_ticket = pick_trace_ticket(group);
     std::vector<request<D>> combined;
     combined.reserve(total);
     for (const auto& e : group) {
       combined.insert(combined.end(), e.batch.begin(), e.batch.end());
     }
     wait_all_shard_gates();
+    const std::uint64_t t0 = tel_.now_ns();
     batch_result<D> result;
     std::exception_ptr error;
     try {
@@ -1603,10 +1860,24 @@ class query_service {
     } catch (...) {
       error = std::current_exception();
     }
+    if (tel_.enabled()) {
+      // Single mode has no lanes: the whole group executes here on the
+      // drain thread, so execution lands in the service-wide recorder
+      // (execute_read for a pure-read group — only possible with
+      // read_threads == 0 — execute_write otherwise).
+      const std::uint64_t dur_ns = tel_.now_ns() - t0;
+      const stage st = batch_is_read_only(combined) ? stage::execute_read
+                                                    : stage::execute_write;
+      tel_.record(st, dur_ns);
+      if (trace_ticket) {
+        tel_.add_span("execute", tel_.drain_track(), t0, dur_ns,
+                      trace_ticket);
+      }
+    }
     const double secs = result.stats.seconds;
     fulfill_group(std::move(group), total, std::move(result), error,
                   /*snapshot_epoch=*/0, /*read_group=*/false,
-                  /*lagged=*/false, secs);
+                  /*lagged=*/false, secs, trace_ticket);
   }
 
   // Executes one combined stream with the engine's phase discipline
@@ -1691,8 +1962,13 @@ class query_service {
   void fulfill_group(std::vector<pending_entry> group, std::size_t total,
                      batch_result<D> result, std::exception_ptr error,
                      std::uint64_t snap_epoch, bool read_group, bool lagged,
-                     double exec_seconds) {
+                     double exec_seconds, std::uint64_t trace_ticket) {
     using record_t = typename detail::completion_hub<D>::record;
+    // One fulfil stamp serves every ticket in the group: completion
+    // latency is fulfil - submit on the telemetry clock (the same delta
+    // reported as ticket_result::latency_seconds — folded, not parallel
+    // bookkeeping).
+    const std::uint64_t f0 = tel_.now_ns();
     std::vector<std::pair<
         std::function<void(ticket_result<D>&&, std::exception_ptr)>,
         ticket_result<D>>>
@@ -1709,7 +1985,15 @@ class query_service {
                                       e.batch.size()));
           tr.stats = result.stats;
         }
-        tr.latency_seconds = e.clock.elapsed();
+        const std::uint64_t comp_ns = f0 - e.submit_ns;
+        tr.latency_seconds = static_cast<double>(comp_ns) * 1e-9;
+        if (tel_.enabled()) {
+          tel_.record(stage::completion, comp_ns);
+          if (tel_.sampled(e.id)) {
+            tel_.add_span("completion", tel_.completion_track(), e.submit_ns,
+                          comp_ns, e.id);
+          }
+        }
         tr.snapshot_epoch = snap_epoch;
         off += e.batch.size();
         auto it = hub_->tickets.find(e.id);
@@ -1740,6 +2024,15 @@ class query_service {
       space_cv_.notify_all();
       hub_->done_cv.notify_all();
     }
+    if (tel_.enabled()) {
+      // Result slicing + storage under the hub lock; callback bodies are
+      // user code and excluded on purpose.
+      const std::uint64_t f_ns = tel_.now_ns() - f0;
+      tel_.record(stage::fulfil, f_ns);
+      if (trace_ticket) {
+        tel_.add_span("fulfil", tel_.fulfil_track(), f0, f_ns, trace_ticket);
+      }
+    }
     for (auto& [fn, tr] : callbacks) {
       try {
         fn(std::move(tr), error);
@@ -1764,7 +2057,7 @@ class query_service {
     const std::uint64_t id = next_ticket_++;
     hub_->tickets.emplace(id, typename detail::completion_hub<D>::record{});
     in_flight_requests_ += batch.size();
-    pending_.push_back(pending_entry{id, std::move(batch), timer{}});
+    pending_.push_back(pending_entry{id, std::move(batch), tel_.now_ns()});
     ++stats_.num_tickets;
     work_cv_.notify_one();
     return completion<D>(hub_, id);
@@ -1902,6 +2195,18 @@ class query_service {
     return left_ok && right_ok;
   }
 
+  /// First sampled ticket in a drain group (0 = untraced): the group's
+  /// spans carry one representative id so a sampled request's whole
+  /// chain — queue_wait through fulfil — lands in the ring together.
+  std::uint64_t pick_trace_ticket(
+      const std::vector<pending_entry>& tickets) const {
+    if (!tel_.tracing()) return 0;
+    for (const auto& e : tickets) {
+      if (tel_.sampled(e.id)) return e.id;
+    }
+    return 0;
+  }
+
   static std::size_t hash_point(const point<D>& p) {
     // FNV-1a over canonical coordinate bits (result_cache.h holds the one
     // definition): equal points (the routing key) always hash alike, and
@@ -1917,6 +2222,10 @@ class query_service {
   }
 
   service_config cfg_;
+  /// Request-lifecycle telemetry hub (query/telemetry.h): all stage
+  /// stamps, histograms, and the trace ring. Declared right after cfg_ —
+  /// it is constructed from it and everything below may record into it.
+  class telemetry tel_;
   std::vector<std::unique_ptr<query_engine<D>>> engines_;
   /// Hot k-NN result caches, one per shard (query/result_cache.h).
   std::vector<std::unique_ptr<knn_result_cache<D>>> caches_;

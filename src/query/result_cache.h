@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/point.h"
+#include "query/telemetry.h"
 
 namespace pargeo::query {
 
@@ -102,16 +103,31 @@ struct cache_stats {
   std::size_t misses = 0;
   std::size_t evictions = 0;  // entries dropped by the LRU capacity bound
   std::size_t entries = 0;    // currently resident
+  /// Hit/miss latency split (populated only on `timed` instances — the
+  /// service enables timing alongside telemetry): `hit_ns` is wall time
+  /// spent serving hits from the map, `miss_ns` the tree-execution time
+  /// the misses went on to pay. The gap between avg_hit/avg_miss is the
+  /// per-probe win the cache buys.
+  std::uint64_t hit_ns = 0;
+  std::uint64_t miss_ns = 0;
 
   double hit_rate() const {
     const std::size_t probes = hits + misses;
     return probes > 0 ? static_cast<double>(hits) / probes : 0.0;
+  }
+  double avg_hit_ns() const {
+    return hits > 0 ? static_cast<double>(hit_ns) / hits : 0.0;
+  }
+  double avg_miss_ns() const {
+    return misses > 0 ? static_cast<double>(miss_ns) / misses : 0.0;
   }
   void accumulate(const cache_stats& o) {
     hits += o.hits;
     misses += o.misses;
     evictions += o.evictions;
     entries += o.entries;
+    hit_ns += o.hit_ns;
+    miss_ns += o.miss_ns;
   }
 };
 
@@ -121,10 +137,14 @@ template <int D>
 class knn_result_cache {
  public:
   /// `capacity` bounds resident entries; 0 disables the instance (lookups
-  /// miss without counting, stores are dropped).
-  explicit knn_result_cache(std::size_t capacity) : capacity_(capacity) {}
+  /// miss without counting, stores are dropped). `timed` turns on the
+  /// hit/miss latency split (a clock read per probe — the service enables
+  /// it together with telemetry).
+  explicit knn_result_cache(std::size_t capacity, bool timed = false)
+      : capacity_(capacity), timed_(timed) {}
 
   bool enabled() const { return capacity_ > 0; }
+  bool timed() const { return timed_ && enabled(); }
   std::size_t capacity() const { return capacity_; }
 
   /// On hit, copies the cached row into `out`, refreshes LRU recency, and
@@ -133,6 +153,7 @@ class knn_result_cache {
   bool lookup(const point<D>& q, std::size_t k, std::uint64_t epoch,
               std::vector<point<D>>& out) {
     if (!enabled()) return false;
+    const std::uint64_t t0 = timed_ ? monotonic_ns() : 0;
     const key_t key = make_key(q, k, epoch);
     std::lock_guard<std::mutex> lk(mu_);
     auto it = map_.find(key);
@@ -143,6 +164,7 @@ class knn_result_cache {
     lru_.splice(lru_.begin(), lru_, it->second);
     out = it->second->row;
     ++hits_;
+    if (timed_) hit_ns_ += monotonic_ns() - t0;
     return true;
   }
 
@@ -180,6 +202,16 @@ class knn_result_cache {
     hits_ += n;
   }
 
+  /// Attributes `ns` of tree execution to this shard's cache misses —
+  /// the read path measures the miss batch it executed after probing and
+  /// reports it here, completing the hit/miss latency split. Only timed
+  /// instances count (same gating as the lookup-side timing).
+  void add_miss_ns(std::uint64_t ns) {
+    if (!timed()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    miss_ns_ += ns;
+  }
+
   cache_stats stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     cache_stats s;
@@ -187,6 +219,8 @@ class knn_result_cache {
     s.misses = misses_;
     s.evictions = evictions_;
     s.entries = map_.size();
+    s.hit_ns = hit_ns_;
+    s.miss_ns = miss_ns_;
     return s;
   }
 
@@ -211,6 +245,7 @@ class knn_result_cache {
   };
 
   const std::size_t capacity_;
+  const bool timed_;
   mutable std::mutex mu_;
   std::list<entry> lru_;  // front = most recently used
   std::unordered_map<key_t, typename std::list<entry>::iterator, key_hash>
@@ -218,6 +253,8 @@ class knn_result_cache {
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
   std::size_t evictions_ = 0;
+  std::uint64_t hit_ns_ = 0;
+  std::uint64_t miss_ns_ = 0;
 };
 
 }  // namespace pargeo::query
