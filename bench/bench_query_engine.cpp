@@ -27,8 +27,14 @@
 // so per-shard routing funnels nearly every write into one lane. It pits
 // drain_mode::per_shard against ::stealing, with stripe rebalancing off
 // vs on; the steal/rebalance counters prove the mechanisms engaged.
+// Part 7 (`continuous_queries`) serves standing k-NN/box watches
+// (query/subscription.h) over a write-only churn stream with a 25 ms
+// sliding-window TTL: watch count x backend, with fire/suppression
+// counters, the suppression ratio (stripe pruning + delta suppression),
+// expired-point totals, and watch-eval latency percentiles from the
+// `watch_eval` stage histogram.
 //
-// Part 7 (`telemetry_overhead`) re-runs the zipf 90%-read serving bench at
+// Part 8 (`telemetry_overhead`) re-runs the zipf 90%-read serving bench at
 // telemetry off / stats / trace and reports the throughput delta — the
 // "<3% with stats on" acceptance number in EXPERIMENTS.md comes from here.
 //
@@ -338,6 +344,75 @@ skew_row run_skew_drain(query::backend b, query::drain_mode mode,
   return row;
 }
 
+struct watch_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+};
+
+// Continuous-query serving: N standing watches (alternating k-NN and box,
+// spread diagonally over the bbox) over a write-only churn stream with a
+// sliding-window TTL, streamed async so write groups and watch
+// re-evaluations overlap. The fire/suppression split shows how much work
+// stripe pruning and delta suppression save; watch-eval latency lands in
+// the section's `watch_eval` stage histogram.
+watch_row run_continuous_queries(query::backend b, std::size_t num_watches,
+                                 std::size_t initial_n,
+                                 std::size_t num_ops) {
+  auto spec = query::make_churn_spec(initial_n, num_ops, 0.5, 0.5);
+  spec.batch_size = std::max<std::size_t>(64, num_ops / 64);
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = 4;
+  cfg.policy = query::shard_policy::spatial;
+  cfg.point_ttl_ns = 25'000'000;  // 25 ms window: expiry races the stream
+  cfg.cache_capacity = 0;         // isolate the watch path
+  cfg.ingest_window = std::max<std::size_t>(1, spec.batch_size);
+  cfg.max_pending_requests = 4 * cfg.ingest_window;
+  cfg.max_retained = std::size_t{1} << 20;
+  query::query_service<kDim> service(cfg);
+
+  auto initial = query::make_initial<kDim>(spec);
+  service.bootstrap(initial);
+  const auto reqs = query::make_requests<kDim>(spec, std::move(initial));
+
+  std::vector<query::watch_handle<kDim>> handles;
+  handles.reserve(num_watches);
+  const double side = spec.side();
+  for (std::size_t w = 0; w < num_watches; ++w) {
+    const double t = num_watches > 1
+                         ? static_cast<double>(w) / (num_watches - 1)
+                         : 0.5;
+    point<kDim> at;
+    for (int d = 0; d < kDim; ++d) at[d] = t * side;
+    if (w % 2 == 0) {
+      handles.push_back(service.watch_knn(
+          at, spec.k, [](const query::watch_event<kDim>&) {}));
+    } else {
+      point<kDim> hi;
+      for (int d = 0; d < kDim; ++d) hi[d] = at[d] + side * 0.1;
+      handles.push_back(service.watch_range(
+          aabb<kDim>(at, hi), [](const query::watch_event<kDim>&) {}));
+    }
+  }
+
+  timer clock;
+  std::vector<query::completion<kDim>> pending;
+  const std::size_t bs = std::max<std::size_t>(1, spec.batch_size);
+  for (std::size_t off = 0; off < reqs.size(); off += bs) {
+    const std::size_t end = std::min(reqs.size(), off + bs);
+    pending.push_back(
+        service.submit({reqs.begin() + off, reqs.begin() + end}));
+  }
+  for (auto& c : pending) c.get();
+  const double secs = clock.elapsed();
+  service.close();
+
+  watch_row row;
+  row.stats = service.stats();
+  row.ops_per_sec = secs > 0 ? static_cast<double>(reqs.size()) / secs : 0;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -574,7 +649,55 @@ int main(int argc, char** argv) {
   emit_latency(json, "skew_drain", section_tel);
   section_tel = query::telemetry_report{};
 
-  // Part 7: telemetry overhead. Same zipf 90%-read serving workload at
+  if (!json) {
+    bench::print_header(
+        "continuous queries: standing watches over a churn stream with "
+        "25ms TTL, spatial stripes, 4 shards",
+        "backend            watches            ops/s      fires  "
+        "suppressed  sup%  expired  fire_p50us  fire_p99us");
+  }
+  for (auto b : {query::backend::kdtree, query::backend::zdtree,
+                 query::backend::bdltree}) {
+    for (const std::size_t nwatch : {std::size_t{8}, std::size_t{64}}) {
+      const auto row =
+          run_continuous_queries(b, nwatch, initial_n, num_ops);
+      section_tel.merge(row.stats.telemetry);
+      const auto fire =
+          row.stats.telemetry.stage_hist(query::stage::watch_eval).summary();
+      const std::size_t decisions =
+          row.stats.watch_fires + row.stats.watch_suppressed;
+      const double sup_ratio =
+          decisions > 0
+              ? static_cast<double>(row.stats.watch_suppressed) / decisions
+              : 0;
+      if (json) {
+        std::printf(
+            "{\"section\":\"continuous_queries\",\"backend\":\"%s\","
+            "\"watches\":%zu,\"dist\":\"churn\",\"shards\":4,"
+            "\"policy\":\"spatial\",\"ttl_ns\":25000000,"
+            "\"initial_n\":%zu,\"num_ops\":%zu,\"ops_per_sec\":%.0f,"
+            "\"watch_fires\":%zu,\"watch_suppressed\":%zu,"
+            "\"suppression_ratio\":%.3f,\"expired_points\":%zu,"
+            "\"fire_p50_us\":%.1f,\"fire_p99_us\":%.1f%s}\n",
+            query::backend_name(b), nwatch, initial_n, num_ops,
+            row.ops_per_sec, row.stats.watch_fires,
+            row.stats.watch_suppressed, sup_ratio, row.stats.expired_points,
+            fire.p50 / 1e3, fire.p99 / 1e3,
+            completion_fields(row.stats).c_str());
+      } else {
+        std::printf(
+            "%-18s %7zu %16.0f %10zu %11zu %4.0f%% %8zu %11.1f %11.1f\n",
+            query::backend_name(b), nwatch, row.ops_per_sec,
+            row.stats.watch_fires, row.stats.watch_suppressed,
+            sup_ratio * 100, row.stats.expired_points, fire.p50 / 1e3,
+            fire.p99 / 1e3);
+      }
+    }
+  }
+  emit_latency(json, "continuous_queries", section_tel);
+  section_tel = query::telemetry_report{};
+
+  // Part 8: telemetry overhead. Same zipf 90%-read serving workload at
   // telemetry off / stats / trace, best-of-3 to shave scheduler noise —
   // the stats row's delta vs off is the acceptance number recorded in
   // EXPERIMENTS.md (<3%).

@@ -2,12 +2,13 @@
 //
 //   pargeo_query <backend> <dim 2|3> <initial_n> <num_ops>
 //                [read_frac=0.9]
-//                [dist uniform|clustered|zipf|skewed|drifting]
+//                [dist uniform|clustered|zipf|skewed|drifting|churn]
 //                [batch_size=2048] [seed=1] [shards=1] [policy hash|spatial]
 //                [drain single|per_shard|stealing] [cache_capacity=4096]
 //                [rebalance_threshold=0]
 //                [--verbose] [--telemetry off|stats|trace]
 //                [--trace-out <path>] [--metrics-out <path>]
+//                [--ttl <ns>] [--watches <n>]
 //
 // Flags (anywhere on the command line, stripped before positional
 // parsing):
@@ -22,6 +23,16 @@
 //                         the last backend's trace survives.
 //   --metrics-out PATH    write Prometheus text exposition of the final
 //                         service counters (same overwrite rule)
+//   --ttl NS              sliding-window TTL: every bootstrapped or
+//                         inserted point is retired NS nanoseconds after
+//                         it arrived (query/subscription docs in
+//                         query_service.h). 0 (default) disables expiry.
+//   --watches N           register N standing queries (alternating k-NN
+//                         and box watches spread over the workload bbox)
+//                         before the stream runs; their re-fire /
+//                         suppression counters print after each backend
+//                         row. Pair with dist=churn or --ttl to watch a
+//                         moving population.
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
@@ -45,6 +56,7 @@
 // hit/miss/evict line. With telemetry on (the default) each backend row
 // is followed by the request-lifecycle stage-latency table
 // (p50/p95/p99/p999/max per stage, from query/telemetry.h).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +75,8 @@ struct cli_opts {
   bool verbose = false;        // per-shard lane table
   std::string trace_out;       // Chrome/Perfetto trace JSON path
   std::string metrics_out;     // Prometheus text exposition path
+  std::uint64_t ttl_ns = 0;    // sliding-window point TTL, 0 = off
+  std::size_t watches = 0;     // standing queries registered up front
 };
 
 query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
@@ -100,6 +114,31 @@ int run_backend(query::backend b, const query::workload_spec& spec,
     cfg.trace_sample = 8;  // denser than the service default for a CLI run
   }
   query::query_service<D> service(cfg);
+
+  // Standing queries: alternate k-NN and box watches spread diagonally
+  // across the workload bbox, registered before the stream so every write
+  // boundary exercises the re-fire path. No-op callbacks — the service
+  // counters tell the story.
+  std::vector<query::watch_handle<D>> watch_handles;
+  watch_handles.reserve(opts.watches);
+  const double side = spec.side();
+  for (std::size_t w = 0; w < opts.watches; ++w) {
+    const double t = opts.watches > 1
+                         ? static_cast<double>(w) / (opts.watches - 1)
+                         : 0.5;
+    point<D> at;
+    for (int d = 0; d < D; ++d) at[d] = t * side;
+    if (w % 2 == 0) {
+      watch_handles.push_back(service.watch_knn(
+          at, spec.k, [](const query::watch_event<D>&) {}));
+    } else {
+      point<D> hi;
+      for (int d = 0; d < D; ++d) hi[d] = at[d] + side * 0.1;
+      watch_handles.push_back(service.watch_range(
+          aabb<D>(at, hi), [](const query::watch_event<D>&) {}));
+    }
+  }
+
   std::vector<query::response<D>> responses;
   const auto stats = query::run_workload<D>(service, spec, &responses);
 
@@ -134,6 +173,11 @@ int run_backend(query::backend b, const query::workload_spec& spec,
       svc.rebalance_moved, svc.cache.hits, svc.cache.misses,
       svc.cache.hit_rate() * 100, svc.cache.evictions);
 
+  if (opts.watches > 0 || cfg.point_ttl_ns > 0) {
+    std::printf("  watches=%zu fires=%zu suppressed=%zu expired=%zu\n",
+                svc.active_watches, svc.watch_fires, svc.watch_suppressed,
+                svc.expired_points);
+  }
   if (svc.telemetry.level != query::telemetry_level::off) {
     print_stage_table(svc.telemetry);
   }
@@ -242,6 +286,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
+    } else if (const char* v = value_of("--ttl")) {
+      char* end = nullptr;
+      const long long ns = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || ns < 0) {
+        std::fprintf(stderr, "--ttl wants nanoseconds >= 0 (got '%s')\n", v);
+        return 2;
+      }
+      opts.ttl_ns = static_cast<std::uint64_t>(ns);
+    } else if (const char* v = value_of("--watches")) {
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--watches wants a count >= 0 (got '%s')\n", v);
+        return 2;
+      }
+      opts.watches = static_cast<std::size_t>(n);
     } else if (std::strncmp(a, "--", 2) == 0 && a[2] != '\0') {
       std::fprintf(stderr, "unknown flag '%s'\n", a);
       return 2;
@@ -257,12 +317,13 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <backend kdtree|zdtree|bdltree|all> <dim 2|3> "
         "<initial_n> <num_ops> [read_frac=0.9] "
-        "[dist uniform|clustered|zipf|skewed|drifting] [batch_size=2048] "
+        "[dist uniform|clustered|zipf|skewed|drifting|churn] "
+        "[batch_size=2048] "
         "[seed=1] [shards=1] [policy hash|spatial] "
         "[drain single|per_shard|stealing] [cache_capacity=4096] "
         "[rebalance_threshold=0] [--verbose] "
         "[--telemetry off|stats|trace] [--trace-out path] "
-        "[--metrics-out path]\n",
+        "[--metrics-out path] [--ttl ns] [--watches n]\n",
         argv[0]);
     return 2;
   }
@@ -293,6 +354,7 @@ int main(int argc, char** argv) {
   }
   query::service_config cfg;
   cfg.telemetry = telemetry;
+  cfg.point_ttl_ns = opts.ttl_ns;
   cfg.shards = static_cast<std::size_t>(shards_arg);
   if (argc > 10) {
     try {

@@ -80,14 +80,34 @@
 //   (bdltree) hold ONLY their own shard's write gate until the read
 //   retires — other shards keep draining.
 //
-//   *Hot k-NN result cache*. Each shard carries an epoch-invalidated LRU
-//   cache of k-NN rows (query/result_cache.h) keyed by (query point, k,
-//   shard write epoch); `cache_capacity` entries are split across shards
+//   *Hot result cache*. Each shard carries an epoch-invalidated LRU
+//   cache of read-result rows (query/result_cache.h) keyed by the exact
+//   query shape — k-NN (point, k), box range, or ball range — plus the
+//   shard write epoch; `cache_capacity` entries are split across shards
 //   (0 disables). Both read paths — live reads inside mixed groups and
-//   snapshot reads — probe it, so zipf-hot keys answer without touching
-//   the tree; hits are byte-identical to re-execution because the key
-//   pins the exact contents. Hit/miss/evict counters aggregate into
-//   `service_stats::cache`.
+//   snapshot reads — probe it, so zipf-hot keys and re-evaluated watches
+//   answer without touching the tree; hits are byte-identical to
+//   re-execution because the key pins the exact contents. Hit/miss/evict
+//   counters aggregate into `service_stats::cache`.
+//
+//   *Continuous queries* (query/subscription.h). `watch_knn(q, k, cb)` /
+//   `watch_range(box, cb)` register standing queries; after every
+//   committed write drain the drainer marks the shards the group routed
+//   writes into and re-evaluates exactly the watches those shards serve
+//   (stripe/box overlap — the same pruning reads use) on the post-drain
+//   snapshots via the reader pool. Results are canonicalized and
+//   delta-suppressed: a re-evaluation whose result set is byte-identical
+//   to the last fire counts as `watch_suppressed` and does not invoke
+//   the callback. Fire latency (commit boundary -> results delivered)
+//   lands in the `watch_eval` stage histogram.
+//
+//   *TTL expiry* (`point_ttl_ns`). With a TTL set, every bootstrapped or
+//   inserted point is retired by an internal batch_erase group once its
+//   sliding window elapses — swept at write-drain boundaries and on an
+//   idle-drainer timer, so the resident set stays bounded even without
+//   traffic. Expiries are ordinary write groups: epochs bump, cached
+//   rows invalidate, and affected watches re-fire through the same
+//   machinery (`expire` stage histogram, `expired_points` counter).
 //
 //   *Ingest backpressure*. `max_pending_requests` bounds admitted-but-
 //   unfulfilled requests across the whole pipeline (0 = unbounded, the
@@ -135,6 +155,7 @@
 #include "query/query_engine.h"
 #include "query/result_cache.h"
 #include "query/spatial_index.h"
+#include "query/subscription.h"
 #include "query/telemetry.h"
 
 namespace pargeo::query {
@@ -220,6 +241,16 @@ struct service_config {
   std::size_t rebalance_min_points = 256;
   /// Sample size for re-deriving the quantile stripe bounds.
   std::size_t rebalance_sample = 4096;
+  /// Sliding-window TTL for stored points, in nanoseconds: every
+  /// bootstrapped or inserted point is retired by an internal
+  /// batch_erase group once its TTL elapses. Sweeps run after every
+  /// write drain and on an idle-drainer timer, so points expire even
+  /// without traffic. 0 disables expiry.
+  std::uint64_t point_ttl_ns = 0;
+  /// TTL clock override, nanoseconds on any monotone (never-backwards)
+  /// scale. Defaults to the process steady clock; tests inject a fake
+  /// clock to drive expiry deterministically.
+  std::function<std::uint64_t()> ttl_now;
   /// Request-lifecycle telemetry (query/telemetry.h). `stats` (the
   /// default) keeps per-stage and per-shard latency histograms — a few
   /// steady_clock reads and relaxed atomic adds per drain group, cheap
@@ -294,6 +325,14 @@ struct service_stats {
   /// performed, and points migrated between shards by them.
   std::size_t rebalances = 0;
   std::size_t rebalance_moved = 0;
+  /// Continuous queries (query/subscription.h): standing watches alive
+  /// now, callback fires delivered, re-fires skipped (stripe-pruned at
+  /// the boundary or delta-suppressed on identical results), and points
+  /// retired by TTL expiry.
+  std::size_t active_watches = 0;
+  std::size_t watch_fires = 0;
+  std::size_t watch_suppressed = 0;
+  std::size_t expired_points = 0;
   std::vector<shard_drain_stats> per_shard;  // one entry per lane
   cache_stats cache;  // hot k-NN cache, aggregated across shards
   /// Per-stage / per-shard latency histograms (query/telemetry.h).
@@ -377,6 +416,15 @@ inline std::string metrics_text(const service_stats& s) {
           s.rebalances);
   counter("pargeo_rebalance_moved_total", "Points migrated by rebalancing",
           s.rebalance_moved);
+  gauge("pargeo_active_watches", "Standing continuous queries registered",
+        s.active_watches);
+  counter("pargeo_watch_fires_total", "Continuous-query callback fires",
+          s.watch_fires);
+  counter("pargeo_watch_suppressed_total",
+          "Continuous-query re-fires suppressed (pruned or identical)",
+          s.watch_suppressed);
+  counter("pargeo_expired_points_total", "Points retired by TTL expiry",
+          s.expired_points);
   counter("pargeo_execute_seconds_total",
           "Wall-clock seconds spent executing drains",
           static_cast<std::uint64_t>(s.execute_seconds));
@@ -649,11 +697,14 @@ class query_service {
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       engines_.push_back(std::make_unique<query_engine<D>>(
           make_index<D>(cfg_.backend, cfg_.index)));
-      caches_.push_back(std::make_unique<knn_result_cache<D>>(
+      caches_.push_back(std::make_unique<result_cache<D>>(
           per_shard_cache, /*timed=*/tel_.enabled()));
       lanes_.push_back(std::make_unique<shard_lane>());
     }
     resident_est_.assign(cfg_.shards, 0);
+    write_touched_.assign(cfg_.shards, 0);
+    watches_ = std::make_shared<watch_registry<D>>();
+    ttl_now_ = cfg_.ttl_now ? cfg_.ttl_now : [] { return monotonic_ns(); };
     hub_ = std::make_shared<detail::completion_hub<D>>();
     hub_->max_retained = cfg_.max_retained;
     drainer_ = std::thread([this] { drain_loop(); });
@@ -706,6 +757,13 @@ class query_service {
     par::parallel_for(
         0, cfg_.shards,
         [&](std::size_t s) { engines_[s]->bootstrap(parts[s]); }, 1);
+    if (cfg_.point_ttl_ns > 0) {
+      // Bootstrapped points start one full TTL window from now.
+      std::lock_guard<std::mutex> lk(ttl_mu_);
+      ttl_q_.clear();
+      const std::uint64_t deadline = ttl_now_() + cfg_.point_ttl_ns;
+      for (const auto& p : pts) ttl_q_.emplace_back(deadline, p);
+    }
   }
 
   /// Multi-producer entry point: enqueues `batch` for the drain pipeline
@@ -747,6 +805,29 @@ class query_service {
   batch_result<D> execute(std::vector<request<D>> batch) {
     auto r = submit(std::move(batch)).get();
     return batch_result<D>{std::move(r.responses), std::move(r.stats)};
+  }
+
+  /// Registers a standing k-NN query: `cb` re-fires with the fresh k
+  /// nearest neighbours of `q` after every committed write drain that
+  /// could have affected them — including TTL expiries — with
+  /// byte-identical results suppressed (see query/subscription.h for
+  /// the full delivery contract). There is no fire at registration; the
+  /// first affecting drain boundary delivers the initial result.
+  /// Returns the move-only handle owning the registration; dropping or
+  /// cancelling it guarantees the callback never runs again. Callable
+  /// from any thread. Callbacks run on service threads: keep them light
+  /// and never block on a completion or another watch inside one.
+  /// Throws std::invalid_argument on non-finite coordinates or an empty
+  /// callback.
+  watch_handle<D> watch_knn(const point<D>& q, std::size_t k,
+                            typename watch_registry<D>::callback_t cb) {
+    return add_watch(request<D>::make_knn(q, k), std::move(cb));
+  }
+
+  /// Registers a standing box-range query (same contract as watch_knn).
+  watch_handle<D> watch_range(const aabb<D>& box,
+                              typename watch_registry<D>::callback_t cb) {
+    return add_watch(request<D>::make_range(box), std::move(cb));
   }
 
   /// Orderly shutdown: stops intake, flushes every in-flight ticket
@@ -804,6 +885,12 @@ class query_service {
       s.per_shard.push_back(ls);
     }
     for (const auto& c : caches_) s.cache.accumulate(c->stats());
+    {
+      const watch_stats ws = watches_->stats();
+      s.active_watches = ws.active;
+      s.watch_fires = ws.fires;
+      s.watch_suppressed = ws.suppressed;
+    }
     {
       std::lock_guard<std::mutex> lk(scratch_mu_);
       s.scratch_reuses = scratch_reuses_;
@@ -897,6 +984,14 @@ class query_service {
     std::atomic<std::size_t> stamps_remaining{0};
     std::size_t total = 0;
     std::uint64_t trace_ticket = 0;  // as in shard_group
+    /// Continuous-query evaluation groups ride the read_group machinery
+    /// (watch_seq != 0): no tickets, one combined request per affected
+    /// watch (watch_ids is parallel to combined), results canonicalized
+    /// and handed to the watch registry instead of a hub record.
+    /// watch_start_ns is the commit boundary — the fire-latency base.
+    std::uint64_t watch_seq = 0;
+    std::uint64_t watch_start_ns = 0;
+    std::vector<std::uint64_t> watch_ids;
     std::mutex err_mu;
     std::exception_ptr error;  // first stamping failure wins
   };
@@ -994,9 +1089,17 @@ class query_service {
   void drain_loop() {
     for (;;) {
       std::unique_lock<std::mutex> lk(hub_->mu);
-      work_cv_.wait(lk, [&] { return hub_->closed || !pending_.empty(); });
+      if (cfg_.point_ttl_ns > 0) {
+        // TTL set: bounded wait, so expiry sweeps run without traffic.
+        work_cv_.wait_for(lk, std::chrono::milliseconds(20),
+                          [&] { return hub_->closed || !pending_.empty(); });
+      } else {
+        work_cv_.wait(lk, [&] { return hub_->closed || !pending_.empty(); });
+      }
       if (pending_.empty()) {
         if (hub_->closed) return;
+        lk.unlock();
+        maybe_expire();
         continue;
       }
       const bool read_group_kind =
@@ -1033,15 +1136,26 @@ class query_service {
       }
       if (read_group_kind) {
         route_read_group(std::move(group), total);
+        // Reads are not write boundaries, but a read-heavy stream must
+        // not starve expiry: the idle-timeout sweep only runs when the
+        // queue stays empty for a whole bounded wait, which steady read
+        // traffic prevents indefinitely.
+        maybe_expire();
       } else {
+        begin_write_group();
         if (cfg_.drain != drain_mode::single) {
           dispatch_shard_group(std::move(group), total);
         } else {
           run_sync_group(std::move(group), total);
         }
-        // Write groups move mass between shards' resident sets; a drain
-        // boundary is the only point where stripes may be re-derived
-        // (routing and pruning stay mutually consistent group to group).
+        // A committed write group is a watch boundary: re-evaluate the
+        // standing queries the touched shards serve, then retire points
+        // whose TTL elapsed (itself another boundary). Write groups also
+        // move mass between shards' resident sets, and a drain boundary
+        // is the only point where stripes may be re-derived (routing and
+        // pruning stay mutually consistent group to group).
+        schedule_watch_eval();
+        maybe_expire();
         maybe_rebalance();
       }
     }
@@ -1320,7 +1434,21 @@ class query_service {
                     g->trace_ticket, static_cast<std::int32_t>(s));
     }
     if (g->stamps_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      hand_off_read_group(std::move(g));
+    }
+  }
+
+  // Fully stamped groups go to the reader pool — except that watch
+  // groups can exist with read_threads == 0 (ticket read groups cannot:
+  // the drainer only splits them off when the pool exists), and nothing
+  // would ever drain read_q_ then, so they evaluate inline on the thread
+  // that finished stamping (a lane worker, or the drain thread in single
+  // mode — snapshot-only reads are safe on either).
+  void hand_off_read_group(std::shared_ptr<read_group> g) {
+    if (cfg_.read_threads > 0) {
       enqueue_read_task(std::move(g));
+    } else {
+      run_read_task(std::move(g));
     }
   }
 
@@ -1431,17 +1559,35 @@ class query_service {
 
   // ---- online stripe rebalancing ------------------------------------------
 
-  // Routed-write bookkeeping for the rebalance trigger: cheap per-shard
-  // resident estimates (inserts routed in minus erases routed in, clamped
-  // at zero). No-op erases drift the estimate, but rebalance_stripes()
-  // re-checks against exact sizes before touching anything. Drain-thread
-  // only (like the bounds themselves).
+  // Routed-write bookkeeping, drain-thread only (like the bounds): cheap
+  // per-shard resident estimates for the rebalance trigger (inserts
+  // routed in minus erases routed in, clamped at zero — no-op erases
+  // drift the estimate, but rebalance_stripes() re-checks against exact
+  // sizes before touching anything), the touched-shard mask
+  // schedule_watch_eval filters watches through, and the TTL entry every
+  // insert leaves behind (deadline stamped once per group by
+  // begin_write_group, so the queue stays deadline-ordered).
   void note_routed_write(std::size_t s, const request<D>& r) {
     ++writes_since_rebalance_;
+    write_touched_[s] = 1;
     if (r.kind == op::insert) {
       ++resident_est_[s];
+      if (cfg_.point_ttl_ns > 0) {
+        std::lock_guard<std::mutex> lk(ttl_mu_);
+        ttl_q_.emplace_back(ttl_batch_deadline_, r.p);
+      }
     } else if (resident_est_[s] > 0) {
       --resident_est_[s];
+    }
+  }
+
+  // Drain-thread prologue for one write-group dispatch: resets the
+  // touched-shard mask schedule_watch_eval reads and stamps the TTL
+  // deadline every insert routed in this group will carry.
+  void begin_write_group() {
+    std::fill(write_touched_.begin(), write_touched_.end(), 0);
+    if (cfg_.point_ttl_ns > 0) {
+      ttl_batch_deadline_ = ttl_now_() + cfg_.point_ttl_ns;
     }
   }
 
@@ -1594,13 +1740,34 @@ class query_service {
 
   // ---- cache-intercepted reads --------------------------------------------
 
+  // Exact cache key for one read request at `epoch` (callers gate on
+  // cacheable_read first).
+  static detail::result_key<D> make_read_key(const request<D>& r,
+                                             std::uint64_t epoch) {
+    switch (r.kind) {
+      case op::range_box:
+        return detail::result_key<D>::box(r.box, epoch);
+      case op::range_ball:
+        return detail::result_key<D>::ball(r.p, r.radius, epoch);
+      default:
+        return detail::result_key<D>::knn(r.p, r.k, epoch);
+    }
+  }
+
+  // Every read shape caches except k == 0 k-NN: its row is trivially
+  // empty and the phase runner skips executing it anyway.
+  static bool cacheable_read(const request<D>& r) {
+    return r.kind != op::knn || r.k > 0;
+  }
+
   // One read run `batch[begin, end)` for shard s against `target` (the
-  // live index or an epoch snapshot) whose contents are at `epoch`: k-NN
-  // rows are served from the shard's result cache when the exact (point,
-  // k, epoch) key hits; only the misses touch the tree, and their rows are
-  // stored back. Identical missed keys within the run execute once — the
-  // duplicates (zipf-hot keys repeat inside a batch) copy the first row
-  // and count as hits. Rows land in responses[begin..end).
+  // live index or an epoch snapshot) whose contents are at `epoch`: rows
+  // (k-NN, box, or ball) are served from the shard's result cache when
+  // the exact (shape, epoch) key hits; only the misses touch the tree,
+  // and their rows are stored back. Identical missed keys within the run
+  // execute once — the duplicates (zipf-hot keys repeat inside a batch)
+  // copy the first row and count as hits. Rows land in
+  // responses[begin..end).
   template <class Target>
   void run_shard_reads(std::size_t s, const std::vector<request<D>>& batch,
                        std::size_t begin, std::size_t end,
@@ -1613,23 +1780,23 @@ class query_service {
     }
     std::vector<request<D>> misses;
     std::vector<std::size_t> miss_idx;
-    // Same-run dedup, hashed on the shared canonical k-NN key (the epoch
-    // is constant within the run) — no ordered-map node churn on the hot
-    // read path.
-    std::unordered_map<detail::knn_key<D>, std::size_t,
-                       detail::knn_key_hash<D>>
+    // Same-run dedup, hashed on the shared canonical result key (the
+    // epoch is constant within the run) — no ordered-map node churn on
+    // the hot read path.
+    std::unordered_map<detail::result_key<D>, std::size_t,
+                       detail::result_key_hash<D>>
         first_miss;
     std::vector<std::pair<std::size_t, std::size_t>> dups;  // (resp i, miss j)
     for (std::size_t i = begin; i < end; ++i) {
       const auto& r = batch[i];
-      if (r.kind == op::knn && r.k > 0) {
-        const detail::knn_key<D> key(r.p, r.k, epoch);
+      if (cacheable_read(r)) {
+        const detail::result_key<D> key = make_read_key(r, epoch);
         auto dit = first_miss.find(key);
         if (dit != first_miss.end()) {  // same-run duplicate of a miss
           dups.emplace_back(i, dit->second);
           continue;
         }
-        if (cache.lookup(r.p, r.k, epoch, responses[i].points)) continue;
+        if (cache.lookup(key, responses[i].points)) continue;
         first_miss.emplace(key, misses.size());
       }
       misses.push_back(r);
@@ -1646,8 +1813,8 @@ class query_service {
     if (cache.timed()) cache.add_miss_ns(monotonic_ns() - miss_t0);
     for (std::size_t j = 0; j < misses.size(); ++j) {
       responses[miss_idx[j]].points = std::move(rows[j].points);
-      if (misses[j].kind == op::knn && misses[j].k > 0) {
-        cache.store(misses[j].p, misses[j].k, epoch,
+      if (cacheable_read(misses[j])) {
+        cache.store(make_read_key(misses[j], epoch),
                     responses[miss_idx[j]].points);
       }
     }
@@ -1753,9 +1920,14 @@ class query_service {
     }
   }
 
-  // Executes one read group against its epoch snapshots (through the k-NN
-  // cache) and fulfils it.
+  // Executes one read group against its epoch snapshots (through the
+  // result cache) and fulfils it; watch groups peel off to their own
+  // finisher (registry delivery instead of ticket fulfilment).
   void run_read_task(std::shared_ptr<read_group> g) {
+    if (g->watch_seq != 0) {
+      run_watch_task(std::move(g));
+      return;
+    }
     const std::uint64_t t_start = tel_.now_ns();
     batch_result<D> result;
     std::exception_ptr error = g->error;  // all stamps retired; no race
@@ -1838,6 +2010,238 @@ class query_service {
     give_req_vec(std::move(g.combined));
     for (auto& v : g.sub) give_req_vec(std::move(v));
     for (auto& v : g.sub_idx) give_idx_vec(std::move(v));
+  }
+
+  // ---- continuous queries -------------------------------------------------
+
+  watch_handle<D> add_watch(request<D> q,
+                            typename watch_registry<D>::callback_t cb) {
+    if (!cb) {
+      throw std::invalid_argument("query_service::watch: empty callback");
+    }
+    const std::vector<request<D>> probe{q};  // front-door validation
+    validate_batch(probe);
+    const std::uint64_t id = watches_->add(std::move(q), std::move(cb));
+    return watch_handle<D>(watches_, id);
+  }
+
+  // Drain-boundary hook: collects the standing queries the group just
+  // dispatched could affect (shards the group routed writes into,
+  // filtered through shard_serves — the same stripe/box pruning reads
+  // use; watches no touched shard serves count as suppressed without
+  // evaluating anything) and launches their re-evaluation as an internal
+  // read group on the post-drain snapshots. Stamp tasks enqueue behind
+  // the group's own lane tasks, so per-shard FIFO makes every snapshot
+  // observe exactly the writes up to this boundary. Drain-thread only.
+  void schedule_watch_eval() {
+    if (watches_->active() == 0) return;
+    bool any_touched = false;
+    for (const unsigned char t : write_touched_) any_touched |= t != 0;
+    if (!any_touched) return;
+    affected_scratch_.clear();
+    const std::uint64_t seq = watches_->collect_affected(
+        [&](const request<D>& q) {
+          for (std::size_t s = 0; s < cfg_.shards; ++s) {
+            if (write_touched_[s] && shard_serves(s, q)) return true;
+          }
+          return false;
+        },
+        affected_scratch_);
+    if (seq == 0) return;
+    auto g = std::make_shared<read_group>();
+    g->watch_seq = seq;
+    g->watch_start_ns = tel_.now_ns();
+    g->combined = take_req_vec();
+    g->combined.reserve(affected_scratch_.size());
+    g->watch_ids.reserve(affected_scratch_.size());
+    for (auto& [id, q] : affected_scratch_) {
+      g->watch_ids.push_back(id);
+      g->combined.push_back(std::move(q));
+    }
+    g->sub.resize(cfg_.shards);
+    g->sub_idx.resize(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      g->sub[s] = take_req_vec();
+      g->sub_idx[s] = take_idx_vec();
+    }
+    // Full scatter over ALL serving shards (not just the touched ones):
+    // a watch's fresh result must be the complete answer, and untouched
+    // shards answer from their caches at an unchanged epoch anyway.
+    for (std::size_t i = 0; i < g->combined.size(); ++i) {
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (!shard_serves(s, g->combined[i])) continue;
+        g->sub[s].push_back(g->combined[i]);
+        g->sub_idx[s].push_back(i);
+      }
+    }
+    g->snaps.resize(cfg_.shards);
+    g->pinned.assign(cfg_.shards, 0);
+    std::size_t active = 0;
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (!g->sub[s].empty()) ++active;
+    }
+    if (active == 0) {  // unreachable (shard_serves keeps >= 1 shard)
+      recycle_read_group(*g);
+      watches_->deliver(seq, {});
+      return;
+    }
+    if (cfg_.drain != drain_mode::single) {
+      g->stamps_remaining.store(active, std::memory_order_relaxed);
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        if (g->sub[s].empty()) continue;
+        shard_task task;
+        task.stamp = g;
+        enqueue_lane_task(s, std::move(task));
+      }
+    } else {
+      try {
+        for (std::size_t s = 0; s < cfg_.shards; ++s) {
+          if (!g->sub[s].empty()) stamp_shard_snapshot(*g, s);
+        }
+      } catch (...) {
+        g->error = std::current_exception();
+      }
+      hand_off_read_group(std::move(g));
+    }
+  }
+
+  // Re-evaluates one watch group against its post-drain snapshots and
+  // hands the canonicalized rows to the registry's delivery engine. The
+  // watch_eval histogram records commit boundary -> results ready (the
+  // fire latency). Delivery happens even on failure — an empty batch —
+  // so the registry's boundary sequence never stalls.
+  void run_watch_task(std::shared_ptr<read_group> g) {
+    std::vector<std::pair<std::uint64_t, std::vector<point<D>>>> fired;
+    if (!g->error) {
+      try {
+        std::vector<response<D>> responses(g->combined.size());
+        std::vector<batch_result<D>> shard_res(cfg_.shards);
+        par::parallel_for(
+            0, cfg_.shards,
+            [&](std::size_t s) {
+              if (g->sub[s].empty()) return;
+              shard_res[s].responses.resize(g->sub[s].size());
+              const std::uint64_t s0 = tel_.enabled() ? tel_.now_ns() : 0;
+              run_shard_reads(s, g->sub[s], 0, g->sub[s].size(),
+                              *g->snaps[s], g->snaps[s]->epoch(),
+                              shard_res[s].responses);
+              if (tel_.enabled()) {
+                tel_.record_shard(s, stage::execute_read,
+                                  tel_.now_ns() - s0);
+              }
+            },
+            1);
+        merge_shard_reads(g->combined, 0, g->combined.size(), g->sub_idx,
+                          shard_res, responses);
+        fired.reserve(g->watch_ids.size());
+        for (std::size_t i = 0; i < g->combined.size(); ++i) {
+          canonicalize_row(g->combined[i], responses[i].points);
+          fired.emplace_back(g->watch_ids[i],
+                             std::move(responses[i].points));
+        }
+      } catch (...) {
+        fired.clear();
+      }
+    }
+    if (tel_.enabled()) {
+      tel_.record(stage::watch_eval, tel_.now_ns() - g->watch_start_ns);
+    }
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (!g->pinned[s]) continue;
+      auto& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      --lane.pins;
+      lane.cv.notify_all();
+    }
+    const std::uint64_t seq = g->watch_seq;
+    recycle_read_group(*g);
+    g.reset();
+    watches_->deliver(seq, std::move(fired));
+  }
+
+  // Sorts one result row into its canonical order: k-NN by distance from
+  // the query (coordinates lexicographic on ties), ranges lexicographic.
+  // Shard merge order, rebalancing, and backend traversal order all churn
+  // row order without changing content, and delta suppression must
+  // compare content — an order-only difference must not re-fire a watch.
+  void canonicalize_row(const request<D>& r,
+                        std::vector<point<D>>& row) const {
+    if (r.kind == op::knn) {
+      const point<D>& q = r.p;
+      std::sort(row.begin(), row.end(),
+                [&](const point<D>& a, const point<D>& b) {
+                  const double da = a.dist_sq(q);
+                  const double db = b.dist_sq(q);
+                  if (da != db) return da < db;
+                  return a < b;
+                });
+    } else {
+      std::sort(row.begin(), row.end());
+    }
+  }
+
+  // ---- TTL expiry ---------------------------------------------------------
+
+  // Retires points whose TTL elapsed: pops every due entry from the
+  // arrival queue (deadline-ordered by construction), routes each under
+  // the CURRENT stripes (rebalancing may have moved the point since it
+  // arrived — owner_of at sweep time always finds it), and dispatches
+  // the erases as an internal write group through the normal drain
+  // machinery under a synthetic ticket (id 0, total 0: fulfilment skips
+  // the completion bookkeeping, and the erases were never admitted
+  // against the backpressure bound). Duplicate coordinates within one
+  // sweep are re-queued at the front — still due, they retire on the
+  // next sweep — because batch_erase is only exact on distinct points,
+  // exactly like erase_multiset. Drain-thread only.
+  void maybe_expire() {
+    if (cfg_.point_ttl_ns == 0) return;
+    const std::uint64_t now = ttl_now_();
+    std::vector<std::pair<std::uint64_t, point<D>>> due;
+    {
+      std::lock_guard<std::mutex> lk(ttl_mu_);
+      while (!ttl_q_.empty() && ttl_q_.front().first <= now) {
+        due.push_back(std::move(ttl_q_.front()));
+        ttl_q_.pop_front();
+      }
+    }
+    if (due.empty()) return;
+    const std::uint64_t t0 = tel_.now_ns();
+    std::sort(due.begin(), due.end(),
+              [](const std::pair<std::uint64_t, point<D>>& a,
+                 const std::pair<std::uint64_t, point<D>>& b) {
+                return a.second < b.second;
+              });
+    std::vector<request<D>> erases;
+    erases.reserve(due.size());
+    std::vector<std::pair<std::uint64_t, point<D>>> leftovers;
+    for (auto& e : due) {
+      if (!erases.empty() && erases.back().p == e.second) {
+        leftovers.push_back(std::move(e));
+      } else {
+        erases.push_back(request<D>::make_erase(e.second));
+      }
+    }
+    if (!leftovers.empty()) {
+      // Already due, so they stay ahead of every queued deadline.
+      std::lock_guard<std::mutex> lk(ttl_mu_);
+      ttl_q_.insert(ttl_q_.begin(), std::make_move_iterator(leftovers.begin()),
+                    std::make_move_iterator(leftovers.end()));
+    }
+    const std::size_t count = erases.size();
+    begin_write_group();
+    std::vector<pending_entry> group;
+    group.push_back(pending_entry{/*id=*/0, std::move(erases), tel_.now_ns()});
+    if (cfg_.drain != drain_mode::single) {
+      dispatch_shard_group(std::move(group), /*total=*/0);
+    } else {
+      run_sync_group(std::move(group), /*total=*/0);
+    }
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      stats_.expired_points += count;
+    }
+    if (tel_.enabled()) tel_.record(stage::expire, tel_.now_ns() - t0);
+    schedule_watch_eval();
   }
 
   // ---- single-drainer baseline --------------------------------------------
@@ -1987,7 +2391,9 @@ class query_service {
         }
         const std::uint64_t comp_ns = f0 - e.submit_ns;
         tr.latency_seconds = static_cast<double>(comp_ns) * 1e-9;
-        if (tel_.enabled()) {
+        // id 0 is the synthetic TTL-expiry ticket: no submitter, no
+        // completion latency to speak of — keep it out of the histogram.
+        if (tel_.enabled() && e.id != 0) {
           tel_.record(stage::completion, comp_ns);
           if (tel_.sampled(e.id)) {
             tel_.add_span("completion", tel_.completion_track(), e.submit_ns,
@@ -2227,8 +2633,9 @@ class query_service {
   /// it is constructed from it and everything below may record into it.
   class telemetry tel_;
   std::vector<std::unique_ptr<query_engine<D>>> engines_;
-  /// Hot k-NN result caches, one per shard (query/result_cache.h).
-  std::vector<std::unique_ptr<knn_result_cache<D>>> caches_;
+  /// Hot result caches (k-NN / box / ball rows), one per shard
+  /// (query/result_cache.h).
+  std::vector<std::unique_ptr<result_cache<D>>> caches_;
   /// Per-shard executor lanes (workers run only under per_shard; the pin
   /// gates and counters are used in both modes).
   std::vector<std::unique_ptr<shard_lane>> lanes_;
@@ -2246,6 +2653,24 @@ class query_service {
   std::size_t writes_since_rebalance_ = 0;
   bool rebalance_attempted_ = false;
   bool last_rebalance_futile_ = false;
+
+  // Continuous queries (query/subscription.h). The registry is shared
+  // with the handles (they stay valid after the service dies);
+  // write_touched_ and affected_scratch_ are drain-thread scratch — the
+  // per-group mask of shards a write group routed into, and the
+  // collect_affected output buffer.
+  std::shared_ptr<watch_registry<D>> watches_;
+  std::vector<unsigned char> write_touched_;
+  std::vector<std::pair<std::uint64_t, request<D>>> affected_scratch_;
+
+  // TTL expiry. ttl_q_ holds (deadline, point) in nondecreasing deadline
+  // order — one drain-thread clock stamps appends group by group, and
+  // re-queued duplicates are already due — so the sweep only ever pops
+  // the front. ttl_mu_ guards it (bootstrap runs off-thread).
+  std::function<std::uint64_t()> ttl_now_;
+  std::mutex ttl_mu_;
+  std::deque<std::pair<std::uint64_t, point<D>>> ttl_q_;
+  std::uint64_t ttl_batch_deadline_ = 0;  // drain-thread scratch
 
   // Ingest queue + completion state. hub_->mu guards pending_, next_ticket_,
   // in_flight_requests_ and stats_ as well; the hub outlives the service

@@ -1,10 +1,11 @@
-// Hot k-NN result cache for the query service (query subsystem).
+// Epoch-keyed result cache for the query service (query subsystem).
 //
 // Zipf-skewed read traffic (src/query/workload.h models it) re-executes the
-// same few k-NN keys over and over; between writes the index contents are
-// frozen, so those answers are pure functions of (query point, k, contents).
-// `knn_result_cache<D>` memoizes them: an LRU map keyed by the exact bit
-// pattern of the query point plus k plus the owning shard's *write epoch*
+// same few query keys over and over; between writes the index contents are
+// frozen, so those answers are pure functions of (query shape, contents).
+// `result_cache<D>` memoizes them: an LRU map keyed by the exact bit
+// pattern of the query — k-NN (point, k), box range (lo, hi), or ball
+// range (center, radius) — plus the owning shard's *write epoch*
 // (spatial_index::epoch(), bumped by every content-changing write batch).
 //
 // Keying by epoch is the invalidation scheme: a write bumps the epoch, so
@@ -18,10 +19,15 @@
 // The query_service shards the cache alongside the index: one instance per
 // index shard (the shard id is part of the logical key by construction),
 // each with its own mutex, so shard executors and snapshot readers probing
-// different shards never contend. Capacity 0 disables an instance entirely
+// different shards never contend. Sharded keying is also what makes
+// invalidation *stripe-aware*: a write routed to shard 3 bumps only shard
+// 3's epoch, so shard 1's cached range rows stay hot — which is exactly
+// what keeps continuous-query re-evaluation (subscription.h) cheap on the
+// shards a drain did not touch. Capacity 0 disables an instance entirely
 // (probes fall through with no counter traffic).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <list>
@@ -30,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/aabb.h"
 #include "core/point.h"
 #include "query/telemetry.h"
 
@@ -64,32 +71,71 @@ std::uint64_t point_fnv1a(const point<D>& p) {
   return h;
 }
 
-/// Exact k-NN memoization key: canonical point bits + k + write epoch.
+/// Query shape a cache key describes. Values are part of the key's bit
+/// pattern, never serialized — renumbering is safe.
+enum class result_kind : std::uint8_t { knn, box, ball };
+
+/// Exact memoization key for any read shape: canonical coordinate bits of
+/// the query geometry (a = point / center / box-lo, b = box-hi), the
+/// shape scalar (k for k-NN, radius bits for balls), and the write epoch.
 /// Shared by the per-shard caches and the read path's same-run dedup map.
 template <int D>
-struct knn_key {
-  std::uint64_t coord_bits[D];
-  std::uint64_t k;
-  std::uint64_t epoch;
+struct result_key {
+  result_kind kind = result_kind::knn;
+  std::uint64_t a[D];
+  std::uint64_t b[D];
+  std::uint64_t scalar = 0;
+  std::uint64_t epoch = 0;
 
-  knn_key() = default;
-  knn_key(const point<D>& q, std::size_t kk, std::uint64_t e)
-      : k(kk), epoch(e) {
-    for (int d = 0; d < D; ++d) coord_bits[d] = canonical_coord_bits(q[d]);
+  result_key() {
+    for (int d = 0; d < D; ++d) a[d] = b[d] = 0;
   }
 
-  bool operator==(const knn_key& o) const {
-    return k == o.k && epoch == o.epoch &&
-           std::memcmp(coord_bits, o.coord_bits, sizeof(coord_bits)) == 0;
+  static result_key knn(const point<D>& q, std::size_t k, std::uint64_t e) {
+    result_key key;
+    key.kind = result_kind::knn;
+    for (int d = 0; d < D; ++d) key.a[d] = canonical_coord_bits(q[d]);
+    key.scalar = k;
+    key.epoch = e;
+    return key;
+  }
+
+  static result_key box(const aabb<D>& qb, std::uint64_t e) {
+    result_key key;
+    key.kind = result_kind::box;
+    for (int d = 0; d < D; ++d) {
+      key.a[d] = canonical_coord_bits(qb.lo[d]);
+      key.b[d] = canonical_coord_bits(qb.hi[d]);
+    }
+    key.epoch = e;
+    return key;
+  }
+
+  static result_key ball(const point<D>& center, double radius,
+                         std::uint64_t e) {
+    result_key key;
+    key.kind = result_kind::ball;
+    for (int d = 0; d < D; ++d) key.a[d] = canonical_coord_bits(center[d]);
+    key.scalar = canonical_coord_bits(radius);
+    key.epoch = e;
+    return key;
+  }
+
+  bool operator==(const result_key& o) const {
+    return kind == o.kind && scalar == o.scalar && epoch == o.epoch &&
+           std::memcmp(a, o.a, sizeof(a)) == 0 &&
+           std::memcmp(b, o.b, sizeof(b)) == 0;
   }
 };
 
 template <int D>
-struct knn_key_hash {
-  std::size_t operator()(const knn_key<D>& key) const {
+struct result_key_hash {
+  std::size_t operator()(const result_key<D>& key) const {
     std::uint64_t h = kFnvOffset;
-    for (int d = 0; d < D; ++d) h = fnv1a_mix(h, key.coord_bits[d]);
-    h = fnv1a_mix(h, key.k);
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(key.kind));
+    for (int d = 0; d < D; ++d) h = fnv1a_mix(h, key.a[d]);
+    for (int d = 0; d < D; ++d) h = fnv1a_mix(h, key.b[d]);
+    h = fnv1a_mix(h, key.scalar);
     h = fnv1a_mix(h, key.epoch);
     return static_cast<std::size_t>(h);
   }
@@ -131,16 +177,19 @@ struct cache_stats {
   }
 };
 
-/// Epoch-invalidated LRU cache of k-NN result rows for one index shard.
-/// Thread-safe; every operation is O(1) expected under one internal lock.
+/// Epoch-invalidated LRU cache of read-result rows (k-NN / box / ball)
+/// for one index shard. Thread-safe; every operation is O(1) expected
+/// under one internal lock.
 template <int D>
-class knn_result_cache {
+class result_cache {
  public:
+  using key_t = detail::result_key<D>;
+
   /// `capacity` bounds resident entries; 0 disables the instance (lookups
   /// miss without counting, stores are dropped). `timed` turns on the
   /// hit/miss latency split (a clock read per probe — the service enables
   /// it together with telemetry).
-  explicit knn_result_cache(std::size_t capacity, bool timed = false)
+  explicit result_cache(std::size_t capacity, bool timed = false)
       : capacity_(capacity), timed_(timed) {}
 
   bool enabled() const { return capacity_ > 0; }
@@ -150,11 +199,9 @@ class knn_result_cache {
   /// On hit, copies the cached row into `out`, refreshes LRU recency, and
   /// returns true. Counts a hit or a miss (disabled instances count
   /// neither).
-  bool lookup(const point<D>& q, std::size_t k, std::uint64_t epoch,
-              std::vector<point<D>>& out) {
+  bool lookup(const key_t& key, std::vector<point<D>>& out) {
     if (!enabled()) return false;
     const std::uint64_t t0 = timed_ ? monotonic_ns() : 0;
-    const key_t key = make_key(q, k, epoch);
     std::lock_guard<std::mutex> lk(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
@@ -168,13 +215,17 @@ class knn_result_cache {
     return true;
   }
 
+  /// k-NN convenience probe (the original knn_result_cache signature).
+  bool lookup(const point<D>& q, std::size_t k, std::uint64_t epoch,
+              std::vector<point<D>>& out) {
+    return lookup(key_t::knn(q, k, epoch), out);
+  }
+
   /// Inserts `row` for the key, evicting least-recently-used entries past
   /// capacity. Concurrent stores of the same key keep the first copy (the
-  /// rows are identical by construction — same point, k, and epoch).
-  void store(const point<D>& q, std::size_t k, std::uint64_t epoch,
-             const std::vector<point<D>>& row) {
+  /// rows are identical by construction — same key bits, same epoch).
+  void store(const key_t& key, const std::vector<point<D>>& row) {
     if (!enabled()) return;
-    const key_t key = make_key(q, k, epoch);
     std::lock_guard<std::mutex> lk(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
@@ -188,6 +239,12 @@ class knn_result_cache {
       lru_.pop_back();
       ++evictions_;
     }
+  }
+
+  /// k-NN convenience store (the original knn_result_cache signature).
+  void store(const point<D>& q, std::size_t k, std::uint64_t epoch,
+             const std::vector<point<D>>& row) {
+    store(key_t::knn(q, k, epoch), row);
   }
 
   /// Counts `n` extra hits served outside the map — the read path dedups
@@ -231,13 +288,7 @@ class knn_result_cache {
   }
 
  private:
-  using key_t = detail::knn_key<D>;
-  using key_hash = detail::knn_key_hash<D>;
-
-  static key_t make_key(const point<D>& q, std::size_t k,
-                        std::uint64_t epoch) {
-    return key_t(q, k, epoch);
-  }
+  using key_hash = detail::result_key_hash<D>;
 
   struct entry {
     key_t key;
@@ -256,5 +307,10 @@ class knn_result_cache {
   std::uint64_t hit_ns_ = 0;
   std::uint64_t miss_ns_ = 0;
 };
+
+/// Historical name from when only k-NN rows were cached; the generalized
+/// cache is a strict superset, so the alias keeps old call sites exact.
+template <int D>
+using knn_result_cache = result_cache<D>;
 
 }  // namespace pargeo::query

@@ -1,0 +1,299 @@
+// Continuous queries for the query service (query subsystem).
+//
+// A standing query — ride-hailing dispatch watching the k nearest
+// drivers, interest management watching a region box — is a read that
+// should re-answer itself whenever a committed write could have changed
+// it, not a batch the client has to keep re-submitting. This header is
+// the client-facing half of that subsystem: `watch_registry<D>` stores
+// the standing queries and owns the delivery discipline, `watch_handle<D>`
+// is the move-only registration token, `watch_event<D>` the payload a
+// callback receives. The service-side half (scheduling re-evaluations at
+// drain boundaries, executing them on post-drain snapshots) lives in
+// query_service.h, which drives this registry from its drain pipeline.
+//
+// The delivery contract, in the order the guarantees matter:
+//
+//   *Exactly once per affecting boundary*. The drain thread assigns each
+//   scheduled re-evaluation a dense sequence number at the drain boundary
+//   that triggered it (`collect_affected`). Evaluations execute
+//   concurrently on the service's reader pool and may complete out of
+//   order; `deliver()` reorders them, so callbacks observe boundaries in
+//   commit order and each affecting boundary produces exactly one
+//   fire-or-suppress decision per watch.
+//
+//   *Delta suppression*. A watch stores the rows it last fired; a
+//   re-evaluation whose canonicalized result is identical is counted as
+//   suppressed and does NOT invoke the callback. A watch's first
+//   evaluation always fires (there is no fire at registration — the first
+//   affecting drain boundary after registration delivers the initial
+//   result).
+//
+//   *Dropped handles never fire*. cancel() (or the handle destructor)
+//   marks the watch dead under the registry lock; the fire path re-checks
+//   liveness immediately before invoking the callback. If the callback is
+//   executing on another thread, cancel() blocks until it returns, so
+//   after cancel() no callback is running or will run. Cancelling from
+//   inside the watch's own callback is allowed (no self-deadlock).
+//
+// Callbacks run on service threads (snapshot readers, or a lane / the
+// drain thread when the service has no reader pool): keep them light and
+// never block on another completion or watch inside one — the same
+// contract as completion::on_complete.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+
+#include "query/query_engine.h"
+
+namespace pargeo::query {
+
+/// Counters for one registry (folded into service_stats by the service).
+struct watch_stats {
+  std::size_t active = 0;      // registered, not cancelled
+  std::size_t fires = 0;       // callbacks invoked
+  std::size_t suppressed = 0;  // re-fires skipped (stripe-pruned or delta)
+  std::size_t evals = 0;       // watch groups delivered (boundaries seen)
+};
+
+/// What a watch callback receives: the fresh result rows and the drain
+/// boundary sequence that produced them (monotone per registry — a
+/// callback observing sequence t has observed every affecting boundary
+/// < t of its watch already).
+template <int D>
+struct watch_event {
+  std::uint64_t watch_id = 0;
+  std::uint64_t sequence = 0;
+  std::vector<point<D>> points;
+};
+
+/// The standing-query store and delivery engine. Thread-safe throughout;
+/// shared (via shared_ptr) between the service, its handles, and its
+/// evaluation tasks, so handles stay valid after the service is gone.
+template <int D>
+class watch_registry {
+ public:
+  using callback_t = std::function<void(const watch_event<D>&)>;
+
+  /// Registers a standing query (op::knn / op::range_box / op::range_ball
+  /// request) and returns its id. Callable from any thread.
+  std::uint64_t add(request<D> query, callback_t cb) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t id = next_id_++;
+    watch& w = watches_[id];
+    w.query = std::move(query);
+    w.callback = std::move(cb);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  /// Unregisters a watch. After return the callback is not running and
+  /// will never run again (blocks out an in-flight invocation on another
+  /// thread; returns immediately when called from inside the watch's own
+  /// callback). Unknown ids are no-ops, so handles tolerate double
+  /// cancellation.
+  void remove(std::uint64_t id) {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = watches_.find(id);
+    if (it == watches_.end()) return;
+    it->second.alive = false;
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    if (it->second.in_callback &&
+        it->second.firing_thread == std::this_thread::get_id()) {
+      // Self-cancel from inside the callback: erase now; the deliverer
+      // re-finds by id after the callback returns and tolerates the miss.
+      watches_.erase(it);
+      return;
+    }
+    cv_.wait(lk, [&] {
+      auto jt = watches_.find(id);
+      return jt == watches_.end() || !jt->second.in_callback;
+    });
+    watches_.erase(id);
+  }
+
+  /// Registered-and-alive count; lock-free (the drain thread checks it on
+  /// every write boundary before doing any watch work).
+  std::size_t active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  watch_stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    watch_stats s;
+    s.active = active_.load(std::memory_order_relaxed);
+    s.fires = fires_;
+    s.suppressed = suppressed_;
+    s.evals = evals_;
+    return s;
+  }
+
+  /// Drain-thread side of a write boundary: snapshots every alive watch
+  /// whose query `affected(query)` returns true into `out` and assigns the
+  /// boundary its delivery sequence (returned; deliver() MUST eventually
+  /// be called with it, even on failure, or delivery stalls). Watches the
+  /// predicate rules out — the stripe/box-overlap filter — are counted
+  /// suppressed: the boundary provably could not change their result, so
+  /// their re-fire is skipped without evaluating anything. Returns 0 (no
+  /// sequence allocated, nothing to deliver) when no watch is affected.
+  template <class Pred>
+  std::uint64_t collect_affected(
+      Pred&& affected, std::vector<std::pair<std::uint64_t, request<D>>>& out) {
+    out.clear();
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, w] : watches_) {
+      if (!w.alive) continue;
+      if (affected(w.query)) {
+        out.emplace_back(id, w.query);
+      } else {
+        ++suppressed_;
+      }
+    }
+    return out.empty() ? 0 : ++last_seq_;
+  }
+
+  /// Evaluation side: hands boundary `seq`'s fresh rows (canonicalized by
+  /// the evaluator; one entry per watch collect_affected() returned) to
+  /// the delivery engine. Results arriving out of order are buffered and
+  /// released in sequence; the thread completing the next-in-order
+  /// boundary drains every ready boundary, firing callbacks outside the
+  /// lock (one deliverer at a time, so callbacks for one watch never
+  /// overlap). An evaluation that failed delivers an empty result set to
+  /// keep the sequence moving (its watches neither fire nor suppress).
+  void deliver(
+      std::uint64_t seq,
+      std::vector<std::pair<std::uint64_t, std::vector<point<D>>>> results) {
+    std::unique_lock<std::mutex> lk(mu_);
+    pending_.emplace(seq, std::move(results));
+    if (delivering_) return;  // the active deliverer will pick it up
+    delivering_ = true;
+    for (;;) {
+      auto it = pending_.find(next_seq_);
+      if (it == pending_.end()) break;
+      const std::uint64_t cur = it->first;
+      auto batch = std::move(it->second);
+      pending_.erase(it);
+      ++next_seq_;
+      ++evals_;
+      for (auto& [id, rows] : batch) {
+        auto wit = watches_.find(id);
+        if (wit == watches_.end() || !wit->second.alive) continue;
+        watch& w = wit->second;
+        if (w.fired_once && w.last == rows) {
+          ++suppressed_;
+          continue;
+        }
+        w.last = rows;
+        w.fired_once = true;
+        ++fires_;
+        w.in_callback = true;
+        w.firing_thread = std::this_thread::get_id();
+        callback_t cb = w.callback;  // the entry may be erased mid-call
+        watch_event<D> ev;
+        ev.watch_id = id;
+        ev.sequence = cur;
+        ev.points = std::move(rows);
+        lk.unlock();
+        try {
+          cb(ev);
+        } catch (...) {
+          // A throwing callback must not unwind a service thread.
+        }
+        lk.lock();
+        auto back = watches_.find(id);  // may be gone: self-cancel
+        if (back != watches_.end()) {
+          back->second.in_callback = false;
+          back->second.firing_thread = std::thread::id{};
+        }
+        cv_.notify_all();
+      }
+    }
+    delivering_ = false;
+  }
+
+ private:
+  struct watch {
+    request<D> query;
+    callback_t callback;
+    std::vector<point<D>> last;  // rows of the last fire (delta compare)
+    bool fired_once = false;
+    bool alive = true;
+    bool in_callback = false;
+    std::thread::id firing_thread{};
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signals callback completion (for remove)
+  std::map<std::uint64_t, watch> watches_;
+  std::uint64_t next_id_ = 1;
+  std::atomic<std::size_t> active_{0};
+
+  // Delivery reorder buffer: boundary seq -> per-watch rows, released in
+  // sequence by a single deliverer at a time.
+  std::map<std::uint64_t,
+           std::vector<std::pair<std::uint64_t, std::vector<point<D>>>>>
+      pending_;
+  std::uint64_t last_seq_ = 0;   // allocated by collect_affected
+  std::uint64_t next_seq_ = 1;   // next boundary to release
+  bool delivering_ = false;
+
+  std::size_t fires_ = 0;
+  std::size_t suppressed_ = 0;
+  std::size_t evals_ = 0;
+};
+
+/// Move-only registration token for one standing query. Dropping or
+/// cancelling it guarantees the callback never runs again (see
+/// watch_registry::remove). Outlives the service safely — the registry is
+/// held shared.
+template <int D>
+class watch_handle {
+ public:
+  watch_handle() = default;
+  watch_handle(std::shared_ptr<watch_registry<D>> reg, std::uint64_t id)
+      : reg_(std::move(reg)), id_(id) {}
+  watch_handle(watch_handle&& o) noexcept
+      : reg_(std::move(o.reg_)), id_(o.id_) {
+    o.id_ = 0;
+  }
+  watch_handle& operator=(watch_handle&& o) noexcept {
+    if (this != &o) {
+      cancel();
+      reg_ = std::move(o.reg_);
+      id_ = o.id_;
+      o.id_ = 0;
+    }
+    return *this;
+  }
+  watch_handle(const watch_handle&) = delete;
+  watch_handle& operator=(const watch_handle&) = delete;
+  ~watch_handle() { cancel(); }
+
+  bool valid() const { return reg_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+  /// Unregisters the watch; after return the callback is not running and
+  /// never will again. Idempotent; safe from inside the watch's own
+  /// callback.
+  void cancel() {
+    if (!reg_) return;
+    reg_->remove(id_);
+    reg_.reset();
+    id_ = 0;
+  }
+
+ private:
+  std::shared_ptr<watch_registry<D>> reg_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace pargeo::query

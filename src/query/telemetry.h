@@ -98,7 +98,10 @@ inline telemetry_level telemetry_level_from_string(const std::string& s) {
 /// queue). Per-group stages: route, merge, fulfil. Per-shard stages:
 /// lane_wait (lane enqueue -> dequeue), execute_write (write/mixed
 /// sub-batch on a lane, live index), execute_read (read-only slice on a
-/// snapshot).
+/// snapshot). Continuous-query stages: watch_eval (one watch group's
+/// re-evaluation against the post-drain snapshots, i.e. the fire
+/// latency), expire (one TTL sweep on the drain thread, including the
+/// batch_erase dispatch).
 enum class stage : std::uint8_t {
   queue_wait,
   route,
@@ -108,9 +111,11 @@ enum class stage : std::uint8_t {
   merge,
   fulfil,
   completion,
+  watch_eval,
+  expire,
 };
 
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 10;
 
 inline constexpr std::size_t stage_index(stage s) {
   return static_cast<std::size_t>(s);
@@ -126,6 +131,8 @@ inline const char* stage_name(stage s) {
     case stage::merge: return "merge";
     case stage::fulfil: return "fulfil";
     case stage::completion: return "completion";
+    case stage::watch_eval: return "watch_eval";
+    case stage::expire: return "expire";
   }
   return "?";
 }

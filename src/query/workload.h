@@ -31,7 +31,15 @@ namespace pargeo::query {
 /// the hot cube at the origin corner; `drifting` slides it along the
 /// main diagonal over the life of the stream, so stripes that were
 /// balanced at bootstrap go stale and stay stale.
-enum class distribution { uniform, clustered, zipf, skewed, drifting };
+///
+/// `churn` models an arrive/depart population (moving objects, session
+/// stores, TTL-expired fleets): payload geometry is uniform, but erases
+/// target the OLDEST live point instead of a random pool sample, so
+/// every erase removes exactly one resident point (FIFO departure, the
+/// order TTL expiry retires them in) and `insert_frac`/`erase_frac` act
+/// as arrival/departure rates — equal rates hold the resident set size
+/// at steady state instead of letting it grow with the stream.
+enum class distribution { uniform, clustered, zipf, skewed, drifting, churn };
 
 inline const char* distribution_name(distribution d) {
   switch (d) {
@@ -40,6 +48,7 @@ inline const char* distribution_name(distribution d) {
     case distribution::zipf: return "zipf";
     case distribution::skewed: return "skewed";
     case distribution::drifting: return "drifting";
+    case distribution::churn: return "churn";
   }
   return "?";
 }
@@ -50,9 +59,10 @@ inline distribution distribution_from_string(const std::string& s) {
   if (s == "zipf") return distribution::zipf;
   if (s == "skewed") return distribution::skewed;
   if (s == "drifting") return distribution::drifting;
+  if (s == "churn") return distribution::churn;
   throw std::invalid_argument(
       "unknown distribution '" + s +
-      "' (want uniform|clustered|zipf|skewed|drifting)");
+      "' (want uniform|clustered|zipf|skewed|drifting|churn)");
 }
 
 struct workload_spec {
@@ -119,6 +129,30 @@ inline workload_spec make_read_write_spec(std::size_t initial_points,
   return spec;
 }
 
+/// Steady-state churn spec: `arrival_frac` of ops insert fresh points,
+/// `departure_frac` erase the oldest live point (FIFO, see
+/// distribution::churn), and the rest read (70% k-NN / 15% box / 15%
+/// ball, as in make_read_write_spec). With arrival == departure the
+/// resident set stays at ~initial_points for the whole stream — the mix
+/// the TTL/continuous-query bench needs. Rates are normalized by their
+/// sum, so arrival + departure + reads need not total 1.
+inline workload_spec make_churn_spec(std::size_t initial_points,
+                                     std::size_t num_ops, double arrival_frac,
+                                     double departure_frac) {
+  workload_spec spec;
+  spec.initial_points = initial_points;
+  spec.num_ops = num_ops;
+  spec.dist = distribution::churn;
+  spec.insert_frac = arrival_frac;
+  spec.erase_frac = departure_frac;
+  const double read_frac =
+      std::max(0.0, 1.0 - arrival_frac - departure_frac);
+  spec.knn_frac = read_frac * 0.70;
+  spec.range_frac = read_frac * 0.15;
+  spec.ball_frac = read_frac * 0.15;
+  return spec;
+}
+
 namespace detail {
 
 /// Bounded-Pareto inverse-CDF Zipf sampler: rank in [0, n) with
@@ -166,6 +200,9 @@ std::vector<request<D>> make_requests(const workload_spec& spec,
   // Key pool: points eligible for reuse (zipf) and for erase targeting.
   std::vector<point<D>> pool = std::move(initial);
   pool.reserve(pool.size() + spec.num_ops);
+  // Churn departure cursor: pool[0, churn_head) has already been erased
+  // (exactly once each — FIFO), pool[churn_head, size) is the live set.
+  std::size_t churn_head = 0;
 
   auto fresh_point = [&](std::size_t i) {
     point<D> p;
@@ -220,6 +257,18 @@ std::vector<request<D>> make_requests(const workload_spec& spec,
       pool.push_back(p);
       reqs.push_back(request<D>::make_insert(p));
     } else if (u < c_era) {
+      if (spec.dist == distribution::churn) {
+        // FIFO departure: retire the oldest live point, exactly once.
+        if (churn_head < pool.size()) {
+          reqs.push_back(request<D>::make_erase(pool[churn_head++]));
+          continue;
+        }
+        // Population empty: arrive instead so the stream keeps moving.
+        const auto p = fresh_point(i);
+        pool.push_back(p);
+        reqs.push_back(request<D>::make_insert(p));
+        continue;
+      }
       if (pool.empty()) {  // nothing to erase yet: emit an insert instead
         const auto p = fresh_point(i);
         pool.push_back(p);

@@ -1,7 +1,8 @@
-// Hot k-NN result cache: LRU/epoch unit tests on knn_result_cache<D> plus
-// the end-to-end correctness oracle — a zipf stream with interleaved
-// writes (and kd-tree rebuilds) answered by a cache-enabled service must
-// be byte-identical to the cache-disabled run, on every backend, while
+// Hot result cache: LRU/epoch unit tests on result_cache<D> (k-NN, box,
+// and ball keys — knn_result_cache is the historical alias) plus the
+// end-to-end correctness oracle — a zipf stream with interleaved writes
+// (and kd-tree rebuilds) answered by a cache-enabled service must be
+// byte-identical to the cache-disabled run, on every backend, while
 // actually hitting the cache.
 #include <gtest/gtest.h>
 
@@ -95,6 +96,51 @@ TEST(KnnResultCache, CapacityZeroDisablesEverything) {
   EXPECT_FALSE(cache.lookup(pt(1, 1), 1, 1, out));
   const auto s = cache.stats();  // disabled instances count nothing
   EXPECT_EQ(s.hits + s.misses + s.entries + s.evictions, 0u);
+}
+
+TEST(ResultCache, BoxKeyCoversCornersAndEpoch) {
+  query::result_cache<2> cache(16);
+  using key = query::detail::result_key<2>;
+  const aabb<2> box(pt(0, 0), pt(4, 4));
+  cache.store(key::box(box, 3), row({pt(1, 1), pt(2, 2)}));
+  std::vector<point<2>> out;
+  ASSERT_TRUE(cache.lookup(key::box(box, 3), out));
+  EXPECT_EQ(out, row({pt(1, 1), pt(2, 2)}));
+  // Any corner or epoch change is a different key.
+  EXPECT_FALSE(cache.lookup(key::box(aabb<2>(pt(0, 0), pt(4, 5)), 3), out));
+  EXPECT_FALSE(cache.lookup(key::box(aabb<2>(pt(0, 1), pt(4, 4)), 3), out));
+  EXPECT_FALSE(cache.lookup(key::box(box, 4), out));
+}
+
+TEST(ResultCache, BallKeyCoversCenterRadiusAndEpoch) {
+  query::result_cache<2> cache(16);
+  using key = query::detail::result_key<2>;
+  cache.store(key::ball(pt(2, 2), 1.5, 9), row({pt(2, 2)}));
+  std::vector<point<2>> out;
+  ASSERT_TRUE(cache.lookup(key::ball(pt(2, 2), 1.5, 9), out));
+  EXPECT_FALSE(cache.lookup(key::ball(pt(2, 2), 1.25, 9), out));
+  EXPECT_FALSE(cache.lookup(key::ball(pt(2, 3), 1.5, 9), out));
+  EXPECT_FALSE(cache.lookup(key::ball(pt(2, 2), 1.5, 10), out));
+}
+
+TEST(ResultCache, QueryShapesNeverCollide) {
+  // A k-NN probe at p with k, a ball at p whose radius bits happen to
+  // equal k, and a degenerate box [p, p] all share their geometry bits:
+  // the kind tag must keep the three result rows apart.
+  query::result_cache<2> cache(16);
+  using key = query::detail::result_key<2>;
+  const point<2> p = pt(3, 3);
+  cache.store(key::knn(p, 2, 1), row({pt(1, 1)}));
+  cache.store(key::box(aabb<2>(p, p), 1), row({pt(2, 2)}));
+  cache.store(key::ball(p, 0.5, 1), row({pt(3, 3)}));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  std::vector<point<2>> out;
+  ASSERT_TRUE(cache.lookup(key::knn(p, 2, 1), out));
+  EXPECT_EQ(out, row({pt(1, 1)}));
+  ASSERT_TRUE(cache.lookup(key::box(aabb<2>(p, p), 1), out));
+  EXPECT_EQ(out, row({pt(2, 2)}));
+  ASSERT_TRUE(cache.lookup(key::ball(p, 0.5, 1), out));
+  EXPECT_EQ(out, row({pt(3, 3)}));
 }
 
 TEST(KnnResultCache, AddHitsIsGatedByEnabled) {
@@ -212,6 +258,34 @@ TEST(CacheService, RepeatedHotKeyHitsWithoutWrites) {
   EXPECT_EQ(stats.cache.misses, 2u);
   EXPECT_EQ(stats.cache.hits, 18u);
   EXPECT_GE(stats.cache.hit_rate(), 0.5);
+}
+
+TEST(CacheService, RangeAndBallQueriesHitTheCache) {
+  // The generalized cache memoizes box and ball rows too, under the same
+  // epoch keys as k-NN.
+  query::service_config cfg;
+  cfg.backend = backend::bdltree;
+  cfg.shards = 2;
+  cfg.cache_capacity = 64;
+  query::query_service<2> service(cfg);
+  service.bootstrap(datagen::uniform<2>(400, 3));
+
+  std::vector<query::request<2>> batch;
+  const aabb<2> box(point<2>{{2, 2}}, point<2>{{8, 8}});
+  for (int rep = 0; rep < 6; ++rep) {
+    batch.push_back(query::request<2>::make_range(box));
+    batch.push_back(query::request<2>::make_ball(point<2>{{5, 5}}, 2.5));
+  }
+  auto r = service.execute(batch);
+  for (std::size_t i = 2; i < r.responses.size(); ++i) {
+    EXPECT_EQ(r.responses[i].points, r.responses[i - 2].points)
+        << "response " << i;
+  }
+  service.close();
+  const auto stats = service.stats();
+  // 2 shards x 2 shapes x 6 probes: first probe per (shard, shape) misses.
+  EXPECT_EQ(stats.cache.misses, 4u);
+  EXPECT_EQ(stats.cache.hits, 20u);
 }
 
 TEST(CacheService, WritesInvalidateThroughEpochs) {
