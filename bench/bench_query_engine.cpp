@@ -37,6 +37,11 @@
 // Part 8 (`telemetry_overhead`) re-runs the zipf 90%-read serving bench at
 // telemetry off / stats / trace and reports the throughput delta — the
 // "<3% with stats on" acceptance number in EXPERIMENTS.md comes from here.
+// Part 9 (`replication`) measures read scaling on the replicated tier
+// (query/replica.h): 4 concurrent staleness-tolerant readers plus one
+// writer against 0 / 1 / 2 live-tailing replicas under a bounded
+// staleness router — read ops/s per replica count, with replay counters
+// and end-of-run replica lag.
 //
 // `--json` emits one JSON object per row instead of the aligned table, so
 // EXPERIMENTS.md can be regenerated mechanically. The first JSON line is a
@@ -48,15 +53,18 @@
 // and each section is followed by `latency` rows: per-stage
 // p50/p95/p99/p999/max merged across the section's runs.
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "query/query_service.h"
+#include "query/replica.h"
 #include "query/workload.h"
 
 using namespace pargeo;
@@ -413,6 +421,116 @@ watch_row run_continuous_queries(query::backend b, std::size_t num_watches,
   return row;
 }
 
+struct replication_row {
+  double read_ops_per_sec = 0;   // measured phase: concurrent readers only
+  std::size_t read_requests = 0;
+  std::uint64_t replica_lag = 0;  // max lag when the readers finished
+  std::size_t replayed_groups = 0;
+  std::size_t replayed_records = 0;
+  query::router_stats router;
+  query::service_stats stats;  // primary
+  query::telemetry_report replica_tel;  // merged replica telemetry (replay)
+};
+
+// Read-scaling on the replicated tier: a primary with an attached op log,
+// N live-tailing replicas, and a router with a staleness bound. A seed
+// phase churns the index through the router (building the log and letting
+// the tails trail it); the measured phase runs 4 concurrent reader
+// threads issuing staleness-tolerant read batches (min_epoch 0, bound
+// max_lag) while one writer keeps committing — the 90%-read serving shape.
+// With 0 replicas every read lands on the primary's reader pool; each
+// added replica brings its own pool, which is where the scaling comes
+// from.
+replication_row run_replication(query::backend b, std::size_t replicas,
+                                std::uint64_t max_lag, std::size_t initial_n,
+                                std::size_t num_ops) {
+  constexpr int kReaders = 4;
+  query::service_config cfg;
+  cfg.backend = b;
+  cfg.shards = 4;
+  cfg.policy = query::shard_policy::hash;
+  query::query_service<kDim> service(cfg);
+  auto log = std::make_shared<query::op_log<kDim>>();
+  service.attach_log(log);
+
+  query::replica_set<kDim> reps(log, cfg, replicas);
+  query::replica_router<kDim> router(service, reps, log, max_lag);
+  query::routed_executor<kDim, query::query_service<kDim>,
+                         query::replica_router<kDim>>
+      exec{service, router};
+
+  // Seed phase: run the mixed stream through the router (not timed here)
+  // so the measured phase reads a churned index with a populated log.
+  auto seed_spec = make_spec(initial_n, num_ops / 4, 0.90);
+  query::run_workload<kDim>(exec, seed_spec, nullptr);
+  const auto seed_rs = router.stats();  // measured phase reports its own
+
+  // Measured phase: concurrent staleness-tolerant readers + one writer.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    auto wspec = make_spec(initial_n, std::max<std::size_t>(64, num_ops / 10),
+                           /*read_frac=*/0.0);
+    wspec.seed = seed_spec.seed + 7;
+    const auto writes = query::make_requests<kDim>(wspec);
+    std::size_t off = 0;
+    while (!stop_writer.load(std::memory_order_acquire) &&
+           off < writes.size()) {
+      const std::size_t end = std::min(writes.size(), off + 64);
+      router.execute({writes.begin() + off, writes.begin() + end});
+      off = end;
+    }
+  });
+
+  std::atomic<std::size_t> read_requests{0};
+  timer clock;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      auto rspec = make_spec(initial_n, num_ops / kReaders,
+                             /*read_frac=*/1.0);
+      rspec.seed = seed_spec.seed + 100 + t;
+      const auto reads = query::make_requests<kDim>(rspec);
+      constexpr std::size_t kBatch = 256;
+      for (std::size_t off = 0; off < reads.size(); off += kBatch) {
+        const std::size_t end = std::min(reads.size(), off + kBatch);
+        router.execute({reads.begin() + off, reads.begin() + end},
+                       /*min_epoch=*/0);
+        read_requests.fetch_add(end - off, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  const double read_secs = clock.elapsed();
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+
+  replication_row row;
+  row.read_requests = read_requests.load();
+  row.read_ops_per_sec =
+      read_secs > 0 ? static_cast<double>(row.read_requests) / read_secs : 0;
+  const std::uint64_t head = log->head();
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const std::uint64_t a = reps.applied_epoch(i);
+    row.replica_lag = std::max(row.replica_lag, head > a ? head - a : 0);
+  }
+  service.close();
+  reps.close();
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const auto rs = reps.replica(i).stats();
+    row.replayed_groups += rs.replayed_groups;
+    row.replayed_records += rs.replayed_records;
+    row.replica_tel.merge(rs.telemetry);
+  }
+  row.router = router.stats();
+  row.router.writes -= seed_rs.writes;
+  row.router.reads_to_replicas -= seed_rs.reads_to_replicas;
+  row.router.reads_to_primary -= seed_rs.reads_to_primary;
+  row.router.fallbacks -= seed_rs.fallbacks;
+  row.stats = service.stats();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -737,5 +855,48 @@ int main(int argc, char** argv) {
     }
   }
   emit_latency(json, "telemetry_overhead", section_tel);
+  section_tel = query::telemetry_report{};
+
+  // Part 9: read scaling on the replicated tier. The replicate/replay
+  // stage histograms land in this section's latency rows.
+  if (!json) {
+    bench::print_header(
+        "replication: 4 readers + 1 writer through the router, bdltree, "
+        "4 shards, max_epoch_lag=2 — read ops/s vs replica count",
+        "replicas        read_ops/s  reads(replica/primary/fallback)  "
+        "replayed  lag");
+  }
+  for (const std::size_t nreps :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    const auto row = run_replication(query::backend::bdltree, nreps,
+                                     /*max_lag=*/2, initial_n, num_ops);
+    section_tel.merge(row.stats.telemetry);
+    section_tel.merge(row.replica_tel);
+    if (json) {
+      std::printf(
+          "{\"section\":\"replication\",\"backend\":\"bdltree\","
+          "\"shards\":4,\"policy\":\"hash\",\"read_frac\":0.90,"
+          "\"replicas\":%zu,\"max_epoch_lag\":2,\"initial_n\":%zu,"
+          "\"num_ops\":%zu,\"read_ops_per_sec\":%.0f,"
+          "\"read_requests\":%zu,\"reads_to_replicas\":%zu,"
+          "\"reads_to_primary\":%zu,\"fallbacks\":%zu,"
+          "\"replayed_groups\":%zu,\"replayed_records\":%zu,"
+          "\"replica_lag\":%llu,\"log_epoch\":%llu%s}\n",
+          nreps, initial_n, num_ops, row.read_ops_per_sec,
+          row.read_requests, row.router.reads_to_replicas,
+          row.router.reads_to_primary, row.router.fallbacks,
+          row.replayed_groups, row.replayed_records,
+          static_cast<unsigned long long>(row.replica_lag),
+          static_cast<unsigned long long>(row.stats.log_epoch),
+          completion_fields(row.stats).c_str());
+    } else {
+      std::printf("%8zu %17.0f %12zu/%zu/%-13zu %9zu %4llu\n", nreps,
+                  row.read_ops_per_sec, row.router.reads_to_replicas,
+                  row.router.reads_to_primary, row.router.fallbacks,
+                  row.replayed_groups,
+                  static_cast<unsigned long long>(row.replica_lag));
+    }
+  }
+  emit_latency(json, "replication", section_tel);
   return 0;
 }

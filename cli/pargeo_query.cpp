@@ -9,6 +9,8 @@
 //                [--verbose] [--telemetry off|stats|trace]
 //                [--trace-out <path>] [--metrics-out <path>]
 //                [--ttl <ns>] [--watches <n>]
+//                [--replicas <n>] [--max-lag <epochs>]
+//                [--steal-poll-ns <ns>]
 //
 // Flags (anywhere on the command line, stripped before positional
 // parsing):
@@ -33,6 +35,25 @@
 //                         suppression counters print after each backend
 //                         row. Pair with dist=churn or --ttl to watch a
 //                         moving population.
+//   --replicas N          attach an op log to the primary and host N
+//                         epoch-trailing read replicas (query/replica.h),
+//                         routing the stream through a replica_router:
+//                         writes to the primary, reads scattered across
+//                         replicas under the staleness bound, with
+//                         read-your-writes floors threaded batch to
+//                         batch. A replication summary line (per-replica
+//                         applied epoch / lag, routed-read split,
+//                         fallbacks, replayed groups) prints after each
+//                         backend row; --metrics-out additionally gets
+//                         the replication gauges appended.
+//   --max-lag EPOCHS      staleness bound for --replicas: a replica may
+//                         serve reads while trailing the log head by at
+//                         most this many committed write groups
+//                         (default 1; 0 = fully caught-up replicas only)
+//   --steal-poll-ns NS    idle-lane poll tick for drain=stealing: how
+//                         long a lane waits before scanning sibling
+//                         queues for work to steal (default 1000000 =
+//                         1ms)
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
@@ -56,14 +77,18 @@
 // hit/miss/evict line. With telemetry on (the default) each backend row
 // is followed by the request-lifecycle stage-latency table
 // (p50/p95/p99/p999/max per stage, from query/telemetry.h).
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "query/query_service.h"
+#include "query/replica.h"
 #include "query/workload.h"
 
 using namespace pargeo;
@@ -77,6 +102,9 @@ struct cli_opts {
   std::string metrics_out;     // Prometheus text exposition path
   std::uint64_t ttl_ns = 0;    // sliding-window point TTL, 0 = off
   std::size_t watches = 0;     // standing queries registered up front
+  std::size_t replicas = 0;    // epoch-trailing read replicas, 0 = off
+  std::uint64_t max_lag = 1;   // replica staleness bound (epochs)
+  std::uint64_t steal_poll_ns = 0;  // stealing-lane poll tick, 0 = default
 };
 
 query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
@@ -113,7 +141,22 @@ int run_backend(query::backend b, const query::workload_spec& spec,
     cfg.telemetry = query::telemetry_level::trace;
     cfg.trace_sample = 8;  // denser than the service default for a CLI run
   }
+  if (opts.steal_poll_ns > 0) cfg.steal_poll_ns = opts.steal_poll_ns;
   query::query_service<D> service(cfg);
+
+  // Replicated read tier: attach the op log before bootstrap (the build
+  // must be epoch 1), then host the trailing replicas and the router the
+  // workload will flow through.
+  std::shared_ptr<query::op_log<D>> log;
+  std::unique_ptr<query::replica_set<D>> replicas;
+  std::unique_ptr<query::replica_router<D>> router;
+  if (opts.replicas > 0) {
+    log = std::make_shared<query::op_log<D>>();
+    service.attach_log(log);
+    replicas = std::make_unique<query::replica_set<D>>(log, cfg, opts.replicas);
+    router = std::make_unique<query::replica_router<D>>(service, *replicas,
+                                                        log, opts.max_lag);
+  }
 
   // Standing queries: alternate k-NN and box watches spread diagonally
   // across the workload bbox, registered before the stream so every write
@@ -140,7 +183,15 @@ int run_backend(query::backend b, const query::workload_spec& spec,
   }
 
   std::vector<query::response<D>> responses;
-  const auto stats = query::run_workload<D>(service, spec, &responses);
+  query::engine_stats stats;
+  if (router) {
+    query::routed_executor<D, query::query_service<D>,
+                           query::replica_router<D>>
+        exec{service, *router};
+    stats = query::run_workload<D>(exec, spec, &responses);
+  } else {
+    stats = query::run_workload<D>(service, spec, &responses);
+  }
 
   // Result checksum: total hits returned, comparable across backends,
   // shard counts, drain modes, and cache settings (identical streams
@@ -178,6 +229,42 @@ int run_backend(query::backend b, const query::workload_spec& spec,
                 svc.active_watches, svc.watch_fires, svc.watch_suppressed,
                 svc.expired_points);
   }
+  if (replicas) {
+    // Let the tails drain the last committed groups so the printed lag is
+    // the steady state, not a race with the final batch.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (replicas->min_applied_epoch() < log->head() &&
+           !replicas->tail_failed() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto rs = router->stats();
+    std::size_t replayed_groups = 0;
+    for (std::size_t i = 0; i < replicas->size(); ++i) {
+      replayed_groups += replicas->replica(i).stats().replayed_groups;
+    }
+    std::printf(
+        "  replication: replicas=%zu max_lag=%llu log_epoch=%llu "
+        "reads(replica=%zu primary=%zu fallbacks=%zu) writes=%zu "
+        "replayed_groups=%zu\n",
+        replicas->size(), static_cast<unsigned long long>(opts.max_lag),
+        static_cast<unsigned long long>(log->head()), rs.reads_to_replicas,
+        rs.reads_to_primary, rs.fallbacks, rs.writes, replayed_groups);
+    for (std::size_t i = 0; i < replicas->size(); ++i) {
+      const std::uint64_t applied = replicas->applied_epoch(i);
+      const std::uint64_t head = log->head();
+      std::printf("    replica %zu: applied=%llu lag=%llu\n", i,
+                  static_cast<unsigned long long>(applied),
+                  static_cast<unsigned long long>(head > applied
+                                                      ? head - applied
+                                                      : 0));
+    }
+    if (replicas->tail_failed()) {
+      std::fprintf(stderr, "  replication: tail failed: %s\n",
+                   replicas->tail_error().c_str());
+    }
+  }
   if (svc.telemetry.level != query::telemetry_level::off) {
     print_stage_table(svc.telemetry);
   }
@@ -211,7 +298,11 @@ int run_backend(query::backend b, const query::workload_spec& spec,
     }
   }
   if (!opts.metrics_out.empty()) {
-    const std::string text = query::metrics_text(svc);
+    std::string text = query::metrics_text(svc);
+    if (replicas) {
+      const auto rs = router->stats();
+      text += query::replication_metrics_text<D>(*replicas, *log, &rs);
+    }
     if (std::FILE* f = std::fopen(opts.metrics_out.c_str(), "w")) {
       std::fwrite(text.data(), 1, text.size(), f);
       std::fclose(f);
@@ -302,6 +393,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.watches = static_cast<std::size_t>(n);
+    } else if (const char* v = value_of("--replicas")) {
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--replicas wants a count >= 0 (got '%s')\n", v);
+        return 2;
+      }
+      opts.replicas = static_cast<std::size_t>(n);
+    } else if (const char* v = value_of("--max-lag")) {
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "--max-lag wants epochs >= 0 (got '%s')\n", v);
+        return 2;
+      }
+      opts.max_lag = static_cast<std::uint64_t>(n);
+    } else if (const char* v = value_of("--steal-poll-ns")) {
+      char* end = nullptr;
+      const long long ns = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || ns <= 0) {
+        std::fprintf(stderr, "--steal-poll-ns wants nanoseconds > 0 (got '%s')\n",
+                     v);
+        return 2;
+      }
+      opts.steal_poll_ns = static_cast<std::uint64_t>(ns);
     } else if (std::strncmp(a, "--", 2) == 0 && a[2] != '\0') {
       std::fprintf(stderr, "unknown flag '%s'\n", a);
       return 2;
@@ -323,7 +439,8 @@ int main(int argc, char** argv) {
         "[drain single|per_shard|stealing] [cache_capacity=4096] "
         "[rebalance_threshold=0] [--verbose] "
         "[--telemetry off|stats|trace] [--trace-out path] "
-        "[--metrics-out path] [--ttl ns] [--watches n]\n",
+        "[--metrics-out path] [--ttl ns] [--watches n] [--replicas n] "
+        "[--max-lag epochs] [--steal-poll-ns ns]\n",
         argv[0]);
     return 2;
   }

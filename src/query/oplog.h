@@ -1,0 +1,423 @@
+// Replayable write-op log (query subsystem) — the scale-out seam.
+//
+// Every committed write drain on the primary `query_service<D>` appends
+// one `log_group<D>` here: the *exact ordered backend calls* the primary
+// executed, per shard, not the raw client ops. That distinction is what
+// makes replay byte-identical: the batch-dynamic backends are
+// deterministic functions of their call sequence (a kdtree rebuild
+// threshold, the zdtree's sorted merges, the bdltree cascade all depend
+// on how the stream was cut into `batch_insert`/`batch_erase` calls), so
+// a replica that re-issues the same per-shard call sequence converges to
+// the same structure — and hence the same k-NN tie order — as the
+// primary, regardless of which drain mode produced the cuts.
+//
+//   *Groups and epochs*. `append()` assigns dense epochs (1, 2, ...)
+//   under the log mutex; the primary's drain thread is the only
+//   appender, so log order == commit order. A group records its origin
+//   (`bootstrap` | `client` | `expire` | `rebalance`), the spatial
+//   stripe geometry when the group (re)defines it, and the ordered
+//   per-shard records `{shard, build|insert|erase, points}`.
+//
+//   *Ring retention*. The in-memory deque keeps the most recent
+//   `capacity` groups (drop-oldest); `first_retained()` names the oldest
+//   epoch still present. `read_from(after)` throws when the ring has
+//   already dropped groups a tailer still needs — a replay gap is
+//   unrecoverable and must not be papered over.
+//
+//   *Serialization*. `write_log(path)` / `read_log(path)` round-trip the
+//   retained groups through a versioned little-endian binary format:
+//   magic "PGOL", format version, dimension, group count, payload,
+//   trailing FNV-1a-64 checksum over everything before it. Truncated or
+//   corrupt files (bad magic / version / dim / checksum / short read)
+//   are rejected with std::runtime_error — never undefined behaviour.
+//
+// Thread-safety: all members are safe from any thread (one mutex; the
+// hot path is the drain thread's append vs the tail threads' read_from /
+// wait_for_head).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/point.h"
+
+namespace pargeo::query {
+
+/// The backend call a log record replays. `build` replaces the shard's
+/// contents (bootstrap); `insert`/`erase` are the batch-dynamic entry
+/// points.
+enum class log_op : std::uint8_t { build = 0, insert = 1, erase = 2 };
+
+inline const char* log_op_name(log_op o) {
+  switch (o) {
+    case log_op::build: return "build";
+    case log_op::insert: return "insert";
+    case log_op::erase: return "erase";
+  }
+  return "?";
+}
+
+/// Why the primary committed this group.
+enum class log_origin : std::uint8_t {
+  bootstrap = 0,  // initial build (all shards, possibly empty)
+  client = 1,     // a drained client write group
+  expire = 2,     // a TTL-expiry sweep
+  rebalance = 3,  // a stripe-rebalance migration (new bounds + moves)
+};
+
+inline const char* log_origin_name(log_origin o) {
+  switch (o) {
+    case log_origin::bootstrap: return "bootstrap";
+    case log_origin::client: return "client";
+    case log_origin::expire: return "expire";
+    case log_origin::rebalance: return "rebalance";
+  }
+  return "?";
+}
+
+/// One backend call on one shard: replayed verbatim, in record order.
+template <int D>
+struct log_record {
+  std::uint32_t shard = 0;
+  log_op kind = log_op::insert;
+  std::vector<point<D>> pts;
+};
+
+/// One committed write group. `records` hold the primary's per-shard
+/// backend calls in the order it issued them (per shard; records of
+/// different shards may have executed concurrently and carry no mutual
+/// order beyond their position here). Groups that (re)define spatial
+/// stripe geometry — bootstrap under spatial sharding, every rebalance —
+/// set `has_bounds` and carry the splitting dimension plus the stripe
+/// cut positions so replicas route identically afterwards.
+template <int D>
+struct log_group {
+  std::uint64_t epoch = 0;  // dense commit sequence, assigned by append()
+  log_origin origin = log_origin::client;
+  bool has_bounds = false;
+  std::int32_t split_dim = 0;
+  std::vector<double> cuts;  // stripe upper cuts, size == shards - 1
+  std::vector<log_record<D>> records;
+
+  std::size_t num_points() const {
+    std::size_t n = 0;
+    for (const auto& r : records) n += r.pts.size();
+    return n;
+  }
+};
+
+template <int D>
+class op_log {
+ public:
+  /// `capacity` bounds retained groups (drop-oldest past it).
+  explicit op_log(std::size_t capacity = std::size_t{1} << 20)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  op_log(const op_log&) = delete;
+  op_log& operator=(const op_log&) = delete;
+
+  /// Appends `g`, assigning the next dense epoch; returns it. Wakes any
+  /// wait_for_head() tailers.
+  std::uint64_t append(log_group<D> g) {
+    std::unique_lock<std::mutex> lk(mu_);
+    g.epoch = ++head_;
+    groups_.push_back(std::move(g));
+    while (groups_.size() > capacity_) groups_.pop_front();
+    lk.unlock();
+    cv_.notify_all();
+    return head_;
+  }
+
+  /// Epoch of the most recently appended group (0 = empty log).
+  std::uint64_t head() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return head_;
+  }
+
+  /// Oldest epoch still retained in the ring (head()+1 when empty —
+  /// i.e. nothing retained, nothing dropped that matters).
+  std::uint64_t first_retained() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return first_retained_locked();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return groups_.size();
+  }
+
+  /// Copies up to `max` groups with epoch > `after`, in epoch order.
+  /// Throws std::runtime_error when the ring already dropped a group the
+  /// caller still needs (replay gap): after + 1 < first_retained().
+  std::vector<log_group<D>> read_from(
+      std::uint64_t after,
+      std::size_t max = std::numeric_limits<std::size_t>::max()) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (after + 1 < first_retained_locked()) {
+      throw std::runtime_error(
+          "op_log: replay gap — epoch " + std::to_string(after + 1) +
+          " already evicted (first retained: " +
+          std::to_string(first_retained_locked()) + ")");
+    }
+    std::vector<log_group<D>> out;
+    for (const auto& g : groups_) {
+      if (g.epoch <= after) continue;
+      if (out.size() >= max) break;
+      out.push_back(g);
+    }
+    return out;
+  }
+
+  /// Blocks until head() > after or the timeout expires; true iff new
+  /// groups are available.
+  bool wait_for_head(std::uint64_t after,
+                     std::chrono::nanoseconds timeout) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, timeout, [&] { return head_ > after; });
+  }
+
+  // ---- serialization -------------------------------------------------------
+
+  /// Writes the retained groups to `path` (versioned binary + checksum).
+  /// Throws std::runtime_error on I/O failure.
+  void write_log(const std::string& path) const {
+    std::vector<unsigned char> buf;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      buf.reserve(64 + groups_.size() * 64);
+      put_bytes(buf, kMagic, 4);
+      put_u32(buf, kVersion);
+      put_u32(buf, static_cast<std::uint32_t>(D));
+      put_u64(buf, groups_.size());
+      for (const auto& g : groups_) {
+        put_u64(buf, g.epoch);
+        put_u8(buf, static_cast<std::uint8_t>(g.origin));
+        put_u8(buf, g.has_bounds ? 1 : 0);
+        put_u32(buf, static_cast<std::uint32_t>(g.split_dim));
+        put_u64(buf, g.cuts.size());
+        for (double c : g.cuts) put_f64(buf, c);
+        put_u64(buf, g.records.size());
+        for (const auto& r : g.records) {
+          put_u32(buf, r.shard);
+          put_u8(buf, static_cast<std::uint8_t>(r.kind));
+          put_u64(buf, r.pts.size());
+          for (const auto& p : r.pts) {
+            for (int d = 0; d < D; ++d) put_f64(buf, p[d]);
+          }
+        }
+      }
+    }
+    put_u64(buf, fnv1a(buf.data(), buf.size()));
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+      throw std::runtime_error("op_log: cannot open '" + path +
+                               "' for writing");
+    }
+    const std::size_t wrote = std::fwrite(buf.data(), 1, buf.size(), f);
+    const bool ok = wrote == buf.size() && std::fclose(f) == 0;
+    if (!ok) {
+      throw std::runtime_error("op_log: short write to '" + path + "'");
+    }
+  }
+
+  /// Loads a log previously written by write_log(). The returned log's
+  /// head continues from the highest loaded epoch. Throws
+  /// std::runtime_error on any malformed input (bad magic, wrong
+  /// version or dimension, truncation, checksum mismatch).
+  static std::shared_ptr<op_log> read_log(
+      const std::string& path, std::size_t capacity = std::size_t{1} << 20) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      throw std::runtime_error("op_log: cannot open '" + path + "'");
+    }
+    std::vector<unsigned char> buf;
+    unsigned char chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      buf.insert(buf.end(), chunk, chunk + got);
+    }
+    std::fclose(f);
+
+    if (buf.size() < 4 + 4 + 4 + 8 + 8) {
+      throw std::runtime_error("op_log: '" + path +
+                               "' truncated (shorter than header)");
+    }
+    const std::size_t payload = buf.size() - 8;
+    std::uint64_t want = 0;
+    std::memcpy(&want, buf.data() + payload, 8);
+    if (fnv1a(buf.data(), payload) != want) {
+      throw std::runtime_error("op_log: '" + path +
+                               "' checksum mismatch (corrupt or truncated)");
+    }
+
+    reader rd{buf.data(), payload, 0, path};
+    char magic[4];
+    rd.bytes(magic, 4);
+    if (std::memcmp(magic, kMagic, 4) != 0) {
+      throw std::runtime_error("op_log: '" + path + "' bad magic");
+    }
+    const std::uint32_t ver = rd.u32();
+    if (ver != kVersion) {
+      throw std::runtime_error("op_log: '" + path +
+                               "' unsupported format version " +
+                               std::to_string(ver));
+    }
+    const std::uint32_t dim = rd.u32();
+    if (dim != static_cast<std::uint32_t>(D)) {
+      throw std::runtime_error("op_log: '" + path + "' holds dim-" +
+                               std::to_string(dim) + " groups, want dim-" +
+                               std::to_string(D));
+    }
+
+    auto log = std::make_shared<op_log>(capacity);
+    const std::uint64_t count = rd.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      log_group<D> g;
+      g.epoch = rd.u64();
+      g.origin = checked_origin(rd.u8(), path);
+      g.has_bounds = rd.u8() != 0;
+      g.split_dim = static_cast<std::int32_t>(rd.u32());
+      g.cuts.resize(rd.checked_count(sizeof(double)));
+      for (auto& c : g.cuts) c = rd.f64();
+      g.records.resize(rd.checked_count(4 + 1 + 8));
+      for (auto& r : g.records) {
+        r.shard = rd.u32();
+        r.kind = checked_op(rd.u8(), path);
+        r.pts.resize(rd.checked_count(sizeof(double) * D));
+        for (auto& p : r.pts) {
+          for (int d = 0; d < D; ++d) p[d] = rd.f64();
+        }
+      }
+      if (g.epoch <= log->head_ && log->head_ != 0) {
+        throw std::runtime_error("op_log: '" + path +
+                                 "' epochs out of order");
+      }
+      log->head_ = g.epoch;
+      log->groups_.push_back(std::move(g));
+      while (log->groups_.size() > log->capacity_) log->groups_.pop_front();
+    }
+    if (rd.off != payload) {
+      throw std::runtime_error("op_log: '" + path +
+                               "' trailing garbage before checksum");
+    }
+    return log;
+  }
+
+ private:
+  static constexpr char kMagic[5] = "PGOL";
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t first_retained_locked() const {
+    return groups_.empty() ? head_ + 1 : groups_.front().epoch;
+  }
+
+  // -- little-endian put/get helpers (host is LE on every supported
+  //    target; memcpy keeps it alias-safe) ----------------------------------
+  static void put_bytes(std::vector<unsigned char>& b, const void* p,
+                        std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    b.insert(b.end(), c, c + n);
+  }
+  static void put_u8(std::vector<unsigned char>& b, std::uint8_t v) {
+    b.push_back(v);
+  }
+  static void put_u32(std::vector<unsigned char>& b, std::uint32_t v) {
+    put_bytes(b, &v, 4);
+  }
+  static void put_u64(std::vector<unsigned char>& b, std::uint64_t v) {
+    put_bytes(b, &v, 8);
+  }
+  static void put_f64(std::vector<unsigned char>& b, double v) {
+    put_bytes(b, &v, 8);
+  }
+
+  struct reader {
+    const unsigned char* data;
+    std::size_t len;
+    std::size_t off;
+    const std::string& path;
+
+    void need(std::size_t n) const {
+      if (off + n > len) {
+        throw std::runtime_error("op_log: '" + path + "' truncated");
+      }
+    }
+    void bytes(void* out, std::size_t n) {
+      need(n);
+      std::memcpy(out, data + off, n);
+      off += n;
+    }
+    std::uint8_t u8() {
+      std::uint8_t v;
+      bytes(&v, 1);
+      return v;
+    }
+    std::uint32_t u32() {
+      std::uint32_t v;
+      bytes(&v, 4);
+      return v;
+    }
+    std::uint64_t u64() {
+      std::uint64_t v;
+      bytes(&v, 8);
+      return v;
+    }
+    double f64() {
+      double v;
+      bytes(&v, 8);
+      return v;
+    }
+    /// Reads an element count and bounds-checks it against the bytes
+    /// remaining (each element at least `min_elem_bytes`), so a corrupt
+    /// count cannot drive a multi-GB resize before the truncation check.
+    std::size_t checked_count(std::size_t min_elem_bytes) {
+      const std::uint64_t n = u64();
+      if (min_elem_bytes > 0 && n > (len - off) / min_elem_bytes) {
+        throw std::runtime_error("op_log: '" + path +
+                                 "' truncated (element count exceeds file)");
+      }
+      return static_cast<std::size_t>(n);
+    }
+  };
+
+  static log_origin checked_origin(std::uint8_t v, const std::string& path) {
+    if (v > static_cast<std::uint8_t>(log_origin::rebalance)) {
+      throw std::runtime_error("op_log: '" + path + "' bad origin tag");
+    }
+    return static_cast<log_origin>(v);
+  }
+  static log_op checked_op(std::uint8_t v, const std::string& path) {
+    if (v > static_cast<std::uint8_t>(log_op::erase)) {
+      throw std::runtime_error("op_log: '" + path + "' bad op tag");
+    }
+    return static_cast<log_op>(v);
+  }
+
+  static std::uint64_t fnv1a(const unsigned char* p, std::size_t n) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<log_group<D>> groups_;
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace pargeo::query

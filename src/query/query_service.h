@@ -109,6 +109,22 @@
 //   rows invalidate, and affected watches re-fire through the same
 //   machinery (`expire` stage histogram, `expired_points` counter).
 //
+//   *Replication seam* (query/oplog.h, query/replica.h). With an op log
+//   attached (`attach_log`, before bootstrap/traffic), the drain thread
+//   appends every committed write drain — client groups, TTL sweeps,
+//   stripe rebalances, and the bootstrap build — as the exact ordered
+//   per-shard backend calls it executed (the `replicate` stage times the
+//   append). Completions carry the group's log epoch
+//   (`ticket_result::commit_epoch`) as the read-your-writes floor.
+//   Replica-side, `apply_replayed(group)` feeds log groups through the
+//   SAME drain thread and per-shard lanes (the `replay` stage), so
+//   replayed writes serialize with snapshot stamping exactly like native
+//   writes, and `applied_epoch()` — advanced at dispatch — is the
+//   position routers gate reads on. Replaying identical backend-call
+//   sequences is what makes a replica's answers byte-identical to the
+//   primary's at every epoch boundary (tree structure, and hence k-NN
+//   tie order, is a deterministic function of the call sequence).
+//
 //   *Ingest backpressure*. `max_pending_requests` bounds admitted-but-
 //   unfulfilled requests across the whole pipeline (0 = unbounded, the
 //   PR 3 behavior). Past the bound `submit()` blocks the producer until
@@ -152,6 +168,7 @@
 #include <utility>
 #include <vector>
 
+#include "query/oplog.h"
 #include "query/query_engine.h"
 #include "query/result_cache.h"
 #include "query/spatial_index.h"
@@ -264,6 +281,11 @@ struct service_config {
   /// Span ring capacity at `trace` level; the oldest spans are
   /// overwritten past it.
   std::size_t trace_capacity = 8192;
+  /// Idle poll tick for stealing lane workers, in nanoseconds: how long a
+  /// worker with an empty own queue sleeps between scans of sibling
+  /// queues. Smaller = steals picked up faster at the cost of idle CPU;
+  /// only meaningful under drain_mode::stealing.
+  std::uint64_t steal_poll_ns = 1'000'000;
   index_options index;  // forwarded to every shard's backend
 };
 
@@ -281,6 +303,11 @@ struct ticket_result {
   /// For snapshot-path read groups: the largest shard epoch the reads
   /// observed (0 for write/mixed groups — those read the live index).
   std::uint64_t snapshot_epoch = 0;
+  /// With an op log attached: the log epoch this batch's writes committed
+  /// as (0 for read-only batches and logless services). Carry it as the
+  /// `min_epoch` floor on subsequent replica_router reads for
+  /// read-your-writes.
+  std::uint64_t commit_epoch = 0;
 };
 
 /// Per-lane drain counters (populated under `drain_mode::per_shard` and
@@ -333,6 +360,20 @@ struct service_stats {
   std::size_t watch_fires = 0;
   std::size_t watch_suppressed = 0;
   std::size_t expired_points = 0;
+  /// Watch re-evaluation rows answered from the result cache instead of a
+  /// fresh tree traversal (the watch path probes the same epoch-keyed
+  /// cache the ticket read path does).
+  std::size_t watch_cache_hits = 0;
+  /// Replication (query/oplog.h). Primary side: `log_epoch` is the head
+  /// of the attached op log (0 when none). Replica side: `applied_epoch`
+  /// is the last log epoch replayed, `replayed_groups`/`replayed_records`
+  /// count log groups applied and backend calls re-issued, and
+  /// `replay_errors` counts groups whose application threw.
+  std::uint64_t log_epoch = 0;
+  std::uint64_t applied_epoch = 0;
+  std::size_t replayed_groups = 0;
+  std::size_t replayed_records = 0;
+  std::size_t replay_errors = 0;
   std::vector<shard_drain_stats> per_shard;  // one entry per lane
   cache_stats cache;  // hot k-NN cache, aggregated across shards
   /// Per-stage / per-shard latency histograms (query/telemetry.h).
@@ -425,6 +466,19 @@ inline std::string metrics_text(const service_stats& s) {
           s.watch_suppressed);
   counter("pargeo_expired_points_total", "Points retired by TTL expiry",
           s.expired_points);
+  counter("pargeo_watch_cache_hits_total",
+          "Watch re-evaluation rows served from the result cache",
+          s.watch_cache_hits);
+  gauge("pargeo_log_epoch", "Op-log head epoch (primary with log attached)",
+        s.log_epoch);
+  gauge("pargeo_applied_epoch", "Last op-log epoch replayed (replica)",
+        s.applied_epoch);
+  counter("pargeo_replayed_groups_total", "Op-log groups replayed",
+          s.replayed_groups);
+  counter("pargeo_replayed_records_total",
+          "Backend calls re-issued by log replay", s.replayed_records);
+  counter("pargeo_replay_errors_total",
+          "Log groups whose replay application threw", s.replay_errors);
   counter("pargeo_execute_seconds_total",
           "Wall-clock seconds spent executing drains",
           static_cast<std::uint64_t>(s.execute_seconds));
@@ -757,6 +811,29 @@ class query_service {
     par::parallel_for(
         0, cfg_.shards,
         [&](std::size_t s) { engines_[s]->bootstrap(parts[s]); }, 1);
+    if (log_) {
+      // The bootstrap build is the log's genesis group: per-shard build
+      // records (empty shards included — build replaces contents) plus
+      // the stripe bounds, so a fresh replica converges from epoch 1.
+      const std::uint64_t r0 = tel_.now_ns();
+      log_group<D> lg;
+      lg.origin = log_origin::bootstrap;
+      if (cfg_.policy == shard_policy::spatial && bounds_set_) {
+        lg.has_bounds = true;
+        lg.split_dim = split_dim_;
+        lg.cuts = bounds_;
+      }
+      lg.records.reserve(cfg_.shards);
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        log_record<D> rec;
+        rec.shard = static_cast<std::uint32_t>(s);
+        rec.kind = log_op::build;
+        rec.pts = parts[s];
+        lg.records.push_back(std::move(rec));
+      }
+      log_->append(std::move(lg));
+      if (tel_.enabled()) tel_.record(stage::replicate, tel_.now_ns() - r0);
+    }
     if (cfg_.point_ttl_ns > 0) {
       // Bootstrapped points start one full TTL window from now.
       std::lock_guard<std::mutex> lk(ttl_mu_);
@@ -896,6 +973,9 @@ class query_service {
       s.scratch_reuses = scratch_reuses_;
       s.scratch_allocs = scratch_allocs_;
     }
+    s.watch_cache_hits = watch_cache_hits_.load(std::memory_order_relaxed);
+    s.applied_epoch = applied_epoch_.load(std::memory_order_acquire);
+    s.log_epoch = log_ ? log_->head() : 0;
     s.telemetry = tel_.report();
     return s;
   }
@@ -940,6 +1020,58 @@ class query_service {
     return out;
   }
 
+  // ---- replication (query/oplog.h) ----------------------------------------
+
+  /// Primary side: attach the op log every committed write drain appends
+  /// to. Call before bootstrap()/traffic (not thread-safe with serving);
+  /// attach before bootstrap so replicas get the genesis build group.
+  void attach_log(std::shared_ptr<op_log<D>> log) { log_ = std::move(log); }
+
+  /// The attached op log (nullptr when none).
+  const std::shared_ptr<op_log<D>>& log() const { return log_; }
+
+  /// Replica side: enqueue one log group for replay. Groups must arrive
+  /// in epoch order (a replica_set tail guarantees this); they flow
+  /// through the drain thread and the per-shard lanes like native writes,
+  /// so replayed state serializes with concurrent snapshot reads. Returns
+  /// immediately; poll applied_epoch() for progress. Safe from any
+  /// thread. Throws after close(), and std::invalid_argument when a
+  /// record's shard does not exist here (log from a different topology).
+  void apply_replayed(log_group<D> g) {
+    for (const auto& rec : g.records) {
+      if (rec.shard >= cfg_.shards) {
+        throw std::invalid_argument(
+            "apply_replayed: record routed to shard " +
+            std::to_string(rec.shard) + " but this service has " +
+            std::to_string(cfg_.shards));
+      }
+    }
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    if (hub_->closed) {
+      throw std::runtime_error("query_service::apply_replayed after close()");
+    }
+    replay_q_.push_back(std::move(g));
+    work_cv_.notify_one();
+  }
+
+  /// Replica side: the last log epoch whose replay has been dispatched to
+  /// the shard lanes (reads submitted after observing an epoch here are
+  /// guaranteed to see its writes — per-shard FIFO puts their snapshot
+  /// stamps behind the replay tasks). 0 until the first group applies.
+  std::uint64_t applied_epoch() const {
+    return applied_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until every lane task dispatched so far (native or replayed)
+  /// has retired. applied_epoch() advances at *dispatch* — enough for
+  /// routed reads, which stamp behind the replay tasks in lane order, but
+  /// NOT for direct backend inspection (size()/gather()): those need this
+  /// barrier first. Pure wait; safe from any thread. No-op for
+  /// drain_mode::single, where groups apply synchronously.
+  void wait_lanes_idle() {
+    if (cfg_.drain != drain_mode::single) quiesce_lanes();
+  }
+
  private:
   struct pending_entry {
     std::uint64_t id;
@@ -963,6 +1095,9 @@ class query_service {
     std::atomic<std::size_t> remaining{0};          // lanes still executing
     std::size_t total = 0;
     std::uint64_t exec_start_ns = 0;  // routing done -> last lane finished
+    /// Log epoch this group committed as (0: no log attached / no writes
+    /// logged). Threaded through to ticket_result::commit_epoch.
+    std::uint64_t commit_epoch = 0;
     /// Representative sampled ticket id (0 = group untraced): lanes gate
     /// their span appends on it, so the ring mutex stays off the
     /// unsampled path entirely.
@@ -996,13 +1131,26 @@ class query_service {
     std::exception_ptr error;  // first stamping failure wins
   };
 
-  /// One unit of lane work: either execute a sub-batch of a shard_group or
-  /// stamp this shard's snapshot for a read_group.
+  /// A replayed log group in flight on the shard lanes (replica side):
+  /// dispatched once by the drain thread, each involved lane re-issues its
+  /// records in order, the last lane to finish closes the replay stage.
+  struct replay_group {
+    log_group<D> g;
+    std::uint64_t epoch = 0;
+    std::uint64_t start_ns = 0;  // drain-thread pickup -> last lane done
+    std::atomic<std::size_t> remaining{0};
+  };
+
+  /// One unit of lane work: execute a sub-batch of a shard_group, stamp
+  /// this shard's snapshot for a read_group, or re-issue this shard's
+  /// records of a replayed log group.
   struct shard_task {
-    std::shared_ptr<shard_group> exec;  // set for execute tasks
-    std::shared_ptr<read_group> stamp;  // set for stamp tasks
-    std::vector<request<D>> sub;        // execute: this lane's requests
-    std::uint64_t enqueue_ns = 0;       // lane_wait stamp (telemetry on)
+    std::shared_ptr<shard_group> exec;      // set for execute tasks
+    std::shared_ptr<read_group> stamp;      // set for stamp tasks
+    std::shared_ptr<replay_group> replay;   // set for replay tasks
+    std::vector<request<D>> sub;            // execute: this lane's requests
+    std::vector<std::size_t> replay_idx;    // replay: record indices, in order
+    std::uint64_t enqueue_ns = 0;           // lane_wait stamp (telemetry on)
   };
 
   /// Per-shard executor lane: FIFO task queue + worker thread + the
@@ -1089,12 +1237,24 @@ class query_service {
   void drain_loop() {
     for (;;) {
       std::unique_lock<std::mutex> lk(hub_->mu);
+      const auto work = [&] {
+        return hub_->closed || !pending_.empty() || !replay_q_.empty();
+      };
       if (cfg_.point_ttl_ns > 0) {
         // TTL set: bounded wait, so expiry sweeps run without traffic.
-        work_cv_.wait_for(lk, std::chrono::milliseconds(20),
-                          [&] { return hub_->closed || !pending_.empty(); });
+        work_cv_.wait_for(lk, std::chrono::milliseconds(20), work);
       } else {
-        work_cv_.wait(lk, [&] { return hub_->closed || !pending_.empty(); });
+        work_cv_.wait(lk, work);
+      }
+      if (!replay_q_.empty()) {
+        // Replica side: replayed log groups take priority over local
+        // tickets (replicas serve reads; staying fresh is the product).
+        // Processed one per iteration so close() and TTL still interleave.
+        log_group<D> rg = std::move(replay_q_.front());
+        replay_q_.pop_front();
+        lk.unlock();
+        process_replay(std::move(rg));
+        continue;
       }
       if (pending_.empty()) {
         if (hub_->closed) return;
@@ -1180,6 +1340,7 @@ class query_service {
     for (const auto& e : g->tickets) {
       g->combined.insert(g->combined.end(), e.batch.begin(), e.batch.end());
     }
+    const bool had_bounds = bounds_set_;
     if (cfg_.policy == shard_policy::spatial && !bounds_set_) {
       derive_bounds_from_writes(g->combined);
     }
@@ -1215,6 +1376,21 @@ class query_service {
         tel_.add_span("route", tel_.drain_track(), route_start,
                       route_end - route_start, g->trace_ticket);
       }
+    }
+
+    if (log_) {
+      // Log the run structure each lane will actually execute: phase-cut
+      // every routed sub-batch into its same-kind write runs (reads break
+      // runs but are not logged). Appending before the fan-out keeps the
+      // log in commit order (this thread is the only appender) and gives
+      // the group its epoch for completion floors.
+      g->commit_epoch = append_log_group(
+          [&](log_group<D>& lg) {
+            for (std::size_t s = 0; s < cfg_.shards; ++s) {
+              append_write_runs(lg, s, sub[s], 0, sub[s].size());
+            }
+          },
+          !had_bounds && bounds_set_);
     }
 
     std::size_t active = 0;
@@ -1275,7 +1451,7 @@ class query_service {
           // thief holding our token notifies cv when it releases); after
           // a successful steal, go straight back for the next task.
           if (!can_pop() && !can_exit() && !just_stole) {
-            lane.cv.wait_for(lk, std::chrono::milliseconds(1),
+            lane.cv.wait_for(lk, std::chrono::nanoseconds(cfg_.steal_poll_ns),
                              [&] { return can_pop() || can_exit(); });
           }
         } else {
@@ -1307,8 +1483,9 @@ class query_service {
     if (tel_.enabled() && task.enqueue_ns != 0) {
       const std::uint64_t wait_ns = tel_.now_ns() - task.enqueue_ns;
       tel_.record_shard(s, stage::lane_wait, wait_ns);
-      const std::uint64_t tt =
-          task.exec ? task.exec->trace_ticket : task.stamp->trace_ticket;
+      const std::uint64_t tt = task.exec    ? task.exec->trace_ticket
+                               : task.stamp ? task.stamp->trace_ticket
+                                            : 0;
       if (tt) {
         tel_.add_span("lane_wait", tel_.lane_track(s), task.enqueue_ns,
                       wait_ns, tt, static_cast<std::int32_t>(s));
@@ -1316,8 +1493,10 @@ class query_service {
     }
     if (task.exec) {
       run_lane_subbatch(s, std::move(task));
-    } else {
+    } else if (task.stamp) {
       run_lane_stamp(s, std::move(task));
+    } else {
+      run_lane_replay(s, std::move(task));
     }
     auto& lane = *lanes_[s];
     {
@@ -1438,6 +1617,181 @@ class query_service {
     }
   }
 
+  // ---- op-log emission (primary) and replay (replica) ---------------------
+
+  // Phase-cuts sub[begin, end) into its same-kind maximal write runs (the
+  // exact cut rule execute_phases applies: a run extends while the kind
+  // repeats; ANY read breaks it) and appends one log record per run.
+  static void append_write_runs(log_group<D>& lg, std::size_t s,
+                                const std::vector<request<D>>& sub,
+                                std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end) {
+      if (is_read(sub[i].kind)) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < end && sub[j].kind == sub[i].kind) ++j;
+      log_record<D> rec;
+      rec.shard = static_cast<std::uint32_t>(s);
+      rec.kind = sub[i].kind == op::insert ? log_op::insert : log_op::erase;
+      rec.pts.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) rec.pts.push_back(sub[k].p);
+      lg.records.push_back(std::move(rec));
+      i = j;
+    }
+  }
+
+  // Assembles (via `fill`) and appends one log group, with the current
+  // stripe bounds attached when `with_bounds`; origin comes from the
+  // drain-thread scratch next_group_origin_. Returns the epoch for
+  // completion floors: the new group's epoch, or the current head when
+  // nothing needed logging (a writeless group observes everything up to
+  // head). The append is timed as the `replicate` stage. Drain thread
+  // only (single appender == log order is commit order).
+  template <class Fill>
+  std::uint64_t append_log_group(Fill&& fill, bool with_bounds) {
+    const std::uint64_t r0 = tel_.now_ns();
+    log_group<D> lg;
+    lg.origin = next_group_origin_;
+    if (with_bounds) {
+      lg.has_bounds = true;
+      lg.split_dim = split_dim_;
+      lg.cuts = bounds_;
+    }
+    fill(lg);
+    if (lg.records.empty() && !lg.has_bounds) return log_->head();
+    const std::uint64_t epoch = log_->append(std::move(lg));
+    if (tel_.enabled()) tel_.record(stage::replicate, tel_.now_ns() - r0);
+    return epoch;
+  }
+
+  // Replica side, drain thread: applies one replayed log group. Ordinary
+  // groups fan out per shard to the lanes (FIFO behind earlier work);
+  // bounds-carrying groups (bootstrap, rebalance) mirror the primary's
+  // rebalance discipline — quiesce the lanes, apply inline, swap the
+  // stripe bounds — because changing routing geometry under in-flight
+  // reads would break pruning. applied_epoch_ advances at dispatch: a
+  // read routed after that point stamps behind the replay tasks on every
+  // shard it touches, which is the read-your-writes guarantee routers
+  // build on.
+  void process_replay(log_group<D> g) {
+    const std::uint64_t t0 = tel_.now_ns();
+    const std::uint64_t epoch = g.epoch;
+    if (g.has_bounds || cfg_.drain == drain_mode::single) {
+      if (g.has_bounds && cfg_.drain != drain_mode::single) quiesce_lanes();
+      bool failed = false;
+      try {
+        for (const auto& rec : g.records) {
+          wait_shard_gate(rec.shard);
+          apply_log_record(rec);
+        }
+      } catch (...) {
+        failed = true;  // counted; the replica keeps serving what it has
+      }
+      if (g.has_bounds) {
+        split_dim_ = g.split_dim;
+        bounds_ = g.cuts;
+        bounds_set_ = true;
+      }
+      applied_epoch_.store(epoch, std::memory_order_release);
+      if (failed) {
+        std::lock_guard<std::mutex> lk(hub_->mu);
+        ++stats_.replay_errors;
+      }
+      finish_replay_group(g.records.size(), t0);
+      return;
+    }
+    auto rg = std::make_shared<replay_group>();
+    rg->epoch = epoch;
+    rg->start_ns = t0;
+    rg->g = std::move(g);
+    std::vector<std::vector<std::size_t>> per(cfg_.shards);
+    for (std::size_t i = 0; i < rg->g.records.size(); ++i) {
+      per[rg->g.records[i].shard].push_back(i);
+    }
+    std::size_t active = 0;
+    for (const auto& v : per) {
+      if (!v.empty()) ++active;
+    }
+    if (active == 0) {
+      applied_epoch_.store(epoch, std::memory_order_release);
+      finish_replay_group(0, t0);
+      return;
+    }
+    rg->remaining.store(active, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      if (per[s].empty()) continue;
+      shard_task task;
+      task.replay = rg;
+      task.replay_idx = std::move(per[s]);
+      enqueue_lane_task(s, std::move(task));
+    }
+    applied_epoch_.store(epoch, std::memory_order_release);
+  }
+
+  // Re-issues this shard's records of a replayed log group in log order,
+  // under the lane's execution token (replayed writes serialize with
+  // snapshot stamps exactly like native writes). The last lane to finish
+  // closes the group's replay stage.
+  void run_lane_replay(std::size_t s, shard_task task) {
+    auto rg = std::move(task.replay);
+    wait_shard_gate(s);
+    const std::uint64_t t0 = tel_.now_ns();
+    bool failed = false;
+    std::size_t pts = 0;
+    try {
+      for (const std::size_t i : task.replay_idx) {
+        pts += rg->g.records[i].pts.size();
+        apply_log_record(rg->g.records[i]);
+      }
+    } catch (...) {
+      failed = true;  // counted; the replica keeps serving what it has
+    }
+    const std::uint64_t dur_ns = tel_.now_ns() - t0;
+    if (tel_.enabled()) tel_.record_shard(s, stage::execute_write, dur_ns);
+    {
+      auto& lane = *lanes_[s];
+      std::lock_guard<std::mutex> lk(lane.mu);
+      ++lane.stats.num_drains;
+      lane.stats.num_requests += pts;
+      lane.stats.execute_seconds += static_cast<double>(dur_ns) * 1e-9;
+    }
+    if (failed) {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      ++stats_.replay_errors;
+    }
+    if (rg->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finish_replay_group(rg->g.records.size(), rg->start_ns);
+    }
+  }
+
+  // One recorded backend call, re-issued verbatim. Identical call
+  // sequences produce identical tree structure (and so identical k-NN tie
+  // order) — the byte-identical convergence guarantee rests here.
+  void apply_log_record(const log_record<D>& rec) {
+    auto& engine = *engines_[rec.shard];
+    switch (rec.kind) {
+      case log_op::build:
+        engine.bootstrap(rec.pts);
+        break;
+      case log_op::insert:
+        engine.index().batch_insert(rec.pts);
+        break;
+      case log_op::erase:
+        engine.index().batch_erase(rec.pts);
+        break;
+    }
+  }
+
+  void finish_replay_group(std::size_t records, std::uint64_t start_ns) {
+    if (tel_.enabled()) tel_.record(stage::replay, tel_.now_ns() - start_ns);
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    ++stats_.replayed_groups;
+    stats_.replayed_records += records;
+  }
+
   // Fully stamped groups go to the reader pool — except that watch
   // groups can exist with read_threads == 0 (ticket read groups cannot:
   // the drainer only splits them off when the pool exists), and nothing
@@ -1517,7 +1871,7 @@ class query_service {
     for (auto& idx : g->sub_idx) give_idx_vec(std::move(idx));
     fulfill_group(std::move(g->tickets), g->total, std::move(g->result),
                   error, /*snapshot_epoch=*/0, /*read_group=*/false,
-                  /*lagged=*/false, secs, g->trace_ticket);
+                  /*lagged=*/false, secs, g->commit_epoch, g->trace_ticket);
   }
 
   // Pre-stamps a group's phase structure (response kinds/phase ids,
@@ -1696,10 +2050,14 @@ class query_service {
         ++moved;
       }
     }
+    // Migration replays as erase rounds + inserts under the new bounds,
+    // so capture the exact rounds erase_multiset issues.
+    std::vector<std::vector<std::vector<point<D>>>> erase_rounds(
+        log_ ? cfg_.shards : 0);
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       if (leavers[s].empty()) continue;
       wait_shard_gate(s);
-      erase_multiset(s, leavers[s]);
+      erase_multiset(s, leavers[s], log_ ? &erase_rounds[s] : nullptr);
       resident_est_[s] = sizes[s] - leavers[s].size();
     }
     for (std::size_t t = 0; t < cfg_.shards; ++t) {
@@ -1707,6 +2065,30 @@ class query_service {
       wait_shard_gate(t);
       engines_[t]->index().batch_insert(arrivals[t]);
       resident_est_[t] += arrivals[t].size();
+    }
+    if (log_) {
+      append_log_group(
+          [&](log_group<D>& lg) {
+            lg.origin = log_origin::rebalance;
+            for (std::size_t s = 0; s < cfg_.shards; ++s) {
+              for (auto& round : erase_rounds[s]) {
+                log_record<D> rec;
+                rec.shard = static_cast<std::uint32_t>(s);
+                rec.kind = log_op::erase;
+                rec.pts = std::move(round);
+                lg.records.push_back(std::move(rec));
+              }
+            }
+            for (std::size_t t = 0; t < cfg_.shards; ++t) {
+              if (arrivals[t].empty()) continue;
+              log_record<D> rec;
+              rec.shard = static_cast<std::uint32_t>(t);
+              rec.kind = log_op::insert;
+              rec.pts = arrivals[t];
+              lg.records.push_back(std::move(rec));
+            }
+          },
+          /*with_bounds=*/true);
     }
     // A re-derivation that moved nothing cannot fix this skew (the mass
     // has fewer distinct coordinates than shards): back off much longer.
@@ -1719,8 +2101,11 @@ class query_service {
   // Erases every entry of `pts` (a multiset) from shard s, exactly one
   // stored copy per entry. batch_erase only guarantees that for DISTINCT
   // batch points (backends disagree on duplicated entries), so duplicated
-  // entries are split across successive rounds of distinct points.
-  void erase_multiset(std::size_t s, std::vector<point<D>>& pts) {
+  // entries are split across successive rounds of distinct points. With
+  // `rounds` set, each issued round is captured verbatim (for op-log
+  // emission — replay must re-issue the identical call sequence).
+  void erase_multiset(std::size_t s, std::vector<point<D>>& pts,
+                      std::vector<std::vector<point<D>>>* rounds = nullptr) {
     std::sort(pts.begin(), pts.end());
     std::vector<point<D>> round, rest;
     while (!pts.empty()) {
@@ -1734,6 +2119,7 @@ class query_service {
         }
       }
       engines_[s]->index().batch_erase(round);
+      if (rounds) rounds->push_back(round);
       pts.swap(rest);
     }
   }
@@ -1767,17 +2153,21 @@ class query_service {
   // and their rows are stored back. Identical missed keys within the run
   // execute once — the duplicates (zipf-hot keys repeat inside a batch)
   // copy the first row and count as hits. Rows land in
-  // responses[begin..end).
+  // responses[begin..end). Returns how many rows the cache served
+  // (lookup hits + same-run duplicates) so callers can attribute hits —
+  // the watch path counts its own.
   template <class Target>
-  void run_shard_reads(std::size_t s, const std::vector<request<D>>& batch,
-                       std::size_t begin, std::size_t end,
-                       const Target& target, std::uint64_t epoch,
-                       std::vector<response<D>>& responses) {
+  std::size_t run_shard_reads(std::size_t s,
+                              const std::vector<request<D>>& batch,
+                              std::size_t begin, std::size_t end,
+                              const Target& target, std::uint64_t epoch,
+                              std::vector<response<D>>& responses) {
     auto& cache = *caches_[s];
     if (!cache.enabled()) {
       detail::execute_read_phase_on<D>(target, batch, begin, end, responses);
-      return;
+      return 0;
     }
+    std::size_t lookup_hits = 0;
     std::vector<request<D>> misses;
     std::vector<std::size_t> miss_idx;
     // Same-run dedup, hashed on the shared canonical result key (the
@@ -1796,14 +2186,18 @@ class query_service {
           dups.emplace_back(i, dit->second);
           continue;
         }
-        if (cache.lookup(key, responses[i].points)) continue;
+        if (cache.lookup(key, responses[i].points)) {
+          ++lookup_hits;
+          continue;
+        }
         first_miss.emplace(key, misses.size());
       }
       misses.push_back(r);
       miss_idx.push_back(i);
     }
     if (!dups.empty()) cache.add_hits(dups.size());
-    if (misses.empty() && dups.empty()) return;
+    const std::size_t hits = lookup_hits + dups.size();
+    if (misses.empty() && dups.empty()) return hits;
     std::vector<response<D>> rows(misses.size());
     // Miss-side of the cache latency split: the tree execution the
     // missed probes went on to pay (the hit side is timed inside
@@ -1821,6 +2215,7 @@ class query_service {
     for (const auto& [i, j] : dups) {
       responses[i].points = responses[miss_idx[j]].points;
     }
+    return hits;
   }
 
   // ---- snapshot-read path -------------------------------------------------
@@ -1874,7 +2269,8 @@ class query_service {
       recycle_read_group(*g);
       fulfill_group(std::move(g->tickets), g->total, batch_result<D>{},
                     nullptr, /*snapshot_epoch=*/0, /*read_group=*/true,
-                    /*lagged=*/false, /*exec_seconds=*/0, g->trace_ticket);
+                    /*lagged=*/false, /*exec_seconds=*/0, /*commit_epoch=*/0,
+                    g->trace_ticket);
       return;
     }
     if (cfg_.drain != drain_mode::single) {
@@ -2003,7 +2399,7 @@ class query_service {
     recycle_read_group(*g);
     fulfill_group(std::move(g->tickets), g->total, std::move(result), error,
                   snap_epoch, /*read_group=*/true, lagged, secs,
-                  g->trace_ticket);
+                  /*commit_epoch=*/0, g->trace_ticket);
   }
 
   void recycle_read_group(read_group& g) {
@@ -2122,9 +2518,12 @@ class query_service {
               if (g->sub[s].empty()) return;
               shard_res[s].responses.resize(g->sub[s].size());
               const std::uint64_t s0 = tel_.enabled() ? tel_.now_ns() : 0;
-              run_shard_reads(s, g->sub[s], 0, g->sub[s].size(),
-                              *g->snaps[s], g->snaps[s]->epoch(),
-                              shard_res[s].responses);
+              const std::size_t hits = run_shard_reads(
+                  s, g->sub[s], 0, g->sub[s].size(), *g->snaps[s],
+                  g->snaps[s]->epoch(), shard_res[s].responses);
+              if (hits > 0) {
+                watch_cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+              }
               if (tel_.enabled()) {
                 tel_.record_shard(s, stage::execute_read,
                                   tel_.now_ns() - s0);
@@ -2231,11 +2630,13 @@ class query_service {
     begin_write_group();
     std::vector<pending_entry> group;
     group.push_back(pending_entry{/*id=*/0, std::move(erases), tel_.now_ns()});
+    next_group_origin_ = log_origin::expire;  // tag this group's log record
     if (cfg_.drain != drain_mode::single) {
       dispatch_shard_group(std::move(group), /*total=*/0);
     } else {
       run_sync_group(std::move(group), /*total=*/0);
     }
+    next_group_origin_ = log_origin::client;
     {
       std::lock_guard<std::mutex> lk(hub_->mu);
       stats_.expired_points += count;
@@ -2278,10 +2679,52 @@ class query_service {
                       trace_ticket);
       }
     }
+    std::uint64_t commit_epoch = 0;
+    if (log_ && !error) {
+      // Single mode executed the combined stream in place: reconstruct
+      // the run structure it issued — phase-cut the combined stream, then
+      // (shards > 1) partition each write phase per shard in shard order,
+      // exactly mirroring run_write_phase. Routing here re-uses the
+      // CURRENT bounds, which are the bounds every phase routed under
+      // (derivation, if any, happened in the first write phase, before
+      // anything was routed).
+      commit_epoch = append_log_group(
+          [&](log_group<D>& lg) {
+            std::size_t i = 0;
+            const std::size_t n = combined.size();
+            while (i < n) {
+              if (is_read(combined[i].kind)) {
+                ++i;
+                continue;
+              }
+              std::size_t j = i + 1;
+              while (j < n && combined[j].kind == combined[i].kind) ++j;
+              if (cfg_.shards == 1) {
+                append_write_runs(lg, 0, combined, i, j);
+              } else {
+                std::vector<std::vector<point<D>>> per(cfg_.shards);
+                for (std::size_t k = i; k < j; ++k) {
+                  per[owner_of(combined[k].p)].push_back(combined[k].p);
+                }
+                for (std::size_t s = 0; s < cfg_.shards; ++s) {
+                  if (per[s].empty()) continue;
+                  log_record<D> rec;
+                  rec.shard = static_cast<std::uint32_t>(s);
+                  rec.kind = combined[i].kind == op::insert ? log_op::insert
+                                                            : log_op::erase;
+                  rec.pts = std::move(per[s]);
+                  lg.records.push_back(std::move(rec));
+                }
+              }
+              i = j;
+            }
+          },
+          /*with_bounds=*/false);
+    }
     const double secs = result.stats.seconds;
     fulfill_group(std::move(group), total, std::move(result), error,
                   /*snapshot_epoch=*/0, /*read_group=*/false,
-                  /*lagged=*/false, secs, trace_ticket);
+                  /*lagged=*/false, secs, commit_epoch, trace_ticket);
   }
 
   // Executes one combined stream with the engine's phase discipline
@@ -2366,7 +2809,8 @@ class query_service {
   void fulfill_group(std::vector<pending_entry> group, std::size_t total,
                      batch_result<D> result, std::exception_ptr error,
                      std::uint64_t snap_epoch, bool read_group, bool lagged,
-                     double exec_seconds, std::uint64_t trace_ticket) {
+                     double exec_seconds, std::uint64_t commit_epoch,
+                     std::uint64_t trace_ticket) {
     using record_t = typename detail::completion_hub<D>::record;
     // One fulfil stamp serves every ticket in the group: completion
     // latency is fulfil - submit on the telemetry clock (the same delta
@@ -2401,6 +2845,7 @@ class query_service {
           }
         }
         tr.snapshot_epoch = snap_epoch;
+        tr.commit_epoch = commit_epoch;
         off += e.batch.size();
         auto it = hub_->tickets.find(e.id);
         if (it == hub_->tickets.end()) continue;  // handle dropped: evict now
@@ -2695,6 +3140,19 @@ class query_service {
   std::condition_variable read_cv_;
   std::deque<std::shared_ptr<read_group>> read_q_;
   bool read_shutdown_ = false;
+
+  // Replication (query/oplog.h). log_ is attached before traffic and
+  // appended to only by the drain thread (plus bootstrap, pre-traffic) —
+  // log order is commit order. Replica side: replay_q_ (hub_->mu) feeds
+  // the drain thread log groups in epoch order, applied_epoch_ is the
+  // replay position routers gate reads on, next_group_origin_ is
+  // drain-thread scratch tagging TTL sweeps. watch_cache_hits_ counts
+  // watch-path rows the result cache served (reader threads bump it).
+  std::shared_ptr<op_log<D>> log_;
+  std::deque<log_group<D>> replay_q_;
+  std::atomic<std::uint64_t> applied_epoch_{0};
+  log_origin next_group_origin_ = log_origin::client;
+  std::atomic<std::uint64_t> watch_cache_hits_{0};
 
   std::mutex close_mu_;
   bool threads_joined_ = false;

@@ -1,0 +1,384 @@
+// Replicated read tier over the op log (query/oplog.h): N extra
+// query_service instances trailing the primary's log by epochs, plus the
+// tiny front door that scatters reads across them under a staleness
+// bound.
+//
+//     writes                    reads (staleness-bounded)
+//       |                          |
+//       v                          v
+//   +---------+   append    +--------------+   pick freshest eligible
+//   | primary | ----------> |    op log    |        replica_router
+//   +---------+             +--------------+       /      |      \
+//                             | tail (epoch      v       v       v
+//                             |  order)      +-------+ +-------+ +-------+
+//                             +------------> | rep 0 | | rep 1 | | rep 2 |
+//                                            +-------+ +-------+ +-------+
+//                                             applied   applied   applied
+//                                             epoch 41  epoch 42  epoch 40
+//
+// - `replica_set<D>` hosts the replicas: each is a query_service built
+//   from the primary's config with the self-mutating subsystems disabled
+//   (no TTL expiry, no stripe rebalancing — those arrive through the log
+//   as `expire` and `rebalance` groups, replayed verbatim), fed by a tail
+//   thread that reads new log groups in epoch order and hands them to
+//   `apply_replayed()`. Because replay re-issues the primary's exact
+//   backend-call sequence, a replica's answers are byte-identical to the
+//   primary's at every epoch boundary.
+// - `replica_router<D>` is the front door. Writes go to the primary
+//   (completions carry `ticket_result::commit_epoch`). A read-only batch
+//   goes to the freshest replica whose `applied_epoch` clears BOTH
+//   bounds: the staleness bound `head - max_epoch_lag` (never read data
+//   more than `max_epoch_lag` committed groups old) and the caller's
+//   read-your-writes floor `min_epoch` (pass the commit_epoch from your
+//   last write completion to be guaranteed to see it). When no replica
+//   qualifies the read falls back to the primary — always correct, just
+//   not offloaded — and is counted.
+//
+// Deterministic tests build the set with `start_tails = false` and step
+// replication explicitly with `pump()` (replay everything currently in
+// the log, wait for it to apply).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/oplog.h"
+#include "query/query_service.h"
+
+namespace pargeo::query {
+
+/// Derives a replica's config from the primary's: same backend, shards,
+/// routing policy, and drain mode (replay re-issues explicit per-shard
+/// calls, so any drain mode converges), but with TTL expiry and stripe
+/// rebalancing off — a replica must never originate writes of its own,
+/// or it diverges from the log.
+inline service_config replica_config(service_config cfg) {
+  cfg.point_ttl_ns = 0;
+  cfg.ttl_now = nullptr;
+  cfg.rebalance_threshold = 0;
+  return cfg;
+}
+
+/// N query_service replicas tailing one op log in epoch order.
+template <int D>
+class replica_set {
+ public:
+  /// With `start_tails` (the default), one tail thread per replica
+  /// streams new log groups into it as they commit; `pump()` is then
+  /// unavailable. With tails off, nothing replays until pump() — the
+  /// deterministic mode tests and epoch-boundary oracles use.
+  replica_set(std::shared_ptr<op_log<D>> log, const service_config& primary_cfg,
+              std::size_t replicas, bool start_tails = true)
+      : log_(std::move(log)), tails_running_(start_tails) {
+    if (!log_) {
+      throw std::invalid_argument("replica_set: null op_log");
+    }
+    const service_config cfg = replica_config(primary_cfg);
+    services_.reserve(replicas);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      services_.push_back(std::make_unique<query_service<D>>(cfg));
+    }
+    enqueued_.assign(replicas, 0);
+    if (start_tails) {
+      tails_.reserve(replicas);
+      for (std::size_t i = 0; i < replicas; ++i) {
+        tails_.emplace_back([this, i] { tail_loop(i); });
+      }
+    }
+  }
+
+  ~replica_set() { close(); }
+  replica_set(const replica_set&) = delete;
+  replica_set& operator=(const replica_set&) = delete;
+
+  std::size_t size() const { return services_.size(); }
+  query_service<D>& replica(std::size_t i) { return *services_[i]; }
+  const query_service<D>& replica(std::size_t i) const {
+    return *services_[i];
+  }
+
+  /// Last log epoch replica i has dispatched to its lanes (reads
+  /// submitted after observing it are guaranteed to see those writes).
+  std::uint64_t applied_epoch(std::size_t i) const {
+    return services_[i]->applied_epoch();
+  }
+
+  /// The stalest replica's position (0 with no replicas).
+  std::uint64_t min_applied_epoch() const {
+    std::uint64_t m = 0;
+    for (std::size_t i = 0; i < services_.size(); ++i) {
+      const std::uint64_t a = services_[i]->applied_epoch();
+      if (i == 0 || a < m) m = a;
+    }
+    return m;
+  }
+
+  /// A tail thread hit a replay gap (the ring evicted groups it had not
+  /// consumed yet — capacity too small for the write rate). The replica
+  /// stops advancing; message in tail_error().
+  bool tail_failed() const {
+    return tail_failed_.load(std::memory_order_acquire);
+  }
+  std::string tail_error() const {
+    std::lock_guard<std::mutex> lk(err_mu_);
+    return tail_error_;
+  }
+
+  /// Deterministic replication step (tails off only): replays every
+  /// group currently in the log on every replica and waits until each
+  /// replica's applied_epoch reaches the log head as of entry.
+  void pump() {
+    if (tails_running_) {
+      throw std::logic_error(
+          "replica_set::pump with tail threads running (they would "
+          "double-apply); construct with start_tails = false");
+    }
+    const std::uint64_t head = log_->head();
+    for (std::size_t i = 0; i < services_.size(); ++i) {
+      while (enqueued_[i] < head) {
+        auto groups = log_->read_from(enqueued_[i], 64);
+        if (groups.empty()) break;
+        for (auto& g : groups) {
+          const std::uint64_t e = g.epoch;
+          services_[i]->apply_replayed(std::move(g));
+          enqueued_[i] = e;
+        }
+      }
+      wait_applied(i, enqueued_[i]);
+      // applied_epoch advances at lane *dispatch*; pump promises full
+      // application (callers gather()/size() the replica right after).
+      services_[i]->wait_lanes_idle();
+    }
+  }
+
+  /// Blocks until replica i's applied_epoch reaches `epoch`.
+  void wait_applied(std::size_t i, std::uint64_t epoch) const {
+    while (services_[i]->applied_epoch() < epoch) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  /// Stops the tail threads and closes every replica. Idempotent; also
+  /// run by the destructor.
+  void close() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& t : tails_) {
+      if (t.joinable()) t.join();
+    }
+    tails_.clear();
+    tails_running_ = false;
+    for (auto& s : services_) s->close();
+  }
+
+ private:
+  void tail_loop(std::size_t i) {
+    // Keep the replay queue bounded: after handing off a window of
+    // groups, wait for the replica to catch up to within the window
+    // before tailing further (otherwise a slow replica buffers the whole
+    // log in its queue).
+    constexpr std::uint64_t kWindow = 128;
+    std::uint64_t at = 0;  // last epoch handed to the replica
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!log_->wait_for_head(at, std::chrono::milliseconds(20))) continue;
+      std::vector<log_group<D>> groups;
+      try {
+        groups = log_->read_from(at, 64);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lk(err_mu_);
+        tail_error_ = e.what();
+        tail_failed_.store(true, std::memory_order_release);
+        return;
+      }
+      for (auto& g : groups) {
+        const std::uint64_t e = g.epoch;
+        try {
+          services_[i]->apply_replayed(std::move(g));
+        } catch (const std::exception&) {
+          return;  // replica closed under us; tail is done
+        }
+        at = e;
+        while (!stop_.load(std::memory_order_acquire) &&
+               services_[i]->applied_epoch() + kWindow < at) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    }
+  }
+
+  std::shared_ptr<op_log<D>> log_;
+  std::vector<std::unique_ptr<query_service<D>>> services_;
+  std::vector<std::uint64_t> enqueued_;  // pump() bookkeeping (tails off)
+  std::vector<std::thread> tails_;
+  bool tails_running_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> tail_failed_{false};
+  mutable std::mutex err_mu_;
+  std::string tail_error_;
+};
+
+/// Router counters (a snapshot; see replica_router::stats()).
+struct router_stats {
+  std::size_t writes = 0;             // batches sent to the primary as writes
+  std::size_t reads_to_replicas = 0;  // read batches served by a replica
+  std::size_t reads_to_primary = 0;   // read batches served by the primary
+  std::size_t fallbacks = 0;  // reads wanting a replica, none eligible
+};
+
+/// The front door: writes to the primary, reads scattered across the
+/// replica set under a staleness bound. Thread-safe (submit from any
+/// number of producers); does not own the primary or the set.
+template <int D>
+class replica_router {
+ public:
+  /// `max_epoch_lag`: a replica may serve reads while trailing the log
+  /// head by at most this many epochs (committed write groups). 0 =
+  /// reads only from fully caught-up replicas.
+  replica_router(query_service<D>& primary, replica_set<D>& replicas,
+                 std::shared_ptr<op_log<D>> log, std::uint64_t max_epoch_lag)
+      : primary_(primary),
+        replicas_(replicas),
+        log_(std::move(log)),
+        max_epoch_lag_(max_epoch_lag) {
+    if (!log_) {
+      throw std::invalid_argument("replica_router: null op_log");
+    }
+  }
+
+  std::uint64_t max_epoch_lag() const { return max_epoch_lag_; }
+
+  /// Routes one batch. Writing (or mixed) batches go to the primary;
+  /// their completions carry commit_epoch. Read-only batches go to the
+  /// freshest replica whose applied epoch clears max(head -
+  /// max_epoch_lag, min_epoch) — pass the commit_epoch of your last
+  /// write as `min_epoch` for read-your-writes — with ties broken round
+  /// robin, falling back to the primary when no replica qualifies.
+  completion<D> submit(std::vector<request<D>> batch,
+                       std::uint64_t min_epoch = 0) {
+    bool read_only = true;
+    for (const auto& r : batch) {
+      if (!is_read(r.kind)) {
+        read_only = false;
+        break;
+      }
+    }
+    if (!read_only) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.writes;
+      }
+      return primary_.submit(std::move(batch));
+    }
+    const std::size_t idx = pick_replica(min_epoch);
+    if (idx == kPrimary) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.reads_to_primary;
+      if (replicas_.size() > 0) ++stats_.fallbacks;
+    } else {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.reads_to_replicas;
+    }
+    return idx == kPrimary ? primary_.submit(std::move(batch))
+                           : replicas_.replica(idx).submit(std::move(batch));
+  }
+
+  /// Synchronous convenience: submit + get.
+  ticket_result<D> execute(std::vector<request<D>> batch,
+                           std::uint64_t min_epoch = 0) {
+    return submit(std::move(batch), min_epoch).get();
+  }
+
+  router_stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  static constexpr std::size_t kPrimary = static_cast<std::size_t>(-1);
+
+  std::size_t pick_replica(std::uint64_t min_epoch) {
+    const std::size_t n = replicas_.size();
+    if (n == 0) return kPrimary;
+    const std::uint64_t head = log_->head();
+    const std::uint64_t staleness_floor =
+        head > max_epoch_lag_ ? head - max_epoch_lag_ : 0;
+    const std::uint64_t floor =
+        min_epoch > staleness_floor ? min_epoch : staleness_floor;
+    std::size_t best = kPrimary;
+    std::uint64_t best_applied = 0;
+    const std::size_t start =
+        rr_.fetch_add(1, std::memory_order_relaxed) % n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (start + k) % n;
+      const std::uint64_t a = replicas_.applied_epoch(i);
+      if (a < floor) continue;
+      if (best == kPrimary || a > best_applied) {
+        best = i;
+        best_applied = a;
+      }
+    }
+    return best;
+  }
+
+  query_service<D>& primary_;
+  replica_set<D>& replicas_;
+  std::shared_ptr<op_log<D>> log_;
+  std::uint64_t max_epoch_lag_;
+  std::atomic<std::uint64_t> rr_{0};
+  mutable std::mutex mu_;
+  router_stats stats_;
+};
+
+/// Prometheus text exposition of the replication tier: log head, the
+/// staleness bound, per-replica applied-epoch and lag gauges, and the
+/// router's routing counters. Append to the primary's metrics_text() for
+/// one scrape-ready page.
+template <int D>
+inline std::string replication_metrics_text(
+    const replica_set<D>& replicas, const op_log<D>& log,
+    const router_stats* router = nullptr) {
+  std::string out;
+  char line[160];
+  const auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  const std::uint64_t head = log.head();
+  emit("# HELP pargeo_replica_applied_epoch Last op-log epoch replayed\n"
+       "# TYPE pargeo_replica_applied_epoch gauge\n");
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    emit("pargeo_replica_applied_epoch{replica=\"%zu\"} %llu\n", i,
+         static_cast<unsigned long long>(replicas.applied_epoch(i)));
+  }
+  emit("# HELP pargeo_replica_lag Epochs behind the op-log head\n"
+       "# TYPE pargeo_replica_lag gauge\n");
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const std::uint64_t a = replicas.applied_epoch(i);
+    emit("pargeo_replica_lag{replica=\"%zu\"} %llu\n", i,
+         static_cast<unsigned long long>(head > a ? head - a : 0));
+  }
+  if (router != nullptr) {
+    emit("# HELP pargeo_router_batches_total Batches routed, by destination\n"
+         "# TYPE pargeo_router_batches_total counter\n");
+    emit("pargeo_router_batches_total{dest=\"primary_write\"} %llu\n",
+         static_cast<unsigned long long>(router->writes));
+    emit("pargeo_router_batches_total{dest=\"replica_read\"} %llu\n",
+         static_cast<unsigned long long>(router->reads_to_replicas));
+    emit("pargeo_router_batches_total{dest=\"primary_read\"} %llu\n",
+         static_cast<unsigned long long>(router->reads_to_primary));
+    emit("# HELP pargeo_router_fallbacks_total Reads that wanted a replica "
+         "but none was fresh enough\n"
+         "# TYPE pargeo_router_fallbacks_total counter\n");
+    emit("pargeo_router_fallbacks_total %llu\n",
+         static_cast<unsigned long long>(router->fallbacks));
+  }
+  return out;
+}
+
+}  // namespace pargeo::query

@@ -101,7 +101,11 @@ inline telemetry_level telemetry_level_from_string(const std::string& s) {
 /// snapshot). Continuous-query stages: watch_eval (one watch group's
 /// re-evaluation against the post-drain snapshots, i.e. the fire
 /// latency), expire (one TTL sweep on the drain thread, including the
-/// batch_erase dispatch).
+/// batch_erase dispatch). Replication stages: replicate (serializing one
+/// committed write group into the op log, on the primary's drain
+/// thread), replay (one log group's application on a replica: dispatch
+/// until the last lane finished re-executing the recorded backend
+/// calls).
 enum class stage : std::uint8_t {
   queue_wait,
   route,
@@ -113,9 +117,11 @@ enum class stage : std::uint8_t {
   completion,
   watch_eval,
   expire,
+  replicate,
+  replay,
 };
 
-inline constexpr std::size_t kNumStages = 10;
+inline constexpr std::size_t kNumStages = 12;
 
 inline constexpr std::size_t stage_index(stage s) {
   return static_cast<std::size_t>(s);
@@ -133,6 +139,8 @@ inline const char* stage_name(stage s) {
     case stage::completion: return "completion";
     case stage::watch_eval: return "watch_eval";
     case stage::expire: return "expire";
+    case stage::replicate: return "replicate";
+    case stage::replay: return "replay";
   }
   return "?";
 }

@@ -338,4 +338,48 @@ engine_stats run_workload(Executor& engine, const workload_spec& spec,
   return total;
 }
 
+/// Executor adapter for run_workload that drives a replicated tier
+/// (query/replica.h): bootstraps the primary and routes every batch
+/// through a replica_router, splitting each mixed batch into its ordered
+/// read / write runs first — the router scatters read-only batches, so a
+/// client that wants read scaling must not bury its reads inside mixed
+/// submissions. The last write run's commit_epoch is threaded back in as
+/// the read-your-writes floor of every subsequent read run, which is the
+/// pattern a well-behaved client of the replicated tier follows. Generic
+/// over the router type so this header stays independent of replica.h.
+template <int D, class Primary, class Router>
+struct routed_executor {
+  Primary& primary;
+  Router& router;
+  std::uint64_t floor = 0;  // commit_epoch of the latest write run
+
+  template <class Pts>
+  void bootstrap(const Pts& pts) {
+    primary.bootstrap(pts);
+  }
+  batch_result<D> execute(std::vector<request<D>> batch) {
+    batch_result<D> out;
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      const bool read = is_read(batch[i].kind);
+      std::size_t j = i + 1;
+      while (j < batch.size() && is_read(batch[j].kind) == read) ++j;
+      auto r = router.execute(
+          std::vector<request<D>>(batch.begin() + i, batch.begin() + j),
+          floor);
+      if (r.commit_epoch > floor) floor = r.commit_epoch;
+      // Same phase-id rebasing contract as run_workload: ids index the
+      // accumulated phase list.
+      const std::size_t base = out.stats.phases.size();
+      for (auto& resp : r.responses) {
+        resp.phase += base;
+        out.responses.push_back(std::move(resp));
+      }
+      out.stats.accumulate(r.stats);
+      i = j;
+    }
+    return out;
+  }
+};
+
 }  // namespace pargeo::query

@@ -179,6 +179,36 @@ TEST(SkewDrain, StealingDrainsTheHotLane) {
   EXPECT_EQ(service.size(), 600u + 64u * static_cast<std::size_t>(round));
 }
 
+TEST(SkewDrain, StealPollTickIsConfigurable) {
+  // steal_poll_ns sets how long an idle stealing lane waits before
+  // scanning the other queues. Both a very fast tick (lanes spin hot)
+  // and a tick well above the default must drain an all-hot-lane stream
+  // completely and promptly — the knob tunes latency, never correctness.
+  for (const std::uint64_t tick_ns : {std::uint64_t{50'000},
+                                      std::uint64_t{4'000'000}}) {
+    query::service_config cfg;
+    cfg.backend = backend::kdtree;
+    cfg.shards = 4;
+    cfg.policy = shard_policy::spatial;
+    cfg.drain = drain_mode::stealing;
+    cfg.ingest_window = 1;
+    cfg.cache_capacity = 0;
+    cfg.steal_poll_ns = tick_ns;
+    query::query_service<2> service(cfg);
+    service.bootstrap(datagen::uniform<2>(200, 5));
+    const double side = std::sqrt(200.0);
+
+    std::vector<query::completion<2>> pending;
+    for (int j = 0; j < 128; ++j) {
+      pending.push_back(service.submit({query::request<2>::make_insert(
+          point<2>{{side * 0.01 * (j % 8), side * 0.01 * (j % 10)}})}));
+    }
+    for (auto& c : pending) c.get();
+    service.close();
+    EXPECT_EQ(service.size(), 200u + 128u) << "tick " << tick_ns << "ns";
+  }
+}
+
 TEST(SkewDrain, RebalanceFlattensShardSizesAndKeepsContents) {
   // Deterministic skew: bootstrap balanced, then pour inserts into one
   // stripe through execute(). The rebalancer must re-derive the bounds,

@@ -231,6 +231,33 @@ TEST(QueryServiceWatch, FireCarriesFreshResultsAndSuppressedElsewise) {
   EXPECT_EQ(cap.fire_count(), 2u);
 }
 
+TEST(QueryServiceWatch, EvaluationProbesResultCache) {
+  // Watch re-evaluation goes through the result cache like any other
+  // read: two identical standing queries evaluated at the same boundary
+  // must share one backend probe per shard, surfaced as watch_cache_hits.
+  query::service_config cfg;
+  cfg.backend = backend::kdtree;
+  cfg.shards = 2;
+  cfg.policy = shard_policy::hash;  // cache_capacity default: cache on
+  query::query_service<2> service(cfg);
+  std::vector<point<2>> boot;
+  for (int i = 0; i < 16; ++i) boot.push_back(pt(i, i));
+  service.bootstrap(boot);
+
+  capture a;
+  capture b;
+  auto h1 = service.watch_knn(pt(0, 0), 2, a.cb());
+  auto h2 = service.watch_knn(pt(0, 0), 2, b.cb());
+
+  service.execute({query::request<2>::make_insert(pt(0.5, 0.5))});
+  wait_until([&] { return a.fire_count() >= 1 && b.fire_count() >= 1; },
+             "both identical watches fire");
+  wait_until([&] { return service.stats().watch_cache_hits >= 1; },
+             "duplicate watch rows served from the result cache");
+  // Both watches saw the same (fresh) answer.
+  EXPECT_EQ(a.last_rows(), b.last_rows());
+}
+
 TEST(QueryServiceWatch, DisjointWriteStreamIsPrunedAndNeverFires) {
   // Spatial policy: stripes carved from the bootstrap set; the watch box
   // lives entirely in the left stripes while every write lands far right,
