@@ -43,6 +43,15 @@
 // staleness router — read ops/s per replica count, with replay counters
 // and end-of-run replica lag.
 //
+// Part 10 (`durability`) prices the fault-tolerance layer (query/oplog.h,
+// query/checkpoint.h): 50%-read serving with the durable op log attached
+// under each sync policy (none / interval / every_commit) against the
+// no-log baseline — ops/s plus fsync and byte counts — then crash
+// recovery time vs checkpoint cadence: the same write history is laid
+// down at checkpoint_every 0 / 4 / 16 and `query_service::recover()`
+// is timed rebuilding from the newest checkpoint + salvaged log tail,
+// reporting recovered epochs and residual log replay.
+//
 // `--json` emits one JSON object per row instead of the aligned table, so
 // EXPERIMENTS.md can be regenerated mechanically. The first JSON line is a
 // `meta` row stamping `hardware_concurrency` plus build provenance
@@ -56,11 +65,14 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <dirent.h>
 
 #include "bench_common.h"
 #include "query/query_service.h"
@@ -149,6 +161,75 @@ void emit_latency(bool json, const char* of,
                   s.p95 / 1e3, s.p99 / 1e3, s.p999 / 1e3, s.max / 1e3);
     }
   }
+}
+
+// ---- durability ------------------------------------------------------------
+
+std::string fresh_bench_dir() {
+  std::string tmpl = "/tmp/pargeo_benchXXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) return std::string();
+  return tmpl;
+}
+
+void remove_bench_dir(const std::string& dir) {
+  if (dir.empty()) return;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+// One serving run with the durable op log attached (or detached, for the
+// no-log baseline): what commit durability costs at each fsync cadence.
+sweep_row run_durable(bool log_on, query::sync_policy sync,
+                      std::size_t checkpoint_every,
+                      const query::workload_spec& spec,
+                      const std::string& dir) {
+  query::service_config cfg;
+  cfg.backend = query::backend::bdltree;
+  cfg.shards = 2;
+  cfg.policy = query::shard_policy::hash;
+  if (log_on) {
+    cfg.log_dir = dir;
+    cfg.sync = sync;
+    cfg.checkpoint_every = checkpoint_every;
+  }
+  query::query_service<kDim> service(cfg);
+  const auto stats = query::run_workload<kDim>(service, spec);
+  service.close();
+  sweep_row row;
+  row.ops_per_sec = stats.ops_per_sec();
+  row.stats = service.stats();
+  return row;
+}
+
+struct recovery_row {
+  double recover_ms = 0;
+  query::service_stats stats;
+  std::size_t resident = 0;
+};
+
+// Times query_service::recover() over the directory a run_durable call
+// left behind: checkpoint load + salvaged-tail replay, end to end.
+recovery_row time_recovery(const std::string& dir,
+                           std::size_t checkpoint_every) {
+  query::service_config cfg;  // must match the writer's topology
+  cfg.backend = query::backend::bdltree;
+  cfg.shards = 2;
+  cfg.policy = query::shard_policy::hash;
+  cfg.checkpoint_every = checkpoint_every;
+  timer clock;
+  auto svc = query::query_service<kDim>::recover(dir, cfg);
+  recovery_row row;
+  row.recover_ms = clock.elapsed() * 1e3;
+  row.resident = svc->size();
+  svc->close();
+  row.stats = svc->stats();
+  return row;
 }
 
 struct async_row {
@@ -898,5 +979,90 @@ int main(int argc, char** argv) {
     }
   }
   emit_latency(json, "replication", section_tel);
+  section_tel = query::telemetry_report{};
+
+  // Part 10: durability. First the append+sync price per policy on a
+  // write-heavy serving run, then recovery time vs checkpoint cadence
+  // over the same write history.
+  if (!json) {
+    bench::print_header(
+        "durability: 50%-read serving with durable op log, bdltree, "
+        "2 shards — append+sync cost per policy",
+        "sync_policy              ops/s      syncs      bytes");
+  }
+  // Smaller batches than the serving sections: the durability story is
+  // per-commit (frame + fsync per write group), so the sweep needs enough
+  // write groups for the cadences below to actually fire.
+  auto dur_spec = make_spec(initial_n, num_ops, 0.50);
+  dur_spec.batch_size = 256;
+  struct sync_mode {
+    const char* name;
+    bool log_on;
+    query::sync_policy sync;
+  };
+  const sync_mode modes[] = {
+      {"off(no log)", false, query::sync_policy::none},
+      {"none", true, query::sync_policy::none},
+      {"interval", true, query::sync_policy::interval},
+      {"every_commit", true, query::sync_policy::every_commit},
+  };
+  for (const auto& m : modes) {
+    const std::string dir = m.log_on ? fresh_bench_dir() : std::string();
+    const auto row = run_durable(m.log_on, m.sync, /*checkpoint_every=*/0,
+                                 dur_spec, dir);
+    section_tel.merge(row.stats.telemetry);
+    if (json) {
+      std::printf(
+          "{\"section\":\"durability\",\"mode\":\"append\","
+          "\"backend\":\"bdltree\",\"shards\":2,\"read_frac\":0.50,"
+          "\"sync\":\"%s\",\"initial_n\":%zu,\"num_ops\":%zu,"
+          "\"ops_per_sec\":%.0f,\"log_syncs\":%llu,\"log_bytes\":%llu%s}\n",
+          m.name, initial_n, num_ops, row.ops_per_sec,
+          static_cast<unsigned long long>(row.stats.log_syncs),
+          static_cast<unsigned long long>(row.stats.log_bytes),
+          completion_fields(row.stats).c_str());
+    } else {
+      std::printf("%-18s %10.0f %10llu %10llu\n", m.name, row.ops_per_sec,
+                  static_cast<unsigned long long>(row.stats.log_syncs),
+                  static_cast<unsigned long long>(row.stats.log_bytes));
+    }
+    remove_bench_dir(dir);
+  }
+
+  if (!json) {
+    bench::print_header(
+        "durability: recovery time vs checkpoint cadence (same write "
+        "history, sync=interval) — recover() = newest checkpoint + "
+        "salvaged log tail",
+        "ck_every   recover_ms  recovered_epochs  checkpoints  resident");
+  }
+  for (const std::size_t ck_every :
+       {std::size_t{0}, std::size_t{4}, std::size_t{16}}) {
+    const std::string dir = fresh_bench_dir();
+    const auto wrote = run_durable(true, query::sync_policy::interval,
+                                   ck_every, dur_spec, dir);
+    section_tel.merge(wrote.stats.telemetry);
+    const auto rec = time_recovery(dir, ck_every);
+    if (json) {
+      std::printf(
+          "{\"section\":\"durability\",\"mode\":\"recover\","
+          "\"backend\":\"bdltree\",\"shards\":2,\"read_frac\":0.50,"
+          "\"checkpoint_every\":%zu,\"initial_n\":%zu,\"num_ops\":%zu,"
+          "\"recover_ms\":%.1f,\"recovered_epochs\":%llu,"
+          "\"truncated_groups\":%llu,\"checkpoints\":%zu,"
+          "\"resident\":%zu}\n",
+          ck_every, initial_n, num_ops, rec.recover_ms,
+          static_cast<unsigned long long>(rec.stats.recovered_epochs),
+          static_cast<unsigned long long>(rec.stats.truncated_groups),
+          wrote.stats.checkpoints, rec.resident);
+    } else {
+      std::printf("%8zu %12.1f %17llu %12zu %9zu\n", ck_every,
+                  rec.recover_ms,
+                  static_cast<unsigned long long>(rec.stats.recovered_epochs),
+                  wrote.stats.checkpoints, rec.resident);
+    }
+    remove_bench_dir(dir);
+  }
+  emit_latency(json, "durability", section_tel);
   return 0;
 }

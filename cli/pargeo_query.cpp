@@ -11,6 +11,8 @@
 //                [--ttl <ns>] [--watches <n>]
 //                [--replicas <n>] [--max-lag <epochs>]
 //                [--steal-poll-ns <ns>]
+//                [--log-dir <dir>] [--sync none|interval|every_commit]
+//                [--checkpoint-every <groups>] [--deadline-us <us>]
 //
 // Flags (anywhere on the command line, stripped before positional
 // parsing):
@@ -54,6 +56,30 @@
 //                         long a lane waits before scanning sibling
 //                         queues for work to steal (default 1000000 =
 //                         1ms)
+//   --log-dir DIR         durable op log: every committed write group is
+//                         framed+checksummed into DIR/oplog.pgol before
+//                         its tickets complete; `pargeo_query` can be
+//                         killed and the directory recovered with
+//                         query_service::recover (query/oplog.h,
+//                         query/checkpoint.h). With backend=all each
+//                         backend rewrites the directory — the last
+//                         backend's state survives (same overwrite rule
+//                         as --metrics-out). A durability summary line
+//                         (checkpoints, syncs, bytes, shed requests)
+//                         prints after each backend row.
+//   --sync POLICY         fsync cadence for --log-dir: none (page cache
+//                         only), interval (default; every 32 groups), or
+//                         every_commit (power-loss safe, priced in
+//                         EXPERIMENTS.md)
+//   --checkpoint-every N  with --log-dir: write a checkpoint every N
+//                         committed write groups and compact the log
+//                         below it (0 = never, default). Bounds both
+//                         recovery time and log size.
+//   --deadline-us US      admission deadline: batches still queued US
+//                         microseconds after submit are shed with
+//                         timed-out completions instead of executing
+//                         (0 = off). Counted in the durability summary
+//                         and pargeo_deadline_expired_total.
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
@@ -105,6 +131,10 @@ struct cli_opts {
   std::size_t replicas = 0;    // epoch-trailing read replicas, 0 = off
   std::uint64_t max_lag = 1;   // replica staleness bound (epochs)
   std::uint64_t steal_poll_ns = 0;  // stealing-lane poll tick, 0 = default
+  std::string log_dir;              // durable op log directory, "" = off
+  query::sync_policy sync = query::sync_policy::interval;
+  std::size_t checkpoint_every = 0;  // write groups per checkpoint, 0 = never
+  std::uint64_t deadline_us = 0;     // admission deadline, 0 = off
 };
 
 query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
@@ -151,8 +181,15 @@ int run_backend(query::backend b, const query::workload_spec& spec,
   std::unique_ptr<query::replica_set<D>> replicas;
   std::unique_ptr<query::replica_router<D>> router;
   if (opts.replicas > 0) {
-    log = std::make_shared<query::op_log<D>>();
-    service.attach_log(log);
+    if (!opts.log_dir.empty()) {
+      // --log-dir already attached a durable log in the ctor; the
+      // replicas tail that one (attaching a second would orphan the
+      // durable file).
+      log = service.log();
+    } else {
+      log = std::make_shared<query::op_log<D>>();
+      service.attach_log(log);
+    }
     replicas = std::make_unique<query::replica_set<D>>(log, cfg, opts.replicas);
     router = std::make_unique<query::replica_router<D>>(service, *replicas,
                                                         log, opts.max_lag);
@@ -228,6 +265,15 @@ int run_backend(query::backend b, const query::workload_spec& spec,
     std::printf("  watches=%zu fires=%zu suppressed=%zu expired=%zu\n",
                 svc.active_watches, svc.watch_fires, svc.watch_suppressed,
                 svc.expired_points);
+  }
+  if (!opts.log_dir.empty() || opts.deadline_us > 0) {
+    std::printf(
+        "  durability: sync=%s syncs=%llu bytes=%llu checkpoints=%zu "
+        "(errors=%zu) append_errors=%zu shed=%zu\n",
+        query::sync_policy_name(cfg.sync),
+        static_cast<unsigned long long>(svc.log_syncs),
+        static_cast<unsigned long long>(svc.log_bytes), svc.checkpoints,
+        svc.checkpoint_errors, svc.log_append_errors, svc.deadline_expired);
   }
   if (replicas) {
     // Let the tails drain the last committed groups so the printed lag is
@@ -418,6 +464,34 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.steal_poll_ns = static_cast<std::uint64_t>(ns);
+    } else if (const char* v = value_of("--log-dir")) {
+      opts.log_dir = v;
+    } else if (const char* v = value_of("--sync")) {
+      try {
+        opts.sync = query::sync_policy_from_string(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (const char* v = value_of("--checkpoint-every")) {
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-every wants write groups >= 0 (got '%s')\n",
+                     v);
+        return 2;
+      }
+      opts.checkpoint_every = static_cast<std::size_t>(n);
+    } else if (const char* v = value_of("--deadline-us")) {
+      char* end = nullptr;
+      const long long us = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || us < 0) {
+        std::fprintf(stderr,
+                     "--deadline-us wants microseconds >= 0 (got '%s')\n", v);
+        return 2;
+      }
+      opts.deadline_us = static_cast<std::uint64_t>(us);
     } else if (std::strncmp(a, "--", 2) == 0 && a[2] != '\0') {
       std::fprintf(stderr, "unknown flag '%s'\n", a);
       return 2;
@@ -440,7 +514,9 @@ int main(int argc, char** argv) {
         "[rebalance_threshold=0] [--verbose] "
         "[--telemetry off|stats|trace] [--trace-out path] "
         "[--metrics-out path] [--ttl ns] [--watches n] [--replicas n] "
-        "[--max-lag epochs] [--steal-poll-ns ns]\n",
+        "[--max-lag epochs] [--steal-poll-ns ns] [--log-dir dir] "
+        "[--sync none|interval|every_commit] [--checkpoint-every n] "
+        "[--deadline-us us]\n",
         argv[0]);
     return 2;
   }
@@ -473,6 +549,10 @@ int main(int argc, char** argv) {
   cfg.telemetry = telemetry;
   cfg.point_ttl_ns = opts.ttl_ns;
   cfg.shards = static_cast<std::size_t>(shards_arg);
+  cfg.log_dir = opts.log_dir;
+  cfg.sync = opts.sync;
+  cfg.checkpoint_every = opts.checkpoint_every;
+  cfg.deadline_ns = opts.deadline_us * 1000;
   if (argc > 10) {
     try {
       cfg.policy = query::shard_policy_from_string(argv[10]);

@@ -1,0 +1,328 @@
+// Checkpoints: per-shard resident state at an epoch (query subsystem).
+//
+// A checkpoint is everything needed to rebuild a `query_service<D>`
+// without replaying the log from epoch 1: the epoch it was taken at,
+// the spatial stripe geometry (split dim + cuts, when set), and each
+// shard's resident points in gather order. Recovery bootstraps the
+// engines from the checkpoint and replays only the log tail with
+// epoch > checkpoint.epoch; compaction then truncates the log below
+// that epoch so cold replicas stop replaying from genesis.
+//
+//   *Atomicity*. write_checkpoint() serializes to `ck-<epoch>.pgck.tmp`,
+//   fsyncs, renames into place, and only then rewrites the CURRENT
+//   manifest (also tmp + rename). A crash at any point leaves the
+//   previous checkpoint live: the fault point "checkpoint.serialize"
+//   fires before any byte is written, and a torn tmp file never gets
+//   the rename.
+//
+//   *Manifest*. CURRENT lists checkpoint filenames newest-first, one
+//   per line, at most kKeep entries; files that fall off the list are
+//   unlinked. This is the LevelDB discipline: no directory listing at
+//   recovery, just follow the manifest and fall back one entry if the
+//   newest file fails its checksum.
+//
+//   *Format*. "PGCK" | u32 version | u32 dim | payload | trailing
+//   u64 FNV-1a over everything before it. Unlike the op log there is
+//   no per-frame salvage: a checkpoint is all-or-nothing (rename is
+//   the commit point), so any corruption rejects the file and recovery
+//   falls back to the previous manifest entry.
+#pragma once
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/point.h"
+#include "query/fault.h"
+
+namespace pargeo::query {
+
+template <int D>
+struct checkpoint_data {
+  std::uint64_t epoch = 0;  // log epoch this state is consistent with
+  bool bounds_set = false;
+  std::int32_t split_dim = 0;
+  std::vector<double> cuts;  // stripe upper cuts, size == shards - 1
+  std::vector<std::vector<point<D>>> shard_points;  // resident, per shard
+
+  std::size_t num_points() const {
+    std::size_t n = 0;
+    for (const auto& s : shard_points) n += s.size();
+    return n;
+  }
+};
+
+namespace detail_ck {
+
+inline constexpr char kMagic[5] = "PGCK";
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kKeep = 2;  // manifest depth (current + fallback)
+
+inline std::uint64_t fnv1a(const unsigned char* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline void put_bytes(std::vector<unsigned char>& b, const void* p,
+                      std::size_t n) {
+  const auto* c = static_cast<const unsigned char*>(p);
+  b.insert(b.end(), c, c + n);
+}
+inline void put_u8(std::vector<unsigned char>& b, std::uint8_t v) {
+  b.push_back(v);
+}
+inline void put_u32(std::vector<unsigned char>& b, std::uint32_t v) {
+  put_bytes(b, &v, 4);
+}
+inline void put_u64(std::vector<unsigned char>& b, std::uint64_t v) {
+  put_bytes(b, &v, 8);
+}
+inline void put_f64(std::vector<unsigned char>& b, double v) {
+  put_bytes(b, &v, 8);
+}
+
+struct reader {
+  const unsigned char* data;
+  std::size_t len;
+  std::size_t off;
+  const std::string& path;
+
+  void need(std::size_t n) const {
+    if (off + n > len) {
+      throw std::runtime_error("checkpoint: '" + path + "' truncated");
+    }
+  }
+  void bytes(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, data + off, n);
+    off += n;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v;
+    bytes(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    bytes(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    bytes(&v, 8);
+    return v;
+  }
+  double f64() {
+    double v;
+    bytes(&v, 8);
+    return v;
+  }
+  std::size_t checked_count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (min_elem_bytes > 0 && n > (len - off) / min_elem_bytes) {
+      throw std::runtime_error("checkpoint: '" + path +
+                               "' truncated (element count exceeds file)");
+    }
+    return static_cast<std::size_t>(n);
+  }
+};
+
+inline void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw std::runtime_error("checkpoint: cannot create directory '" + dir +
+                             "'");
+  }
+}
+
+inline bool read_file(const std::string& path,
+                      std::vector<unsigned char>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  out.clear();
+  unsigned char chunk[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out.insert(out.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// tmp + fsync + rename. `torn_cap` (from a fault) truncates the write
+/// and throws after the partial tmp lands — the rename never happens.
+inline void write_file_atomic(const std::string& path,
+                              const std::vector<unsigned char>& buf,
+                              std::uint64_t torn_cap, bool torn) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    throw std::runtime_error("checkpoint: cannot open '" + tmp +
+                             "' for writing");
+  }
+  const std::size_t cap =
+      torn ? std::min<std::size_t>(buf.size(),
+                                   static_cast<std::size_t>(torn_cap))
+           : buf.size();
+  const std::size_t wrote = std::fwrite(buf.data(), 1, cap, f);
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  const bool ok = std::fclose(f) == 0 && wrote == buf.size() && !torn;
+  if (!ok) {
+    throw std::runtime_error("checkpoint: torn/short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: cannot rename '" + tmp + "'");
+  }
+}
+
+/// CURRENT manifest: newest-first filenames, one per line.
+inline std::vector<std::string> read_manifest(const std::string& dir) {
+  std::vector<unsigned char> buf;
+  std::vector<std::string> names;
+  if (!read_file(dir + "/CURRENT", buf)) return names;
+  std::string line;
+  for (unsigned char c : buf) {
+    if (c == '\n') {
+      if (!line.empty()) names.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  if (!line.empty()) names.push_back(line);
+  return names;
+}
+
+inline void write_manifest(const std::string& dir,
+                           const std::vector<std::string>& names) {
+  std::vector<unsigned char> buf;
+  for (const auto& n : names) {
+    put_bytes(buf, n.data(), n.size());
+    put_u8(buf, '\n');
+  }
+  write_file_atomic(dir + "/CURRENT", buf, 0, false);
+}
+
+}  // namespace detail_ck
+
+/// Serializes `ck` into `dir` as the new live checkpoint (atomic),
+/// updates the CURRENT manifest, and unlinks checkpoints that fell off
+/// the retained list. Throws std::runtime_error on I/O failure or an
+/// injected "checkpoint.serialize" fault; in both cases the previous
+/// checkpoint remains live.
+template <int D>
+void write_checkpoint(const std::string& dir, const checkpoint_data<D>& ck) {
+  using namespace detail_ck;
+  ensure_dir(dir);
+
+  std::vector<unsigned char> buf;
+  put_bytes(buf, kMagic, 4);
+  put_u32(buf, kVersion);
+  put_u32(buf, static_cast<std::uint32_t>(D));
+  put_u64(buf, ck.epoch);
+  put_u8(buf, ck.bounds_set ? 1 : 0);
+  put_u32(buf, static_cast<std::uint32_t>(ck.split_dim));
+  put_u64(buf, ck.cuts.size());
+  for (double c : ck.cuts) put_f64(buf, c);
+  put_u64(buf, ck.shard_points.size());
+  for (const auto& shard : ck.shard_points) {
+    put_u64(buf, shard.size());
+    for (const auto& p : shard) {
+      for (int d = 0; d < D; ++d) put_f64(buf, p[d]);
+    }
+  }
+  put_u64(buf, fnv1a(buf.data(), buf.size()));
+
+  // The fault fires before any byte lands; a torn-write cap truncates
+  // the tmp file, which never gets renamed. Either way the previous
+  // checkpoint stays the live one.
+  bool torn = false;
+  std::uint64_t torn_cap = 0;
+  if (auto keep = fault::fire(fault::kCheckpointSerialize)) {
+    torn = true;
+    torn_cap = *keep;
+  }
+
+  const std::string name = "ck-" + std::to_string(ck.epoch) + ".pgck";
+  write_file_atomic(dir + "/" + name, buf, torn_cap, torn);
+
+  auto names = read_manifest(dir);
+  names.insert(names.begin(), name);
+  // Dedup (re-checkpointing the same epoch rewrites in place).
+  for (std::size_t i = 1; i < names.size();) {
+    if (names[i] == name) {
+      names.erase(names.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  std::vector<std::string> evicted;
+  while (names.size() > kKeep) {
+    evicted.push_back(names.back());
+    names.pop_back();
+  }
+  write_manifest(dir, names);
+  for (const auto& old : evicted) {
+    std::remove((dir + "/" + old).c_str());
+  }
+}
+
+/// Loads the newest valid checkpoint named by the CURRENT manifest,
+/// falling back one entry if the newest file is missing or corrupt.
+/// Returns false when the directory holds no usable checkpoint (no
+/// manifest, or every listed file failed) — recovery then relies on
+/// the log alone.
+template <int D>
+bool read_latest_checkpoint(const std::string& dir, checkpoint_data<D>& out) {
+  using namespace detail_ck;
+  for (const auto& name : read_manifest(dir)) {
+    const std::string path = dir + "/" + name;
+    std::vector<unsigned char> buf;
+    if (!read_file(path, buf)) continue;
+    if (buf.size() < 4 + 4 + 4 + 8) continue;
+    const std::size_t payload = buf.size() - 8;
+    std::uint64_t want = 0;
+    std::memcpy(&want, buf.data() + payload, 8);
+    if (fnv1a(buf.data(), payload) != want) continue;
+    if (std::memcmp(buf.data(), kMagic, 4) != 0) continue;
+    try {
+      reader rd{buf.data(), payload, 4, path};
+      const std::uint32_t ver = rd.u32();
+      const std::uint32_t dim = rd.u32();
+      if (ver != kVersion || dim != static_cast<std::uint32_t>(D)) continue;
+      checkpoint_data<D> ck;
+      ck.epoch = rd.u64();
+      ck.bounds_set = rd.u8() != 0;
+      ck.split_dim = static_cast<std::int32_t>(rd.u32());
+      ck.cuts.resize(rd.checked_count(sizeof(double)));
+      for (auto& c : ck.cuts) c = rd.f64();
+      ck.shard_points.resize(rd.checked_count(8));
+      for (auto& shard : ck.shard_points) {
+        shard.resize(rd.checked_count(sizeof(double) * D));
+        for (auto& p : shard) {
+          for (int d = 0; d < D; ++d) p[d] = rd.f64();
+        }
+      }
+      if (rd.off != payload) continue;
+      out = std::move(ck);
+      return true;
+    } catch (const std::exception&) {
+      continue;  // corrupt entry: fall back to the next manifest line
+    }
+  }
+  return false;
+}
+
+}  // namespace pargeo::query

@@ -1,0 +1,245 @@
+// Deterministic fault injection for crash-matrix testing.
+//
+// A process-wide registry maps named fault points (e.g. "oplog.append")
+// to armed specs. Production code calls fault::fire("point") at the
+// seam it wants to be killable; when nothing is armed the call is a
+// single relaxed atomic load. Triggers are deterministic: nth-hit,
+// every-N, or a seeded coin flip — never wall-clock or unseeded
+// randomness, so a failing schedule replays exactly.
+//
+// Actions:
+//   throw_error — throw fault_injected (recoverable error path)
+//   kill        — throw fault_killed (tests treat as process death)
+//   torn_write  — fire() returns a byte cap; the caller truncates its
+//                 write to at most that many bytes (simulates a crash
+//                 mid-write / torn page)
+//   stall       — sleep for stall_ns, then continue
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace pargeo::query::fault {
+
+// Canonical point names used by the serving tier. Arbitrary names are
+// allowed; these constants keep tests and call sites in sync.
+inline constexpr const char* kOplogAppend = "oplog.append";
+inline constexpr const char* kOplogFileWrite = "oplog.file_write";
+inline constexpr const char* kCheckpointSerialize = "checkpoint.serialize";
+inline constexpr const char* kReplicaApply = "replica.apply";
+inline constexpr const char* kLaneExecute = "lane.execute";
+
+class fault_injected : public std::runtime_error {
+ public:
+  explicit fault_injected(const std::string& what) : std::runtime_error(what) {}
+};
+
+// "Process death" flavour: recovery tests arm this, catch it at the
+// top of the scenario, drop the service without clean shutdown of the
+// faulted operation, and then exercise recover().
+class fault_killed : public fault_injected {
+ public:
+  explicit fault_killed(const std::string& what) : fault_injected(what) {}
+};
+
+enum class fault_action : std::uint8_t {
+  throw_error = 0,
+  kill = 1,
+  torn_write = 2,
+  stall = 3,
+};
+
+struct fault_spec {
+  fault_action action = fault_action::throw_error;
+  // Trigger selection (first match wins):
+  //   nth > 0         — fire exactly once, on the nth hit (1-based)
+  //   every > 0       — fire on every every-th hit
+  //   probability > 0 — fire with this chance per hit (seeded xorshift)
+  // All zero → fire on every hit.
+  std::uint64_t nth = 0;
+  std::uint64_t every = 0;
+  double probability = 0.0;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  // torn_write: keep at most this many bytes of the attempted write.
+  std::uint64_t torn_keep_bytes = 0;
+  // stall: how long to block before continuing.
+  std::uint64_t stall_ns = 0;
+};
+
+struct point_stats {
+  std::uint64_t hits = 0;   // times fire() was reached while armed
+  std::uint64_t fires = 0;  // times the trigger matched
+};
+
+class registry {
+ public:
+  static registry& instance() {
+    static registry r;
+    return r;
+  }
+
+  bool enabled() const { return armed_.load(std::memory_order_relaxed) > 0; }
+
+  void arm(const std::string& point, fault_spec spec) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& st = points_[point];
+    st.spec = spec;
+    st.rng = spec.seed ? spec.seed : 0x9e3779b97f4a7c15ull;
+    st.hits = 0;
+    st.fires = 0;
+    st.armed = true;
+    rearm_count_locked();
+  }
+
+  void disarm(const std::string& point) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = points_.find(point);
+    if (it != points_.end()) it->second.armed = false;
+    rearm_count_locked();
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    points_.clear();
+    armed_.store(0, std::memory_order_relaxed);
+  }
+
+  point_stats stats(const std::string& point) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return {};
+    return {it->second.hits, it->second.fires};
+  }
+
+  // Evaluate the point. Returns the torn-write byte cap when a
+  // torn_write fault fires; throws for throw_error/kill; sleeps for
+  // stall; returns nullopt when nothing fires.
+  std::optional<std::uint64_t> fire(const char* point) {
+    fault_action action{};
+    std::uint64_t torn = 0, stall = 0;
+    std::string what;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = points_.find(point);
+      if (it == points_.end() || !it->second.armed) return std::nullopt;
+      auto& st = it->second;
+      ++st.hits;
+      if (!matches(st)) return std::nullopt;
+      ++st.fires;
+      const fault_spec& s = st.spec;
+      if (s.nth > 0) st.armed = false;  // one-shot
+      action = s.action;
+      torn = s.torn_keep_bytes;
+      stall = s.stall_ns;
+      what = std::string("fault injected at ") + point;
+      if (s.nth > 0) rearm_count_locked();
+    }
+    switch (action) {
+      case fault_action::throw_error:
+        throw fault_injected(what);
+      case fault_action::kill:
+        throw fault_killed(what);
+      case fault_action::torn_write:
+        return torn;
+      case fault_action::stall:
+        if (stall > 0)
+          std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct point_state {
+    fault_spec spec;
+    std::uint64_t rng = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    bool armed = false;
+  };
+
+  static bool matches(point_state& st) {
+    const fault_spec& s = st.spec;
+    if (s.nth > 0) return st.hits == s.nth;
+    if (s.every > 0) return st.hits % s.every == 0;
+    if (s.probability > 0.0) {
+      // xorshift64*: deterministic per-point stream from spec.seed.
+      std::uint64_t x = st.rng;
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      st.rng = x;
+      const double u =
+          double((x * 0x2545f4914f6cdd1dull) >> 11) / double(1ull << 53);
+      return u < s.probability;
+    }
+    return true;
+  }
+
+  void rearm_count_locked() {
+    std::uint64_t n = 0;
+    for (const auto& [k, v] : points_)
+      if (v.armed) ++n;
+    armed_.store(n, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, point_state> points_;
+  std::atomic<std::uint64_t> armed_{0};
+};
+
+inline bool enabled() { return registry::instance().enabled(); }
+
+inline void arm(const std::string& point, fault_spec spec) {
+  registry::instance().arm(point, spec);
+}
+
+inline void disarm(const std::string& point) {
+  registry::instance().disarm(point);
+}
+
+inline void reset() { registry::instance().reset(); }
+
+inline point_stats stats(const std::string& point) {
+  return registry::instance().stats(point);
+}
+
+// Hot-path hook: one relaxed load when nothing is armed anywhere.
+inline std::optional<std::uint64_t> fire(const char* point) {
+  auto& r = registry::instance();
+  if (!r.enabled()) return std::nullopt;
+  return r.fire(point);
+}
+
+// RAII convenience for tests: disarms the point (and by default resets
+// the whole registry) on scope exit, so a throwing assertion can't
+// leak an armed fault into the next test.
+class scoped_fault {
+ public:
+  scoped_fault(std::string point, fault_spec spec, bool reset_all = true)
+      : point_(std::move(point)), reset_all_(reset_all) {
+    arm(point_, spec);
+  }
+  ~scoped_fault() {
+    if (reset_all_)
+      reset();
+    else
+      disarm(point_);
+  }
+  scoped_fault(const scoped_fault&) = delete;
+  scoped_fault& operator=(const scoped_fault&) = delete;
+
+ private:
+  std::string point_;
+  bool reset_all_;
+};
+
+}  // namespace pargeo::query::fault

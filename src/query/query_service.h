@@ -168,6 +168,8 @@
 #include <utility>
 #include <vector>
 
+#include "query/checkpoint.h"
+#include "query/fault.h"
 #include "query/oplog.h"
 #include "query/query_engine.h"
 #include "query/result_cache.h"
@@ -286,6 +288,32 @@ struct service_config {
   /// queues. Smaller = steals picked up faster at the cost of idle CPU;
   /// only meaningful under drain_mode::stealing.
   std::uint64_t steal_poll_ns = 1'000'000;
+  /// Durability (query/oplog.h, query/checkpoint.h). Non-empty: the
+  /// constructor creates the directory, attaches an op log, and opens
+  /// `<log_dir>/oplog.pgol` for incremental durable appends — every
+  /// committed write group lands on disk as one self-checksummed frame
+  /// before its tickets fulfil. Rebuild a crashed service from the
+  /// directory with query_service::recover().
+  std::string log_dir;
+  /// fsync cadence for the durable log: `none` flushes to the page
+  /// cache only (survives process death), `interval` fsyncs every
+  /// `sync_interval_groups` appends, `every_commit` fsyncs each append
+  /// (survives power loss, at a per-commit cost the durability bench
+  /// quantifies).
+  sync_policy sync = sync_policy::interval;
+  std::uint32_t sync_interval_groups = 32;
+  /// Checkpoint + compact every N committed write groups (0 disables):
+  /// the drain thread quiesces the lanes, serializes per-shard resident
+  /// state into log_dir, and truncates the log below the checkpoint
+  /// epoch — recovery and cold replicas then start from the checkpoint
+  /// instead of replaying from epoch 1. Requires log_dir.
+  std::size_t checkpoint_every = 0;
+  /// Default per-batch deadline, nanoseconds from submit (0 = none).
+  /// The drain sheds a still-queued batch whose deadline passed instead
+  /// of executing it: the ticket completes with `timed_out = true`,
+  /// empty responses, and a `deadline_expired` counter bump.
+  /// Per-batch override: submit_with_deadline().
+  std::uint64_t deadline_ns = 0;
   index_options index;  // forwarded to every shard's backend
 };
 
@@ -308,6 +336,11 @@ struct ticket_result {
   /// `min_epoch` floor on subsequent replica_router reads for
   /// read-your-writes.
   std::uint64_t commit_epoch = 0;
+  /// The batch was shed by the drain because its deadline passed while
+  /// it was still queued: `responses` is empty and nothing executed.
+  /// Deadline expiry is a completion, not an error — get() returns
+  /// normally and callers branch on this flag.
+  bool timed_out = false;
 };
 
 /// Per-lane drain counters (populated under `drain_mode::per_shard` and
@@ -374,6 +407,23 @@ struct service_stats {
   std::size_t replayed_groups = 0;
   std::size_t replayed_records = 0;
   std::size_t replay_errors = 0;
+  /// Durability & robustness (query/oplog.h, query/checkpoint.h).
+  /// `deadline_expired` counts requests shed past their deadline;
+  /// `truncated_groups` the torn trailing log frames dropped when the
+  /// attached log was salvaged from disk; `recovered_epochs` the log
+  /// head this service was rebuilt to by recover() (0: not recovered);
+  /// `checkpoints`/`checkpoint_errors` the checkpoint+compaction
+  /// attempts; `log_append_errors` write groups failed by a durable
+  /// append fault; `log_syncs`/`log_bytes` the durable file's fsync and
+  /// byte traffic (the sync-policy cost the bench measures).
+  std::size_t deadline_expired = 0;
+  std::uint64_t truncated_groups = 0;
+  std::uint64_t recovered_epochs = 0;
+  std::size_t checkpoints = 0;
+  std::size_t checkpoint_errors = 0;
+  std::size_t log_append_errors = 0;
+  std::uint64_t log_syncs = 0;
+  std::uint64_t log_bytes = 0;
   std::vector<shard_drain_stats> per_shard;  // one entry per lane
   cache_stats cache;  // hot k-NN cache, aggregated across shards
   /// Per-stage / per-shard latency histograms (query/telemetry.h).
@@ -479,6 +529,24 @@ inline std::string metrics_text(const service_stats& s) {
           "Backend calls re-issued by log replay", s.replayed_records);
   counter("pargeo_replay_errors_total",
           "Log groups whose replay application threw", s.replay_errors);
+  counter("pargeo_deadline_expired_total",
+          "Requests shed past their deadline", s.deadline_expired);
+  counter("pargeo_truncated_groups_total",
+          "Torn log frames dropped at recovery", s.truncated_groups);
+  gauge("pargeo_recovered_epochs",
+        "Log head this service was rebuilt to by recover()",
+        s.recovered_epochs);
+  counter("pargeo_checkpoints_total", "Checkpoints written (with compaction)",
+          s.checkpoints);
+  counter("pargeo_checkpoint_errors_total",
+          "Checkpoint attempts that failed (previous stays live)",
+          s.checkpoint_errors);
+  counter("pargeo_log_append_errors_total",
+          "Write groups failed by a durable log append fault",
+          s.log_append_errors);
+  counter("pargeo_log_syncs_total", "Durable log fsync calls", s.log_syncs);
+  counter("pargeo_log_bytes_total", "Bytes appended to the durable log",
+          s.log_bytes);
   counter("pargeo_execute_seconds_total",
           "Wall-clock seconds spent executing drains",
           static_cast<std::uint64_t>(s.execute_seconds));
@@ -761,6 +829,14 @@ class query_service {
     ttl_now_ = cfg_.ttl_now ? cfg_.ttl_now : [] { return monotonic_ns(); };
     hub_ = std::make_shared<detail::completion_hub<D>>();
     hub_->max_retained = cfg_.max_retained;
+    if (!cfg_.log_dir.empty()) {
+      // Durable primary: create the directory and open the segmented log
+      // for incremental appends before any thread can commit a group.
+      detail_ck::ensure_dir(cfg_.log_dir);
+      log_ = std::make_shared<op_log<D>>();
+      log_->open_durable(cfg_.log_dir + "/oplog.pgol", cfg_.sync,
+                         cfg_.sync_interval_groups);
+    }
     drainer_ = std::thread([this] { drain_loop(); });
     try {
       if (cfg_.drain != drain_mode::single) {
@@ -859,7 +935,7 @@ class query_service {
     if (hub_->closed) {
       throw std::runtime_error("query_service::submit() after close()");
     }
-    return enqueue_locked(std::move(batch));
+    return enqueue_locked(std::move(batch), cfg_.deadline_ns);
   }
 
   /// Non-blocking submit: std::nullopt when admission would block on the
@@ -875,7 +951,31 @@ class query_service {
       ++stats_.try_submit_rejects;
       return std::nullopt;
     }
-    return enqueue_locked(std::move(batch));
+    return enqueue_locked(std::move(batch), cfg_.deadline_ns);
+  }
+
+  /// submit() with an explicit per-batch deadline, `deadline_ns`
+  /// nanoseconds from now (overriding service_config::deadline_ns;
+  /// 0 = no deadline for this batch). A batch still queued when its
+  /// deadline passes is shed by the drain without executing: the ticket
+  /// completes with `ticket_result::timed_out = true` and empty
+  /// responses, and `service_stats::deadline_expired` counts its
+  /// requests. A batch that reaches the execution pipeline in time runs
+  /// to completion normally — the deadline bounds queueing, not
+  /// execution.
+  completion<D> submit_with_deadline(std::vector<request<D>> batch,
+                                     std::uint64_t deadline_ns) {
+    validate_batch(batch);
+    std::unique_lock<std::mutex> lk(hub_->mu);
+    if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
+      ++stats_.submit_waits;
+      space_cv_.wait(lk, [&] { return hub_->closed || admits(batch.size()); });
+    }
+    if (hub_->closed) {
+      throw std::runtime_error(
+          "query_service::submit_with_deadline() after close()");
+    }
+    return enqueue_locked(std::move(batch), deadline_ns);
   }
 
   /// Single-caller convenience: submit + get.
@@ -975,7 +1075,13 @@ class query_service {
     }
     s.watch_cache_hits = watch_cache_hits_.load(std::memory_order_relaxed);
     s.applied_epoch = applied_epoch_.load(std::memory_order_acquire);
-    s.log_epoch = log_ ? log_->head() : 0;
+    if (log_) {
+      s.log_epoch = log_->head();
+      const log_durable_stats ds = log_->durable_stats();
+      s.log_syncs = ds.syncs;
+      s.log_bytes = ds.bytes;
+      s.truncated_groups = log_->recovery_stats().truncated_groups;
+    }
     s.telemetry = tel_.report();
     return s;
   }
@@ -1051,7 +1157,24 @@ class query_service {
       throw std::runtime_error("query_service::apply_replayed after close()");
     }
     replay_q_.push_back(std::move(g));
+    replay_enqueued_.fetch_add(1, std::memory_order_acq_rel);
     work_cv_.notify_one();
+  }
+
+  /// Blocks until every group handed to apply_replayed() so far has been
+  /// fully applied (drain thread processed it, lane records retired).
+  /// The barrier replicas need around a checkpoint resync, where
+  /// applied_epoch() cannot serve: a rebuild group legitimately moves
+  /// the epoch BACKWARDS, so an epoch-target wait can pass before the
+  /// queue even drains. Safe from any thread; close() flushes the
+  /// replay queue, so this never wedges on shutdown.
+  void wait_replay_drained() {
+    const std::uint64_t target =
+        replay_enqueued_.load(std::memory_order_acquire);
+    while (replay_done_.load(std::memory_order_acquire) < target) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    wait_lanes_idle();
   }
 
   /// Replica side: the last log epoch whose replay has been dispatched to
@@ -1072,6 +1195,91 @@ class query_service {
     if (cfg_.drain != drain_mode::single) quiesce_lanes();
   }
 
+  /// Replica side: log groups whose replay application threw (the
+  /// replay_errors counter without the full stats() snapshot — cheap
+  /// enough for a health poll).
+  std::size_t replay_error_count() const {
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    return stats_.replay_errors;
+  }
+
+  // ---- durability (query/checkpoint.h) ------------------------------------
+
+  /// Forces a checkpoint + log compaction now (the same operation the
+  /// `checkpoint_every` cadence runs at drain boundaries). Requires
+  /// log_dir; returns false when checkpointing is not configured or the
+  /// write failed (`checkpoint_errors` counts it; the previous
+  /// checkpoint stays live). Quiescent callers only — no tickets in
+  /// flight (tests and the CLI call it between traffic phases; the
+  /// drain thread calls the same path at boundaries).
+  bool checkpoint_now() { return do_checkpoint(); }
+
+  /// Rebuilds a service from a crashed primary's `log_dir`: loads the
+  /// newest valid checkpoint (manifest fallback included), salvages the
+  /// longest valid prefix of the durable log, bootstraps the shards
+  /// from the checkpoint, replays the log tail above the checkpoint
+  /// epoch through the normal replay pipeline, and re-opens the
+  /// directory for durable appends — the returned service is a serving
+  /// primary, byte-identically continuing the committed history.
+  /// `cfg` must describe the same topology (backend, shards, policy)
+  /// as the crashed service. `service_stats::recovered_epochs` and
+  /// `::truncated_groups` record what was rebuilt and what the torn
+  /// tail cost. Throws std::runtime_error when the directory holds
+  /// neither a usable checkpoint nor a log that reaches back to the
+  /// needed epoch (an unrecoverable gap), and on I/O failure.
+  static std::unique_ptr<query_service> recover(const std::string& dir,
+                                                service_config cfg) {
+    const sync_policy sync = cfg.sync;
+    const std::uint32_t sync_interval = cfg.sync_interval_groups;
+    cfg.log_dir.clear();  // rebuild first; durable appends re-attach below
+    auto svc = std::make_unique<query_service>(std::move(cfg));
+
+    checkpoint_data<D> ck;
+    const bool have_ck = read_latest_checkpoint<D>(dir, ck);
+
+    log_recovery_stats rs{};
+    std::shared_ptr<op_log<D>> log;
+    try {
+      log = op_log<D>::read_log(dir + "/oplog.pgol",
+                                std::size_t{1} << 20, &rs);
+    } catch (const std::exception&) {
+      // Missing or header-damaged log: recover from the checkpoint
+      // alone (a fresh directory recovers to an empty service).
+      log = std::make_shared<op_log<D>>();
+      log->reset_base(have_ck ? ck.epoch : 0);
+    }
+
+    if (have_ck) svc->bootstrap_from_checkpoint(ck);
+    const std::uint64_t base = have_ck ? ck.epoch : 0;
+    const std::uint64_t target = std::max(log->head(), base);
+    if (log->head() > base) {
+      // Throws on a replay gap (log starts past the checkpoint): that
+      // directory cannot reproduce the committed history.
+      for (auto& g : log->read_from(base)) {
+        svc->apply_replayed(std::move(g));
+      }
+      while (svc->applied_epoch() < target) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    svc->wait_lanes_idle();
+
+    // Re-attach durability: the salvaged log becomes the service's log
+    // and the file is atomically rewritten (dropping any torn tail on
+    // disk), ready for incremental appends. The service is externally
+    // quiescent here — same contract as attach_log before traffic.
+    log->open_durable(dir + "/oplog.pgol", sync, sync_interval);
+    svc->log_ = std::move(log);
+    svc->cfg_.log_dir = dir;
+    svc->cfg_.sync = sync;
+    svc->cfg_.sync_interval_groups = sync_interval;
+    {
+      std::lock_guard<std::mutex> lk(svc->hub_->mu);
+      svc->stats_.recovered_epochs = target;
+    }
+    return svc;
+  }
+
  private:
   struct pending_entry {
     std::uint64_t id;
@@ -1081,6 +1289,9 @@ class query_service {
     /// latency. One monotonic clock for every stamp in the pipeline —
     /// stage spans are ordered by construction.
     std::uint64_t submit_ns = 0;
+    /// Absolute telemetry-clock deadline (0 = none): the drain sheds the
+    /// entry instead of executing it once now_ns() passes this.
+    std::uint64_t deadline_ns = 0;
   };
 
   /// A write/mixed drain group in flight on the shard lanes: routed once
@@ -1262,6 +1473,25 @@ class query_service {
         maybe_expire();
         continue;
       }
+      // Deadline shedding happens at group formation: an entry whose
+      // deadline already passed is pulled aside instead of joining the
+      // group (it neither breaks same-kind grouping nor counts against
+      // the window) and fulfilled as timed out after the lock drops.
+      const std::uint64_t shed_now_ns = tel_.now_ns();
+      std::vector<pending_entry> expired;
+      const auto entry_expired = [&](const pending_entry& e) {
+        return e.deadline_ns != 0 && e.deadline_ns <= shed_now_ns;
+      };
+      while (!pending_.empty() && entry_expired(pending_.front())) {
+        expired.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      if (pending_.empty()) {
+        lk.unlock();
+        shed_expired(std::move(expired));
+        maybe_expire();
+        continue;  // closed-and-drained exits on the next iteration
+      }
       const bool read_group_kind =
           cfg_.read_threads > 0 && batch_is_read_only(pending_.front().batch);
       std::vector<pending_entry> group;
@@ -1270,6 +1500,11 @@ class query_service {
       std::size_t total = group.front().batch.size();
       while (!pending_.empty()) {
         const auto& next = pending_.front();
+        if (entry_expired(next)) {
+          expired.push_back(std::move(pending_.front()));
+          pending_.pop_front();
+          continue;
+        }
         if (total + next.batch.size() > cfg_.ingest_window) break;
         if (cfg_.read_threads > 0 &&
             batch_is_read_only(next.batch) != read_group_kind) {
@@ -1280,6 +1515,7 @@ class query_service {
         pending_.pop_front();
       }
       lk.unlock();
+      shed_expired(std::move(expired));
       if (tel_.enabled()) {
         // One dequeue stamp covers the whole group: every ticket left the
         // ingest queue at this instant, so queue_wait = dequeue - submit
@@ -1317,6 +1553,7 @@ class query_service {
         schedule_watch_eval();
         maybe_expire();
         maybe_rebalance();
+        maybe_checkpoint();
       }
     }
   }
@@ -1384,13 +1621,33 @@ class query_service {
       // runs but are not logged). Appending before the fan-out keeps the
       // log in commit order (this thread is the only appender) and gives
       // the group its epoch for completion floors.
-      g->commit_epoch = append_log_group(
-          [&](log_group<D>& lg) {
-            for (std::size_t s = 0; s < cfg_.shards; ++s) {
-              append_write_runs(lg, s, sub[s], 0, sub[s].size());
-            }
-          },
-          !had_bounds && bounds_set_);
+      // A failed append must not unwind the drain thread: the group's
+      // tickets fail (their writes never committed — nothing was
+      // applied yet), the failure latches, and every later write group
+      // fails fast. For writes this service now behaves like a dead
+      // process; reads keep serving what was committed.
+      if (log_failed_) {
+        for (auto& v : sub) give_req_vec(std::move(v));
+        g->error = std::make_exception_ptr(std::runtime_error(
+            "query_service: durable log failed — writes cannot commit"));
+        finalize_shard_group(g);
+        return;
+      }
+      try {
+        g->commit_epoch = append_log_group(
+            [&](log_group<D>& lg) {
+              for (std::size_t s = 0; s < cfg_.shards; ++s) {
+                append_write_runs(lg, s, sub[s], 0, sub[s].size());
+              }
+            },
+            !had_bounds && bounds_set_);
+      } catch (...) {
+        note_log_failure();
+        for (auto& v : sub) give_req_vec(std::move(v));
+        g->error = std::current_exception();
+        finalize_shard_group(g);
+        return;
+      }
     }
 
     std::size_t active = 0;
@@ -1667,6 +1924,90 @@ class query_service {
     return epoch;
   }
 
+  // ---- durability: checkpoint + recovery helpers ---------------------------
+
+  // Latches log_failed_ (drain-thread flag: later write groups fail fast
+  // without touching the dead log) and counts the error. The group whose
+  // append failed was already failed by the caller.
+  void note_log_failure() {
+    log_failed_ = true;
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    ++stats_.log_append_errors;
+  }
+
+  // Drain thread, after each write group: checkpoint every
+  // cfg_.checkpoint_every write groups.
+  void maybe_checkpoint() {
+    if (cfg_.checkpoint_every == 0 || cfg_.log_dir.empty() || !log_) return;
+    if (++write_groups_since_ck_ < cfg_.checkpoint_every) return;
+    write_groups_since_ck_ = 0;
+    do_checkpoint();
+  }
+
+  // Serializes per-shard resident state at the current log head into an
+  // atomic on-disk checkpoint, then compacts the log below that epoch.
+  // Quiesces the lanes first so the gather is consistent with head (a
+  // single-appender invariant: nothing commits between head() and the
+  // gathers). A failed write counts checkpoint_errors and leaves the
+  // previous checkpoint and the full log intact.
+  bool do_checkpoint() {
+    if (!log_ || cfg_.log_dir.empty()) return false;
+    if (cfg_.drain != drain_mode::single) quiesce_lanes();
+    checkpoint_data<D> ck;
+    ck.epoch = log_->head();
+    ck.bounds_set = bounds_set_;
+    ck.split_dim = split_dim_;
+    ck.cuts = bounds_;
+    ck.shard_points.resize(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      ck.shard_points[s] = engines_[s]->index().gather();
+    }
+    try {
+      write_checkpoint<D>(cfg_.log_dir, ck);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      ++stats_.checkpoint_errors;
+      return false;
+    }
+    log_->compact(ck.epoch);
+    std::lock_guard<std::mutex> lk(hub_->mu);
+    ++stats_.checkpoints;
+    return true;
+  }
+
+  // Recovery bootstrap: rebuilds the engines directly from checkpoint
+  // state. Deliberately NOT logged — the checkpoint replaces the log
+  // prefix it summarizes (recover() re-attaches the salvaged log after).
+  // Externally quiescent callers only (no traffic exists during recovery).
+  void bootstrap_from_checkpoint(const checkpoint_data<D>& ck) {
+    if (ck.shard_points.size() != cfg_.shards) {
+      throw std::invalid_argument(
+          "query_service: checkpoint shard count does not match config");
+    }
+    if (ck.bounds_set) {
+      split_dim_ = ck.split_dim;
+      bounds_ = ck.cuts;
+      bounds_set_ = true;
+    }
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      engines_[s]->bootstrap(ck.shard_points[s]);
+      resident_est_[s] = ck.shard_points[s].size();
+    }
+    if (cfg_.point_ttl_ns > 0) {
+      // Checkpointed points restart one full TTL window from now (the
+      // original deadlines are not serialized; erring long keeps data).
+      std::lock_guard<std::mutex> lk(ttl_mu_);
+      ttl_q_.clear();
+      const std::uint64_t deadline = ttl_now_() + cfg_.point_ttl_ns;
+      for (const auto& shard : ck.shard_points) {
+        for (const auto& p : shard) ttl_q_.emplace_back(deadline, p);
+      }
+    }
+    // With no log tail to replay, recovery's completion floor is the
+    // checkpoint epoch itself.
+    applied_epoch_.store(ck.epoch, std::memory_order_release);
+  }
+
   // Replica side, drain thread: applies one replayed log group. Ordinary
   // groups fan out per shard to the lanes (FIFO behind earlier work);
   // bounds-carrying groups (bootstrap, rebalance) mirror the primary's
@@ -1701,6 +2042,7 @@ class query_service {
         ++stats_.replay_errors;
       }
       finish_replay_group(g.records.size(), t0);
+      replay_done_.fetch_add(1, std::memory_order_acq_rel);
       return;
     }
     auto rg = std::make_shared<replay_group>();
@@ -1718,6 +2060,7 @@ class query_service {
     if (active == 0) {
       applied_epoch_.store(epoch, std::memory_order_release);
       finish_replay_group(0, t0);
+      replay_done_.fetch_add(1, std::memory_order_acq_rel);
       return;
     }
     rg->remaining.store(active, std::memory_order_relaxed);
@@ -1729,6 +2072,9 @@ class query_service {
       enqueue_lane_task(s, std::move(task));
     }
     applied_epoch_.store(epoch, std::memory_order_release);
+    // Dispatch-complete: wait_replay_drained() pairs this with
+    // wait_lanes_idle() to cover the in-lane tail.
+    replay_done_.fetch_add(1, std::memory_order_acq_rel);
   }
 
   // Re-issues this shard's records of a replayed log group in log order,
@@ -1771,6 +2117,7 @@ class query_service {
   // sequences produce identical tree structure (and so identical k-NN tie
   // order) — the byte-identical convergence guarantee rests here.
   void apply_log_record(const log_record<D>& rec) {
+    fault::fire(fault::kReplicaApply);
     auto& engine = *engines_[rec.shard];
     switch (rec.kind) {
       case log_op::build:
@@ -1822,6 +2169,7 @@ class query_service {
   // epoch (stable here — only this lane writes this shard).
   batch_result<D> execute_shard_batch(std::size_t s,
                                       const std::vector<request<D>>& sub) {
+    fault::fire(fault::kLaneExecute);
     auto& engine = *engines_[s];
     batch_result<D> res;
     execute_phases<D>(sub, res.responses, res.stats,
@@ -2067,7 +2415,8 @@ class query_service {
       resident_est_[t] += arrivals[t].size();
     }
     if (log_) {
-      append_log_group(
+      try {
+        append_log_group(
           [&](log_group<D>& lg) {
             lg.origin = log_origin::rebalance;
             for (std::size_t s = 0; s < cfg_.shards; ++s) {
@@ -2089,6 +2438,12 @@ class query_service {
             }
           },
           /*with_bounds=*/true);
+      } catch (...) {
+        // Migration already applied locally; replicas will diverge until
+        // they resync from a checkpoint. Latch so no later write claims
+        // durability the log cannot back.
+        note_log_failure();
+      }
     }
     // A re-derivation that moved nothing cannot fix this skew (the mass
     // has fewer distinct coordinates than shards): back off much longer.
@@ -2680,7 +3035,10 @@ class query_service {
       }
     }
     std::uint64_t commit_epoch = 0;
-    if (log_ && !error) {
+    if (log_ && !error && log_failed_) {
+      error = std::make_exception_ptr(std::runtime_error(
+          "query_service: durable log failed — writes cannot commit"));
+    } else if (log_ && !error) {
       // Single mode executed the combined stream in place: reconstruct
       // the run structure it issued — phase-cut the combined stream, then
       // (shards > 1) partition each write phase per shard in shard order,
@@ -2688,10 +3046,11 @@ class query_service {
       // CURRENT bounds, which are the bounds every phase routed under
       // (derivation, if any, happened in the first write phase, before
       // anything was routed).
-      commit_epoch = append_log_group(
-          [&](log_group<D>& lg) {
-            std::size_t i = 0;
-            const std::size_t n = combined.size();
+      try {
+        commit_epoch = append_log_group(
+            [&](log_group<D>& lg) {
+              std::size_t i = 0;
+              const std::size_t n = combined.size();
             while (i < n) {
               if (is_read(combined[i].kind)) {
                 ++i;
@@ -2718,8 +3077,14 @@ class query_service {
               }
               i = j;
             }
-          },
-          /*with_bounds=*/false);
+            },
+            /*with_bounds=*/false);
+      } catch (...) {
+        // The group already executed, but its commit never became
+        // durable: fail the tickets and latch (see dispatch_shard_group).
+        note_log_failure();
+        error = std::current_exception();
+      }
     }
     const double secs = result.stats.seconds;
     fulfill_group(std::move(group), total, std::move(result), error,
@@ -2894,6 +3259,56 @@ class query_service {
     }
   }
 
+  // Completes deadline-expired tickets without executing them: empty
+  // responses, timed_out = true, no error (a shed batch is a completion
+  // with a verdict, not a failure — callers inspect timed_out). Cannot
+  // reuse fulfill_group, which slices a combined result by offsets this
+  // work never produced. Drain thread, hub lock taken here.
+  void shed_expired(std::vector<pending_entry> expired) {
+    if (expired.empty()) return;
+    using record_t = typename detail::completion_hub<D>::record;
+    const std::uint64_t f0 = tel_.now_ns();
+    std::vector<std::pair<
+        std::function<void(ticket_result<D>&&, std::exception_ptr)>,
+        ticket_result<D>>>
+        callbacks;
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      std::size_t total = 0;
+      for (auto& e : expired) {
+        total += e.batch.size();
+        stats_.deadline_expired += e.batch.size();
+        ticket_result<D> tr;
+        tr.timed_out = true;
+        tr.latency_seconds = static_cast<double>(f0 - e.submit_ns) * 1e-9;
+        auto it = hub_->tickets.find(e.id);
+        if (it == hub_->tickets.end()) continue;  // handle dropped
+        if (it->second.callback) {
+          callbacks.emplace_back(std::move(it->second.callback),
+                                 std::move(tr));
+          hub_->tickets.erase(it);
+        } else {
+          it->second.state = record_t::state_t::done;
+          it->second.result = std::move(tr);
+          it->second.error = nullptr;
+          hub_->done_order.push_back(e.id);
+          ++hub_->retained;
+        }
+      }
+      hub_->evict_over_cap();
+      in_flight_requests_ -= total;
+      space_cv_.notify_all();
+      hub_->done_cv.notify_all();
+    }
+    for (auto& [fn, tr] : callbacks) {
+      try {
+        fn(std::move(tr), nullptr);
+      } catch (...) {
+        // see fulfill_group: never unwind a service thread
+      }
+    }
+  }
+
   // ---- submission (hub_->mu held) -----------------------------------------
 
   // Backpressure admission: room under the bound, or an over-sized batch
@@ -2904,11 +3319,15 @@ class query_service {
            in_flight_requests_ + n <= cfg_.max_pending_requests;
   }
 
-  completion<D> enqueue_locked(std::vector<request<D>> batch) {
+  completion<D> enqueue_locked(std::vector<request<D>> batch,
+                               std::uint64_t deadline_rel_ns) {
     const std::uint64_t id = next_ticket_++;
     hub_->tickets.emplace(id, typename detail::completion_hub<D>::record{});
     in_flight_requests_ += batch.size();
-    pending_.push_back(pending_entry{id, std::move(batch), tel_.now_ns()});
+    const std::uint64_t now = tel_.now_ns();
+    pending_entry e{id, std::move(batch), now};
+    if (deadline_rel_ns > 0) e.deadline_ns = now + deadline_rel_ns;
+    pending_.push_back(std::move(e));
     ++stats_.num_tickets;
     work_cv_.notify_one();
     return completion<D>(hub_, id);
@@ -3150,7 +3569,16 @@ class query_service {
   // watch-path rows the result cache served (reader threads bump it).
   std::shared_ptr<op_log<D>> log_;
   std::deque<log_group<D>> replay_q_;
+  // Drain-thread scratch: latched once a durable append fails (later
+  // write groups fail fast; reads keep serving), and the write-group
+  // counter that paces maybe_checkpoint().
+  bool log_failed_ = false;
+  std::size_t write_groups_since_ck_ = 0;
   std::atomic<std::uint64_t> applied_epoch_{0};
+  // wait_replay_drained() barrier: groups handed to apply_replayed vs
+  // groups the drain thread finished processing (dispatch-complete).
+  std::atomic<std::uint64_t> replay_enqueued_{0};
+  std::atomic<std::uint64_t> replay_done_{0};
   log_origin next_group_origin_ = log_origin::client;
   std::atomic<std::uint64_t> watch_cache_hits_{0};
 

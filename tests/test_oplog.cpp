@@ -1,10 +1,11 @@
 // Op-log unit suite (query/oplog.h): dense epoch assignment and ring
 // retention, tailer reads (replay-gap detection, wait_for_head), and the
-// file round-trip — including the hostile-input edge cases the replica
-// tier depends on rejecting cleanly: empty logs, TTL-expiry-only logs,
-// truncated files, flipped bytes, bad magic/version/dim, and corrupt
-// element counts (which must throw, not resize gigabytes — no UB under
-// ASan).
+// v2 segmented file format — durable incremental append, checkpoint
+// compaction, and the salvage semantics recovery depends on: a torn or
+// frame-corrupt file yields its longest valid frame prefix (counting
+// truncated_groups), while header damage (bad magic/version/dim or
+// header checksum) still rejects the whole file. Corrupt element counts
+// must throw, not resize gigabytes — no UB under ASan.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -219,42 +220,191 @@ TEST(OpLog, ExpiryOnlyLogRoundTrips) {
   std::remove(path.c_str());
 }
 
-TEST(OpLog, TruncatedFileRejected) {
+// magic + version + dim + start_after + header checksum (oplog.h v2).
+constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 8 + 8;
+
+TEST(OpLog, TornTailSalvagesValidPrefix) {
   op_log<2> log;
   log.append(sample_group(log_origin::client, 0));
   log.append(sample_group(log_origin::client, 1));
   const std::string path = temp_path("oplog_trunc.bin");
   log.write_log(path);
   const auto full = slurp(path);
-  // Every proper prefix must be rejected cleanly — walk a spread of cut
-  // points including mid-header, mid-payload, and mid-checksum.
+  const auto want = log.read_from(0);
+
+  // Cuts inside the header still reject the whole file.
   for (std::size_t keep :
-       {std::size_t{0}, std::size_t{3}, std::size_t{11}, full.size() / 2,
-        full.size() - 9, full.size() - 1}) {
-    std::vector<unsigned char> cut(full.begin(), full.begin() + keep);
-    spit(path, cut);
+       {std::size_t{0}, std::size_t{3}, std::size_t{11}, kHeaderSize - 1}) {
+    spit(path, {full.begin(), full.begin() + keep});
     EXPECT_THROW(op_log<2>::read_log(path), std::runtime_error)
         << "prefix of " << keep << " bytes";
+  }
+
+  // Both groups serialize identically, so the two frames split the
+  // post-header bytes evenly — walk EVERY cut point past the header
+  // (zero-length tail, mid-length-field, mid-payload, mid-checksum) and
+  // check the salvage is exactly the complete-frame prefix.
+  const std::size_t frame = (full.size() - kHeaderSize) / 2;
+  ASSERT_EQ(kHeaderSize + 2 * frame, full.size());
+  for (std::size_t keep = kHeaderSize; keep <= full.size(); ++keep) {
+    spit(path, {full.begin(), full.begin() + keep});
+    const std::size_t whole = (keep - kHeaderSize) / frame;
+    const bool partial = (keep - kHeaderSize) % frame != 0;
+    query::log_recovery_stats rs;
+    std::shared_ptr<op_log<2>> loaded;
+    ASSERT_NO_THROW(loaded = op_log<2>::read_log(path, 1 << 20, &rs))
+        << "prefix of " << keep << " bytes";
+    EXPECT_EQ(rs.groups, whole) << "prefix of " << keep << " bytes";
+    EXPECT_EQ(rs.truncated_groups, partial ? 1u : 0u)
+        << "prefix of " << keep << " bytes";
+    EXPECT_EQ(loaded->head(), whole);
+    const auto got = loaded->read_from(0);
+    ASSERT_EQ(got.size(), whole);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_groups_equal(got[i], want[i]);
+    }
+    // Appends continue from the salvaged head, not the torn tail.
+    EXPECT_EQ(loaded->append(sample_group(log_origin::client, 7)), whole + 1);
   }
   std::remove(path.c_str());
 }
 
-TEST(OpLog, CorruptByteRejectedByChecksum) {
+TEST(OpLog, CorruptHeaderRejectsCorruptFrameSalvages) {
   op_log<2> log;
   log.append(sample_group(log_origin::client, 0));
+  log.append(sample_group(log_origin::client, 1));
   const std::string path = temp_path("oplog_corrupt.bin");
   log.write_log(path);
-  auto buf = slurp(path);
-  // Flip one byte at several offsets; the trailing checksum catches all
-  // of them before any structural parsing trusts the bytes.
-  for (std::size_t at : {std::size_t{0}, std::size_t{5}, buf.size() / 2,
-                         buf.size() - 1}) {
+  const auto buf = slurp(path);
+  const std::size_t frame = (buf.size() - kHeaderSize) / 2;
+
+  // A flipped header byte rejects the whole file (no epoch base to
+  // trust frames against).
+  for (std::size_t at :
+       {std::size_t{0}, std::size_t{5}, std::size_t{14}, kHeaderSize - 1}) {
     auto bad = buf;
     bad[at] ^= 0x40;
     spit(path, bad);
     EXPECT_THROW(op_log<2>::read_log(path), std::runtime_error)
         << "flipped byte " << at;
   }
+
+  // A flipped byte inside frame 2 drops only frame 2.
+  {
+    auto bad = buf;
+    bad[kHeaderSize + frame + frame / 2] ^= 0x40;
+    spit(path, bad);
+    query::log_recovery_stats rs;
+    const auto loaded = op_log<2>::read_log(path, 1 << 20, &rs);
+    EXPECT_EQ(rs.groups, 1u);
+    EXPECT_EQ(rs.truncated_groups, 1u);
+    EXPECT_EQ(loaded->head(), 1u);
+  }
+
+  // A flipped byte inside frame 1's payload drops everything after it —
+  // the structural walk still counts both dropped frames exactly,
+  // because the framing (length fields) survived.
+  {
+    auto bad = buf;
+    bad[kHeaderSize + frame / 2] ^= 0x40;
+    spit(path, bad);
+    query::log_recovery_stats rs;
+    const auto loaded = op_log<2>::read_log(path, 1 << 20, &rs);
+    EXPECT_EQ(rs.groups, 0u);
+    EXPECT_EQ(rs.truncated_groups, 2u);
+    EXPECT_EQ(loaded->head(), 0u);
+    EXPECT_EQ(loaded->size(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OpLog, DurableAppendPersistsIncrementally) {
+  const std::string path = temp_path("oplog_durable.bin");
+  op_log<2> log;
+  log.append(sample_group(log_origin::client, 0));  // pre-attach history
+  log.open_durable(path, query::sync_policy::every_commit);
+  for (int i = 1; i < 5; ++i) {
+    log.append(sample_group(log_origin::client, i));
+  }
+  const auto ds = log.durable_stats();
+  EXPECT_EQ(ds.frames, 4u);  // appended after attach
+  EXPECT_GE(ds.syncs, 5u);   // rewrite + one per commit
+  EXPECT_FALSE(ds.failed);
+  // No close_durable(): the file must already be complete on disk.
+  query::log_recovery_stats rs;
+  const auto loaded = op_log<2>::read_log(path, 1 << 20, &rs);
+  EXPECT_EQ(rs.groups, 5u);  // attach rewrote the pre-attach group too
+  EXPECT_EQ(rs.truncated_groups, 0u);
+  EXPECT_EQ(loaded->head(), 5u);
+  const auto want = log.read_from(0);
+  const auto got = loaded->read_from(0);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_groups_equal(got[i], want[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OpLog, CompactTruncatesRingAndFile) {
+  const std::string path = temp_path("oplog_compact.bin");
+  op_log<2> log;
+  log.open_durable(path, query::sync_policy::none);
+  for (int i = 0; i < 10; ++i) {
+    log.append(sample_group(log_origin::client, i));
+  }
+  EXPECT_EQ(log.compact(6), 6u);
+  EXPECT_EQ(log.first_retained(), 7u);
+  EXPECT_EQ(log.head(), 10u);
+  EXPECT_EQ(log.start_after(), 6u);
+  // One more durable append after compaction, then reload.
+  log.append(sample_group(log_origin::client, 10));
+  const auto loaded = op_log<2>::read_log(path);
+  EXPECT_EQ(loaded->head(), 11u);
+  EXPECT_EQ(loaded->first_retained(), 7u);
+  EXPECT_EQ(loaded->recovery_stats().start_after, 6u);
+  EXPECT_EQ(loaded->read_from(6).size(), 5u);
+  // A tailer below the compaction point now gaps — checkpoint resync
+  // territory, not silent data loss.
+  EXPECT_THROW(loaded->read_from(5), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(OpLog, ResetBaseContinuesFromCheckpointEpoch) {
+  op_log<2> log;
+  log.reset_base(41);
+  EXPECT_EQ(log.head(), 41u);
+  EXPECT_EQ(log.append(sample_group(log_origin::client, 0)), 42u);
+  EXPECT_THROW(log.reset_base(7), std::logic_error);  // non-empty now
+}
+
+TEST(OpLog, TornWriteFaultLatchesFailedState) {
+  const std::string path = temp_path("oplog_torn_fault.bin");
+  op_log<2> log;
+  log.open_durable(path, query::sync_policy::every_commit);
+  log.append(sample_group(log_origin::client, 0));
+  log.append(sample_group(log_origin::client, 1));
+  {
+    query::fault::fault_spec spec;
+    spec.action = query::fault::fault_action::torn_write;
+    spec.nth = 1;
+    spec.torn_keep_bytes = 10;
+    query::fault::scoped_fault f(query::fault::kOplogFileWrite, spec);
+    EXPECT_THROW(log.append(sample_group(log_origin::client, 2)),
+                 std::runtime_error);
+  }
+  // The failed append never published: head unchanged, state latched,
+  // later appends fail fast.
+  EXPECT_EQ(log.head(), 2u);
+  EXPECT_TRUE(log.durable_stats().failed);
+  EXPECT_THROW(log.append(sample_group(log_origin::client, 3)),
+               std::runtime_error);
+  // On disk: the two whole frames salvage; the 10 torn bytes count as
+  // one truncated group.
+  query::log_recovery_stats rs;
+  const auto loaded = op_log<2>::read_log(path, 1 << 20, &rs);
+  EXPECT_EQ(rs.groups, 2u);
+  EXPECT_EQ(rs.truncated_groups, 1u);
+  EXPECT_EQ(loaded->head(), 2u);
   std::remove(path.c_str());
 }
 
