@@ -296,6 +296,67 @@ async_row run_async_producers(query::backend b, std::size_t shards,
   return row;
 }
 
+struct ingest_row {
+  double ops_per_sec = 0;
+  query::service_stats stats;
+};
+
+// The submission seam under producer contention: N producers stream
+// read/write-cut tickets through ingest_mode::mutex (every submit takes
+// the hub lock) vs ingest_mode::lockfree (bounded MPSC ring, producers
+// CAS slots). bdltree + 50% writes keeps the BDL forest churning so
+// superseded vEB trees flow through the epoch reclaimer (the
+// retired/reclaimed columns), and read-cut tickets give the un-pinned
+// snapshot path write drains to overlap with (snapshot_lag_drains).
+ingest_row run_ingest_scaling(query::ingest_mode mode, int producers,
+                              std::size_t initial_n, std::size_t num_ops) {
+  constexpr std::size_t kBatch = 256;
+  query::service_config cfg;
+  cfg.backend = query::backend::bdltree;
+  cfg.shards = 2;
+  cfg.policy = query::shard_policy::hash;
+  cfg.ingest = mode;
+  cfg.max_retained = std::size_t{1} << 20;  // producers redeem at the end
+  query::query_service<kDim> service(cfg);
+
+  auto spec = make_spec(initial_n, num_ops / producers, 0.50);
+  service.bootstrap(query::make_initial<kDim>(spec));
+
+  timer clock;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&, t] {
+      auto my_spec = spec;
+      my_spec.seed = spec.seed + 300 + t;
+      const auto reqs = query::make_requests<kDim>(my_spec);
+      std::vector<query::completion<kDim>> pending;
+      std::size_t off = 0;
+      while (off < reqs.size()) {
+        const bool read_run = query::is_read(reqs[off].kind);
+        std::size_t end = off + 1;
+        while (end < reqs.size() && end - off < kBatch &&
+               query::is_read(reqs[end].kind) == read_run) {
+          ++end;
+        }
+        pending.push_back(
+            service.submit({reqs.begin() + off, reqs.begin() + end}));
+        off = end;
+      }
+      for (auto& c : pending) c.get();
+    });
+  }
+  for (auto& p : threads) p.join();
+  const double secs = clock.elapsed();
+  service.close();
+
+  ingest_row row;
+  row.stats = service.stats();
+  row.ops_per_sec =
+      secs > 0 ? static_cast<double>(row.stats.num_requests) / secs : 0;
+  return row;
+}
+
 struct drain_row {
   double ops_per_sec = 0;
   query::service_stats stats;
@@ -726,6 +787,60 @@ int main(int argc, char** argv) {
     }
   }
   emit_latency(json, "async_producers", section_tel);
+  section_tel = query::telemetry_report{};
+
+  if (!json) {
+    bench::print_header(
+        "ingest scaling: mutex vs lock-free ring (bdltree, 50% reads, "
+        "2 shards)",
+        "ingest     producers            ops/s    spins  retired/freed  "
+        "lag-drains");
+  }
+  // Heavier stream than the other sections on purpose: the BDL staging
+  // buffer absorbs ~1024 points per shard before any vEB tree exists, and
+  // the reclaimer only sees traffic once trees churn.
+  const std::size_t ingest_ops = 4 * num_ops;
+  for (auto mode :
+       {query::ingest_mode::mutex, query::ingest_mode::lockfree}) {
+    for (const int producers : {1, 2, 4}) {
+      const auto row = run_ingest_scaling(mode, producers, initial_n,
+                                          ingest_ops);
+      section_tel.merge(row.stats.telemetry);
+      if (json) {
+        std::printf(
+            "{\"section\":\"ingest_scaling\",\"backend\":\"bdltree\","
+            "\"ingest\":\"%s\",\"producers\":%d,\"read_frac\":0.50,"
+            "\"shards\":2,\"initial_n\":%zu,\"num_ops\":%zu,"
+            "\"ops_per_sec\":%.0f,\"ingest_spins\":%llu,"
+            "\"retired_snapshots\":%llu,\"reclaimed_snapshots\":%llu,"
+            "\"reclaim_stalls\":%llu,\"epoch_lag\":%llu,"
+            "\"limbo_snapshots\":%llu,\"snapshot_lag_drains\":%zu,"
+            "\"read_groups\":%zu,\"write_groups\":%zu%s}\n",
+            query::ingest_mode_name(mode), producers, initial_n, ingest_ops,
+            row.ops_per_sec,
+            static_cast<unsigned long long>(row.stats.ingest_spins),
+            static_cast<unsigned long long>(row.stats.retired_snapshots),
+            static_cast<unsigned long long>(row.stats.reclaimed_snapshots),
+            static_cast<unsigned long long>(row.stats.reclaim_stalls),
+            static_cast<unsigned long long>(row.stats.epoch_lag),
+            static_cast<unsigned long long>(row.stats.limbo_snapshots),
+            row.stats.snapshot_lag_drains, row.stats.num_read_groups,
+            row.stats.num_write_groups,
+            completion_fields(row.stats).c_str());
+      } else {
+        std::printf("%-10s %9d %16.0f %8llu %10llu/%-6llu %6zu\n",
+                    query::ingest_mode_name(mode), producers,
+                    row.ops_per_sec,
+                    static_cast<unsigned long long>(row.stats.ingest_spins),
+                    static_cast<unsigned long long>(
+                        row.stats.retired_snapshots),
+                    static_cast<unsigned long long>(
+                        row.stats.reclaimed_snapshots),
+                    row.stats.snapshot_lag_drains);
+      }
+    }
+  }
+  emit_latency(json, "ingest_scaling", section_tel);
   section_tel = query::telemetry_report{};
 
   if (!json) {

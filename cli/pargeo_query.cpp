@@ -80,6 +80,13 @@
 //                         timed-out completions instead of executing
 //                         (0 = off). Counted in the durability summary
 //                         and pargeo_deadline_expired_total.
+//   --ingest MODE         submission seam: lockfree (default; bounded
+//                         MPSC ring, producers CAS slots and never take
+//                         the hub mutex) or mutex (the pre-ring baseline
+//                         for comparison). An ingest/reclaim summary line
+//                         (producer spins, snapshot versions retired /
+//                         freed / in limbo, reclaim stalls, epoch lag)
+//                         prints after each backend row.
 //
 // backend: kdtree | zdtree | bdltree | all (run every backend on the same
 // stream and print one row each). The service shards the logical index
@@ -135,6 +142,7 @@ struct cli_opts {
   query::sync_policy sync = query::sync_policy::interval;
   std::size_t checkpoint_every = 0;  // write groups per checkpoint, 0 = never
   std::uint64_t deadline_us = 0;     // admission deadline, 0 = off
+  query::ingest_mode ingest = query::ingest_mode::lockfree;
 };
 
 query::workload_spec make_spec(std::size_t initial_n, std::size_t num_ops,
@@ -260,6 +268,16 @@ int run_backend(query::backend b, const query::workload_spec& spec,
       svc.snapshot_lag_drains, lane_drains, steals, svc.rebalances,
       svc.rebalance_moved, svc.cache.hits, svc.cache.misses,
       svc.cache.hit_rate() * 100, svc.cache.evictions);
+  std::printf(
+      "  ingest=%s spins=%llu  reclaim: retired=%llu freed=%llu limbo=%llu "
+      "stalls=%llu lag=%llu\n",
+      query::ingest_mode_name(cfg.ingest),
+      static_cast<unsigned long long>(svc.ingest_spins),
+      static_cast<unsigned long long>(svc.retired_snapshots),
+      static_cast<unsigned long long>(svc.reclaimed_snapshots),
+      static_cast<unsigned long long>(svc.limbo_snapshots),
+      static_cast<unsigned long long>(svc.reclaim_stalls),
+      static_cast<unsigned long long>(svc.epoch_lag));
 
   if (opts.watches > 0 || cfg.point_ttl_ns > 0) {
     std::printf("  watches=%zu fires=%zu suppressed=%zu expired=%zu\n",
@@ -379,12 +397,13 @@ int run(const std::string& backend_arg, const query::workload_spec& spec,
   }
   std::printf(
       "workload: dim=%d initial=%zu ops=%zu dist=%s batch=%zu seed=%llu "
-      "shards=%zu policy=%s drain=%s cache=%zu rebalance=%.2f\n",
+      "shards=%zu policy=%s drain=%s ingest=%s cache=%zu rebalance=%.2f\n",
       D, spec.initial_points, spec.num_ops,
       query::distribution_name(spec.dist), spec.batch_size,
       static_cast<unsigned long long>(spec.seed), cfg.shards,
       query::shard_policy_name(cfg.policy), query::drain_mode_name(cfg.drain),
-      cfg.cache_capacity, cfg.rebalance_threshold);
+      query::ingest_mode_name(cfg.ingest), cfg.cache_capacity,
+      cfg.rebalance_threshold);
   for (auto b : backends) {
     if (const int rc = run_backend<D>(b, spec, cfg, opts)) return rc;
   }
@@ -483,6 +502,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.checkpoint_every = static_cast<std::size_t>(n);
+    } else if (const char* v = value_of("--ingest")) {
+      try {
+        opts.ingest = query::ingest_mode_from_string(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (const char* v = value_of("--deadline-us")) {
       char* end = nullptr;
       const long long us = std::strtoll(v, &end, 10);
@@ -516,7 +542,7 @@ int main(int argc, char** argv) {
         "[--metrics-out path] [--ttl ns] [--watches n] [--replicas n] "
         "[--max-lag epochs] [--steal-poll-ns ns] [--log-dir dir] "
         "[--sync none|interval|every_commit] [--checkpoint-every n] "
-        "[--deadline-us us]\n",
+        "[--deadline-us us] [--ingest mutex|lockfree]\n",
         argv[0]);
     return 2;
   }
@@ -553,6 +579,7 @@ int main(int argc, char** argv) {
   cfg.sync = opts.sync;
   cfg.checkpoint_every = opts.checkpoint_every;
   cfg.deadline_ns = opts.deadline_us * 1000;
+  cfg.ingest = opts.ingest;
   if (argc > 10) {
     try {
       cfg.policy = query::shard_policy_from_string(argv[10]);

@@ -9,24 +9,157 @@
 // any tree that drops below half of its build size by reinserting its
 // points. k-NN queries share one k-NN buffer per query point across all
 // trees and the buffer (Appendix C.4).
+//
+// *Snapshots (chunk-level COW).* The forest's unit of immutability is the
+// static vEB tree: insertion never mutates an existing tree (the cascade
+// destroys whole trees and builds fresh ones), and deletion — the one
+// historically in-place operation — now copies any tree that is shared
+// with a snapshot before erasing from the copy (`use_count() == 1` keeps
+// the un-shared fast path in place). Trees therefore live behind
+// shared_ptr, and `view()` publishes an isolated `bdl_forest_view`: a copy
+// of the (bounded, <= X points) staging buffer plus shared references to
+// every live tree. The view answers queries exactly as of its creation no
+// matter what the live forest does afterwards.
+//
+// Superseded trees are handed to an optional *retire hook*
+// (`set_retire_hook`) instead of being destroyed inline — the query
+// service points this at its epoch reclaimer (src/query/epoch_reclaim.h)
+// so old chunks die at drain-boundary reclaim points, not under a reader.
+// Without a hook the shared_ptr refcount frees them as usual.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bdltree/veb_tree.h"
 
 namespace pargeo::bdltree {
 
+namespace detail {
+
+// Shared query kernels over (staging buffer, tree list) — used by the live
+// bdl_tree and by isolated bdl_forest_view snapshots alike. TreeList is any
+// range of shared_ptr-like handles to (possibly const) veb_tree<D>.
+template <int D, typename TreeList>
+std::vector<std::vector<point<D>>> forest_knn(
+    const std::vector<point<D>>& buffer, const TreeList& trees,
+    std::size_t total, const std::vector<point<D>>& queries, std::size_t k) {
+  std::vector<std::vector<point<D>>> out(queries.size());
+  const std::size_t kk = std::min(k, total);
+  if (kk == 0) return out;  // knn_buffer does not support k = 0
+  par::parallel_for(
+      0, queries.size(),
+      [&](std::size_t qi) {
+        kdtree::knn_buffer buf(kk);
+        for (const auto& t : trees) {
+          if (t) t->knn(queries[qi], buf);
+        }
+        for (const auto& p : buffer) {
+          buf.insert(p.dist_sq(queries[qi]),
+                     reinterpret_cast<std::size_t>(&p));
+        }
+        auto entries = buf.finish();
+        out[qi].reserve(entries.size());
+        for (const auto& e : entries) {
+          out[qi].push_back(veb_tree<D>::decode_id(e.id));
+        }
+      },
+      16);
+  return out;
+}
+
+template <int D, typename TreeList>
+std::vector<std::vector<point<D>>> forest_range_ball(
+    const std::vector<point<D>>& buffer, const TreeList& trees,
+    const std::vector<point<D>>& centers, const std::vector<double>& radii) {
+  std::vector<std::vector<point<D>>> out(centers.size());
+  par::parallel_for(
+      0, centers.size(),
+      [&](std::size_t qi) {
+        const double r_sq = radii[qi] * radii[qi];
+        for (const auto& t : trees) {
+          if (t) t->range_ball(centers[qi], radii[qi], out[qi]);
+        }
+        for (const auto& p : buffer) {
+          if (p.dist_sq(centers[qi]) <= r_sq) out[qi].push_back(p);
+        }
+      },
+      16);
+  return out;
+}
+
+template <int D, typename TreeList>
+std::vector<std::vector<point<D>>> forest_range_box(
+    const std::vector<point<D>>& buffer, const TreeList& trees,
+    const std::vector<aabb<D>>& queries) {
+  std::vector<std::vector<point<D>>> out(queries.size());
+  par::parallel_for(
+      0, queries.size(),
+      [&](std::size_t qi) {
+        for (const auto& t : trees) {
+          if (t) t->range_box(queries[qi], out[qi]);
+        }
+        for (const auto& p : buffer) {
+          if (queries[qi].contains(p)) out[qi].push_back(p);
+        }
+      },
+      16);
+  return out;
+}
+
+}  // namespace detail
+
+/// Isolated snapshot of a bdl_tree: an owned copy of the staging buffer
+/// plus shared, immutable-by-contract references to the forest's trees.
+/// Exact as of creation regardless of later writes to the live tree.
+template <int D>
+struct bdl_forest_view {
+  std::vector<point<D>> buffer;
+  std::vector<std::shared_ptr<const veb_tree<D>>> trees;
+
+  std::size_t size() const {
+    std::size_t s = buffer.size();
+    for (const auto& t : trees) {
+      if (t) s += t->size();
+    }
+    return s;
+  }
+
+  std::vector<std::vector<point<D>>> knn(const std::vector<point<D>>& queries,
+                                         std::size_t k) const {
+    return detail::forest_knn<D>(buffer, trees, size(), queries, k);
+  }
+
+  std::vector<std::vector<point<D>>> range_ball(
+      const std::vector<point<D>>& centers,
+      const std::vector<double>& radii) const {
+    return detail::forest_range_ball<D>(buffer, trees, centers, radii);
+  }
+
+  std::vector<std::vector<point<D>>> range_box(
+      const std::vector<aabb<D>>& queries) const {
+    return detail::forest_range_box<D>(buffer, trees, queries);
+  }
+};
+
 template <int D>
 class bdl_tree {
  public:
   static constexpr std::size_t kDefaultBufferSize = 1024;
 
+  /// Receives every superseded tree (destroyed by the insert cascade,
+  /// replaced by a COW erase, or gathered below half capacity). Must be
+  /// thread-safe: the erase loop retires from parallel workers.
+  using retire_fn = std::function<void(std::shared_ptr<const void>)>;
+
   explicit bdl_tree(split_policy policy = split_policy::object_median,
                     std::size_t buffer_size = kDefaultBufferSize)
       : policy_(policy), x_(std::max<std::size_t>(1, buffer_size)) {}
+
+  void set_retire_hook(retire_fn f) { retire_ = std::move(f); }
 
   std::size_t size() const {
     std::size_t s = buffer_.size();
@@ -44,7 +177,19 @@ class bdl_tree {
     return c;
   }
 
-  /// Batch insertion (paper Algorithm 3).
+  /// Publishes an isolated snapshot: O(X) buffer copy + one shared_ptr
+  /// per live tree. Must not run concurrently with insert/erase (the
+  /// query_service serializes both on the shard's lane).
+  bdl_forest_view<D> view() const {
+    bdl_forest_view<D> v;
+    v.buffer = buffer_;
+    v.trees.assign(trees_.begin(), trees_.end());
+    return v;
+  }
+
+  /// Batch insertion (paper Algorithm 3). Never mutates an existing tree:
+  /// the cascade retires whole trees and builds fresh ones, so snapshots
+  /// holding the old trees stay exact.
   void insert(const std::vector<point<D>>& batch) {
     if (batch.empty()) return;
     // Stage |P| mod X points into the buffer first; overflow promotes the
@@ -65,12 +210,12 @@ class bdl_tree {
     const uint64_t destroy = f & ~fnew;
     const uint64_t create = fnew & ~f;
 
-    // Gather points of destroyed trees into the pool.
+    // Gather points of destroyed trees into the pool, retiring the trees.
     for (int i = 0; i < 64; ++i) {
       if ((destroy >> i) & 1) {
         auto pts = trees_[i]->gather();
         pool.insert(pool.end(), pts.begin(), pts.end());
-        trees_[i].reset();
+        retire_tree(std::move(trees_[i]));
       }
     }
     // Build the new trees in parallel over contiguous pool slices, largest
@@ -99,12 +244,14 @@ class bdl_tree {
           std::vector<point<D>> slice(pool.begin() + ranges[i].first,
                                       pool.begin() + ranges[i].second);
           trees_[slots[i]] =
-              std::make_unique<veb_tree<D>>(std::move(slice), policy_);
+              std::make_shared<veb_tree<D>>(std::move(slice), policy_);
         },
         1);
   }
 
   /// Batch deletion (paper Algorithm 4). Points not present are ignored.
+  /// A tree shared with a snapshot is copied before the erase touches it
+  /// (chunk-level COW); an exclusively-owned tree erases in place.
   void erase(const std::vector<point<D>>& batch) {
     if (batch.empty()) return;
     // Erase from the buffer.
@@ -125,7 +272,19 @@ class bdl_tree {
     par::parallel_for(
         0, occupied.size(),
         [&](std::size_t i) {
-          trees_[occupied[i]]->erase(batch);
+          auto& slot = trees_[occupied[i]];
+          // use_count == 1: only the live forest holds this tree — no
+          // snapshot can appear mid-erase (view() and writes are
+          // serialized by the caller), so mutate in place.
+          if (slot.use_count() == 1) {
+            slot->erase(batch);
+            return;
+          }
+          auto copy = std::make_shared<veb_tree<D>>(*slot);
+          if (copy->erase(batch) == 0) return;  // untouched: keep original
+          auto old = std::move(slot);
+          slot = std::move(copy);
+          retire_tree(std::move(old));
         },
         1);
     // Gather trees that fell below half their build capacity; reinsert.
@@ -135,7 +294,7 @@ class bdl_tree {
       if (trees_[i]->size() < (cap + 1) / 2) {
         auto pts = trees_[i]->gather();
         reinsert.insert(reinsert.end(), pts.begin(), pts.end());
-        trees_[i].reset();
+        retire_tree(std::move(trees_[i]));
       }
     }
     if (!reinsert.empty()) insert(reinsert);
@@ -145,48 +304,15 @@ class bdl_tree {
   /// queries[i], sorted by distance.
   std::vector<std::vector<point<D>>> knn(
       const std::vector<point<D>>& queries, std::size_t k) const {
-    std::vector<std::vector<point<D>>> out(queries.size());
-    const std::size_t kk = std::min(k, size());
-    if (kk == 0) return out;  // knn_buffer does not support k = 0
-    par::parallel_for(
-        0, queries.size(),
-        [&](std::size_t qi) {
-          kdtree::knn_buffer buf(kk);
-          for (const auto& t : trees_) {
-            if (t) t->knn(queries[qi], buf);
-          }
-          for (const auto& p : buffer_) {
-            buf.insert(p.dist_sq(queries[qi]),
-                       reinterpret_cast<std::size_t>(&p));
-          }
-          auto entries = buf.finish();
-          out[qi].reserve(entries.size());
-          for (const auto& e : entries) {
-            out[qi].push_back(veb_tree<D>::decode_id(e.id));
-          }
-        },
-        16);
-    return out;
+    return detail::forest_knn<D>(buffer_, trees_, size(), queries, k);
   }
 
   /// Data-parallel range search: row i holds every stored point within
   /// `radius` of queries[i] (unordered).
   std::vector<std::vector<point<D>>> range_ball(
       const std::vector<point<D>>& queries, double radius) const {
-    std::vector<std::vector<point<D>>> out(queries.size());
-    const double r_sq = radius * radius;
-    par::parallel_for(
-        0, queries.size(),
-        [&](std::size_t qi) {
-          for (const auto& t : trees_) {
-            if (t) t->range_ball(queries[qi], radius, out[qi]);
-          }
-          for (const auto& p : buffer_) {
-            if (p.dist_sq(queries[qi]) <= r_sq) out[qi].push_back(p);
-          }
-        },
-        16);
-    return out;
+    std::vector<double> radii(queries.size(), radius);
+    return detail::forest_range_ball<D>(buffer_, trees_, queries, radii);
   }
 
   /// Per-query-radius variant: row i holds every stored point within
@@ -194,39 +320,14 @@ class bdl_tree {
   std::vector<std::vector<point<D>>> range_ball(
       const std::vector<point<D>>& centers,
       const std::vector<double>& radii) const {
-    std::vector<std::vector<point<D>>> out(centers.size());
-    par::parallel_for(
-        0, centers.size(),
-        [&](std::size_t qi) {
-          const double r_sq = radii[qi] * radii[qi];
-          for (const auto& t : trees_) {
-            if (t) t->range_ball(centers[qi], radii[qi], out[qi]);
-          }
-          for (const auto& p : buffer_) {
-            if (p.dist_sq(centers[qi]) <= r_sq) out[qi].push_back(p);
-          }
-        },
-        16);
-    return out;
+    return detail::forest_range_ball<D>(buffer_, trees_, centers, radii);
   }
 
   /// Data-parallel orthogonal range search: row i holds every stored point
   /// inside queries[i] (unordered).
   std::vector<std::vector<point<D>>> range_box(
       const std::vector<aabb<D>>& queries) const {
-    std::vector<std::vector<point<D>>> out(queries.size());
-    par::parallel_for(
-        0, queries.size(),
-        [&](std::size_t qi) {
-          for (const auto& t : trees_) {
-            if (t) t->range_box(queries[qi], out[qi]);
-          }
-          for (const auto& p : buffer_) {
-            if (queries[qi].contains(p)) out[qi].push_back(p);
-          }
-        },
-        16);
-    return out;
+    return detail::forest_range_box<D>(buffer_, trees_, queries);
   }
 
   /// All stored points (buffer + every tree).
@@ -252,10 +353,20 @@ class bdl_tree {
     return f;
   }
 
+  // Superseded tree: hand to the retire hook (epoch reclaimer) when one is
+  // attached, else let the refcount free it.
+  void retire_tree(std::shared_ptr<veb_tree<D>> t) {
+    if (!t) return;
+    if (retire_) {
+      retire_(std::shared_ptr<const void>(std::move(t)));
+    }
+  }
+
   split_policy policy_;
   std::size_t x_;
   std::vector<point<D>> buffer_;
-  std::vector<std::unique_ptr<veb_tree<D>>> trees_;
+  std::vector<std::shared_ptr<veb_tree<D>>> trees_;
+  retire_fn retire_;
 };
 
 }  // namespace pargeo::bdltree

@@ -74,11 +74,26 @@
 //   stamps its shard's epoch snapshot (`spatial_index::snapshot()`) after
 //   the shard's earlier writes — per-shard FIFO again — and the fully
 //   stamped group executes on a snapshot-read executor pool
-//   (`read_threads`). Isolated snapshots (kdtree: shared tree + copied
-//   write buffers; zdtree: copy-on-write Morton array) let those reads run
-//   fully concurrently with the next write drains. Pinned snapshots
-//   (bdltree) hold ONLY their own shard's write gate until the read
-//   retires — other shards keep draining.
+//   (`read_threads`). Every backend's snapshots are isolated (kdtree:
+//   shared tree + copied write buffers; zdtree: copy-on-write Morton
+//   array; bdltree: chunk-level COW forest view), so those reads run
+//   fully concurrently with the next write drains on every shard — the
+//   per-shard write gate that used to pin bdltree snapshots is gone.
+//   Reader threads hold an epoch-reclaimer guard (query/epoch_reclaim.h)
+//   while executing; structure versions superseded by writes are retired
+//   onto a limbo list and destroyed at drain-boundary reclaim points once
+//   every reader epoch has advanced past them, so big trees never die on
+//   a reader's tail latency.
+//
+//   *Lock-free ingest* (`ingest_mode::lockfree`, the default). submit()
+//   validates, acquires backpressure budget with a CAS on the in-flight
+//   counter, stamps a ticket id from an atomic, and publishes the batch
+//   onto a bounded MPSC ring (query/ingest_ring.h) — no lock anywhere on
+//   the fast path; `ready()` polls are a single atomic load. Producers
+//   park futex-style only when the pipeline is saturated (backpressure) or
+//   the ring is full (`ingest_spins` counts the spins burned first).
+//   `ingest_mode::mutex` keeps the historical mutex/condvar queue as the
+//   comparable baseline; admission semantics are identical.
 //
 //   *Hot result cache*. Each shard carries an epoch-invalidated LRU
 //   cache of read-result rows (query/result_cache.h) keyed by the exact
@@ -148,6 +163,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -169,7 +185,9 @@
 #include <vector>
 
 #include "query/checkpoint.h"
+#include "query/epoch_reclaim.h"
 #include "query/fault.h"
+#include "query/ingest_ring.h"
 #include "query/oplog.h"
 #include "query/query_engine.h"
 #include "query/result_cache.h"
@@ -221,6 +239,31 @@ inline drain_mode drain_mode_from_string(const std::string& s) {
                               "' (want single|per_shard|stealing)");
 }
 
+/// How submit() hands batches to the drain thread: `lockfree` (the
+/// default) pushes onto a bounded MPSC ring (src/query/ingest_ring.h) —
+/// producers contend only on one CAS, backpressure budget is acquired with
+/// atomics, and blocked producers park futex-style; `mutex` is the
+/// historical mutex/condvar queue, kept switchable as the comparable
+/// baseline. Admission semantics (FIFO order per producer, ticket-id
+/// assignment, `max_pending_requests` blocking/rejection, close() waking
+/// blocked producers) are identical in both modes.
+enum class ingest_mode { mutex, lockfree };
+
+inline const char* ingest_mode_name(ingest_mode m) {
+  switch (m) {
+    case ingest_mode::mutex: return "mutex";
+    case ingest_mode::lockfree: return "lockfree";
+  }
+  return "?";
+}
+
+inline ingest_mode ingest_mode_from_string(const std::string& s) {
+  if (s == "mutex") return ingest_mode::mutex;
+  if (s == "lockfree") return ingest_mode::lockfree;
+  throw std::invalid_argument("unknown ingest mode '" + s +
+                              "' (want mutex|lockfree)");
+}
+
 struct service_config {
   query::backend backend = query::backend::bdltree;
   std::size_t shards = 1;
@@ -228,6 +271,13 @@ struct service_config {
   /// Drain-group execution: per-shard executor lanes (default) or the
   /// single-drainer baseline.
   drain_mode drain = drain_mode::per_shard;
+  /// Ingest path: lock-free MPSC ring (default) or the mutex/condvar
+  /// queue baseline. See ingest_mode.
+  ingest_mode ingest = ingest_mode::lockfree;
+  /// Slot count of the lock-free ingest ring (rounded up to a power of
+  /// two). A full ring blocks producers exactly like backpressure does;
+  /// `ingest_spins` counts the spin iterations they burn first.
+  std::size_t ingest_ring_capacity = 1024;
   /// Max requests grouped into one drain (a single over-sized batch still
   /// drains alone).
   std::size_t ingest_window = std::size_t{1} << 16;
@@ -424,6 +474,21 @@ struct service_stats {
   std::size_t log_append_errors = 0;
   std::uint64_t log_syncs = 0;
   std::uint64_t log_bytes = 0;
+  /// Lock-free ingest (ingest_mode::lockfree, query/ingest_ring.h):
+  /// producer spin iterations burned on a full ring before parking.
+  std::uint64_t ingest_spins = 0;
+  /// Epoch-based snapshot reclamation (query/epoch_reclaim.h):
+  /// `retired_snapshots` structure versions handed to the limbo list,
+  /// `reclaimed_snapshots` of them destroyed at reclaim points,
+  /// `reclaim_stalls` reclaim passes blocked by a still-active older
+  /// reader, `epoch_lag` the global-epoch distance to the slowest active
+  /// reader at the last pass, `limbo_snapshots` versions awaiting
+  /// reclamation right now.
+  std::uint64_t retired_snapshots = 0;
+  std::uint64_t reclaimed_snapshots = 0;
+  std::uint64_t reclaim_stalls = 0;
+  std::uint64_t epoch_lag = 0;
+  std::uint64_t limbo_snapshots = 0;
   std::vector<shard_drain_stats> per_shard;  // one entry per lane
   cache_stats cache;  // hot k-NN cache, aggregated across shards
   /// Per-stage / per-shard latency histograms (query/telemetry.h).
@@ -547,6 +612,22 @@ inline std::string metrics_text(const service_stats& s) {
   counter("pargeo_log_syncs_total", "Durable log fsync calls", s.log_syncs);
   counter("pargeo_log_bytes_total", "Bytes appended to the durable log",
           s.log_bytes);
+  counter("pargeo_ingest_spins_total",
+          "Producer spin iterations on a full ingest ring", s.ingest_spins);
+  counter("pargeo_retired_snapshots_total",
+          "Snapshot structure versions retired to the limbo list",
+          s.retired_snapshots);
+  counter("pargeo_reclaimed_snapshots_total",
+          "Retired versions destroyed at epoch reclaim points",
+          s.reclaimed_snapshots);
+  counter("pargeo_reclaim_stalls_total",
+          "Reclaim passes blocked by an active older reader epoch",
+          s.reclaim_stalls);
+  gauge("pargeo_epoch_lag",
+        "Global epoch distance to the slowest active reader",
+        s.epoch_lag);
+  gauge("pargeo_limbo_snapshots", "Retired versions awaiting reclamation",
+        s.limbo_snapshots);
   counter("pargeo_execute_seconds_total",
           "Wall-clock seconds spent executing drains",
           static_cast<std::uint64_t>(s.execute_seconds));
@@ -581,57 +662,73 @@ class query_service;
 
 namespace detail {
 
-/// Completion state shared between a query_service and its handles: ticket
-/// records keyed by id, plus the bounded retention buffer bookkeeping. The
+/// Completion state shared between a query_service and its handles. Each
+/// ticket gets a heap `record` co-owned by the submitter's handle and (until
+/// fulfilment) the service's pending entry — no id-keyed map, so neither
+/// submit nor fulfil walks shared lookup structure. The record's `state` is
+/// an atomic: `completion::ready()` is one acquire load, never a lock. The
 /// hub (a shared_ptr) outlives the service, so handles stay redeemable
-/// after shutdown. `mu` also guards the owning service's ingest queue and
-/// stats.
+/// after shutdown. `mu` guards the retention/eviction bookkeeping, result
+/// payloads, callbacks, and `done_cv`; in ingest_mode::mutex it also
+/// guards the owning service's ingest queue.
 template <int D>
 struct completion_hub {
   struct record {
-    enum class state_t : std::uint8_t { pending, done, evicted };
-    state_t state = state_t::pending;
-    ticket_result<D> result;   // valid when state == done and !error
-    std::exception_ptr error;  // the drain group's failure, if any
+    enum class state_t : std::uint8_t { pending, done, evicted, consumed };
+    /// Lock-free readiness signal: transitions away from `pending` are
+    /// stored with release order (under mu) after the payload is written;
+    /// ready() reads it with acquire and no lock.
+    std::atomic<state_t> state{state_t::pending};
+    std::uint64_t id = 0;
+    ticket_result<D> result;   // guarded by mu; valid when state == done
+    std::exception_ptr error;  // guarded by mu
     std::function<void(ticket_result<D>&&, std::exception_ptr)> callback;
+    /// The submitter dropped its handle unredeemed: fulfil discards the
+    /// result instead of retaining it (guarded by mu).
+    bool handle_dropped = false;
   };
+  using record_ptr = std::shared_ptr<record>;
 
   std::mutex mu;
   std::condition_variable done_cv;  // signaled on every fulfilment
-  std::map<std::uint64_t, record> tickets;
-  std::deque<std::uint64_t> done_order;  // eviction candidates, oldest first
-  std::size_t retained = 0;              // records in state done
-  std::size_t evicted_total = 0;
+  std::deque<record_ptr> done_order;  // eviction candidates, oldest first
+  /// Records in state done / dropped by the cap. Atomics (written under
+  /// mu) so stats() reads them without contending the hub.
+  std::atomic<std::size_t> retained{0};
+  std::atomic<std::size_t> evicted_total{0};
   std::size_t max_retained = 1;
-  bool closed = false;  // service stopped accepting submissions
+  /// Service stopped accepting submissions. Atomic so the lock-free
+  /// submit path reads it without the hub lock.
+  std::atomic<bool> closed{false};
 
   // Called with mu held after results are stored: drops the oldest
   // completed-but-unredeemed results until the cap holds again, then
-  // compacts the candidate deque (redemption leaves stale ids behind; a
-  // promptly-redeeming steady state would otherwise grow it forever).
+  // compacts the candidate deque (redemption leaves consumed records
+  // behind; a promptly-redeeming steady state would otherwise grow it
+  // forever).
   void evict_over_cap() {
-    while (retained > max_retained && !done_order.empty()) {
-      const std::uint64_t id = done_order.front();
+    while (retained.load(std::memory_order_relaxed) > max_retained &&
+           !done_order.empty()) {
+      record_ptr r = std::move(done_order.front());
       done_order.pop_front();
-      auto it = tickets.find(id);
-      if (it == tickets.end() || it->second.state != record::state_t::done) {
+      if (r->state.load(std::memory_order_relaxed) !=
+          record::state_t::done) {
         continue;  // already redeemed; stale eviction candidate
       }
-      it->second.state = record::state_t::evicted;
-      it->second.result = ticket_result<D>{};
-      it->second.error = nullptr;
-      --retained;
-      ++evicted_total;
+      r->result = ticket_result<D>{};
+      r->error = nullptr;
+      r->state.store(record::state_t::evicted, std::memory_order_release);
+      retained.fetch_sub(1, std::memory_order_relaxed);
+      evicted_total.fetch_add(1, std::memory_order_relaxed);
     }
     // Live done records number <= max_retained, so past 2x (+ slack) the
-    // deque is mostly stale ids; one O(size) filter re-bounds it.
+    // deque is mostly stale records; one O(size) filter re-bounds it.
     if (done_order.size() > std::max<std::size_t>(64, 2 * max_retained)) {
-      std::deque<std::uint64_t> live;
-      for (const std::uint64_t id : done_order) {
-        auto it = tickets.find(id);
-        if (it != tickets.end() &&
-            it->second.state == record::state_t::done) {
-          live.push_back(id);
+      std::deque<record_ptr> live;
+      for (auto& r : done_order) {
+        if (r->state.load(std::memory_order_relaxed) ==
+            record::state_t::done) {
+          live.push_back(std::move(r));
         }
       }
       done_order.swap(live);
@@ -644,8 +741,9 @@ struct completion_hub {
 /// Move-only handle for one submitted batch. Redeem exactly once: `get()`
 /// blocks and returns the result (rethrowing the drain's failure, if any),
 /// `on_complete(fn)` consumes the result through a callback fired exactly
-/// once, `ready()` polls. A handle dropped unredeemed releases its result
-/// immediately. Handles outlive the service safely.
+/// once, `ready()` polls — one atomic load, no lock, so a poll storm never
+/// contends with ingest or fulfilment. A handle dropped unredeemed
+/// releases its result immediately. Handles outlive the service safely.
 template <int D>
 class completion {
   using hub_t = detail::completion_hub<D>;
@@ -654,17 +752,16 @@ class completion {
  public:
   completion() = default;
   completion(completion&& o) noexcept
-      : hub_(std::move(o.hub_)), id_(o.id_), redeemed_(o.redeemed_) {
-    o.id_ = 0;
+      : hub_(std::move(o.hub_)), rec_(std::move(o.rec_)),
+        redeemed_(o.redeemed_) {
     o.redeemed_ = false;
   }
   completion& operator=(completion&& o) noexcept {
     if (this != &o) {
       release();
       hub_ = std::move(o.hub_);
-      id_ = o.id_;
+      rec_ = std::move(o.rec_);
       redeemed_ = o.redeemed_;
-      o.id_ = 0;
       o.redeemed_ = false;
     }
     return *this;
@@ -674,17 +771,16 @@ class completion {
   ~completion() { release(); }
 
   /// True if this handle came from a submit() (and was not moved from).
-  bool valid() const { return hub_ != nullptr; }
-  std::uint64_t id() const { return id_; }
+  bool valid() const { return rec_ != nullptr; }
+  std::uint64_t id() const { return rec_ ? rec_->id : 0; }
 
-  /// True once the result is available (get() would not block).
+  /// True once the result is available (get() would not block). Lock-free:
+  /// a single acquire load of the record's state.
   bool ready() const {
-    if (!hub_) return false;
+    if (!rec_) return false;
     if (redeemed_) return true;
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    auto it = hub_->tickets.find(id_);
-    return it == hub_->tickets.end() ||
-           it->second.state != record_t::state_t::pending;
+    return rec_->state.load(std::memory_order_acquire) !=
+           record_t::state_t::pending;
   }
 
   /// Blocks until the ticket's drain completes and returns its result;
@@ -692,7 +788,7 @@ class completion {
   /// std::logic_error on an empty handle or a second redemption, and
   /// std::runtime_error if the result was evicted by the retention cap.
   ticket_result<D> get() {
-    if (!hub_) {
+    if (!rec_) {
       throw std::logic_error("completion::get() on an empty handle "
                              "(nothing was submitted)");
     }
@@ -701,26 +797,23 @@ class completion {
                              "already consumed");
     }
     std::unique_lock<std::mutex> lk(hub_->mu);
-    auto it = hub_->tickets.find(id_);
-    while (it != hub_->tickets.end() &&
-           it->second.state == record_t::state_t::pending) {
-      hub_->done_cv.wait(lk);
-      it = hub_->tickets.find(id_);
-    }
+    hub_->done_cv.wait(lk, [&] {
+      return rec_->state.load(std::memory_order_relaxed) !=
+             record_t::state_t::pending;
+    });
     redeemed_ = true;
-    if (it == hub_->tickets.end()) {
-      throw std::logic_error("completion::get(): ticket record missing");
-    }
-    if (it->second.state == record_t::state_t::evicted) {
-      hub_->tickets.erase(it);
+    if (rec_->state.load(std::memory_order_relaxed) ==
+        record_t::state_t::evicted) {
       throw std::runtime_error(
           "completion::get(): result evicted by the retention cap "
           "(service_config.max_retained)");
     }
-    std::exception_ptr err = it->second.error;
-    ticket_result<D> r = std::move(it->second.result);
-    hub_->tickets.erase(it);
-    --hub_->retained;
+    std::exception_ptr err = rec_->error;
+    ticket_result<D> r = std::move(rec_->result);
+    rec_->result = ticket_result<D>{};
+    rec_->error = nullptr;
+    rec_->state.store(record_t::state_t::consumed, std::memory_order_release);
+    hub_->retained.fetch_sub(1, std::memory_order_relaxed);
     lk.unlock();
     if (err) std::rethrow_exception(err);
     return r;
@@ -733,7 +826,7 @@ class completion {
   /// callback throws is swallowed). Counts as the handle's one redemption.
   void on_complete(std::function<void(ticket_result<D>&&, std::exception_ptr)> fn) {
     if (!fn) throw std::invalid_argument("on_complete: empty callback");
-    if (!hub_) {
+    if (!rec_) {
       throw std::logic_error("completion::on_complete() on an empty handle");
     }
     if (redeemed_) {
@@ -741,55 +834,58 @@ class completion {
                              "was already consumed");
     }
     std::unique_lock<std::mutex> lk(hub_->mu);
-    auto it = hub_->tickets.find(id_);
     redeemed_ = true;
-    if (it == hub_->tickets.end()) {
-      throw std::logic_error("completion::on_complete(): ticket record "
-                             "missing");
-    }
-    if (it->second.state == record_t::state_t::pending) {
-      it->second.callback = std::move(fn);
+    const auto st = rec_->state.load(std::memory_order_relaxed);
+    if (st == record_t::state_t::pending) {
+      rec_->callback = std::move(fn);
       return;
     }
     ticket_result<D> r;
     std::exception_ptr err;
-    if (it->second.state == record_t::state_t::evicted) {
+    if (st == record_t::state_t::evicted) {
       err = std::make_exception_ptr(std::runtime_error(
           "completion::on_complete(): result evicted by the retention cap"));
     } else {
-      err = it->second.error;
-      r = std::move(it->second.result);
-      --hub_->retained;
+      err = rec_->error;
+      r = std::move(rec_->result);
+      rec_->result = ticket_result<D>{};
+      rec_->error = nullptr;
+      hub_->retained.fetch_sub(1, std::memory_order_relaxed);
     }
-    hub_->tickets.erase(it);
+    rec_->state.store(record_t::state_t::consumed, std::memory_order_release);
     lk.unlock();
     fn(std::move(r), err);
   }
 
  private:
   friend class query_service<D>;
-  completion(std::shared_ptr<hub_t> hub, std::uint64_t id)
-      : hub_(std::move(hub)), id_(id) {}
+  completion(std::shared_ptr<hub_t> hub, typename hub_t::record_ptr rec)
+      : hub_(std::move(hub)), rec_(std::move(rec)) {}
 
   // Dropping an unredeemed handle evicts its (current or future) result;
-  // a registered callback still fires, so its record stays.
+  // a registered callback still fires, so fulfilment proceeds normally.
   void release() {
-    if (!hub_) return;
+    if (!rec_) return;
     {
       std::lock_guard<std::mutex> lk(hub_->mu);
-      auto it = hub_->tickets.find(id_);
-      if (it != hub_->tickets.end() &&
-          !(it->second.state == record_t::state_t::pending &&
-            it->second.callback)) {
-        if (it->second.state == record_t::state_t::done) --hub_->retained;
-        hub_->tickets.erase(it);
+      const auto st = rec_->state.load(std::memory_order_relaxed);
+      if (st == record_t::state_t::pending) {
+        // Fulfilment discards the result unless a callback is armed.
+        rec_->handle_dropped = true;
+      } else if (st == record_t::state_t::done) {
+        rec_->result = ticket_result<D>{};
+        rec_->error = nullptr;
+        rec_->state.store(record_t::state_t::consumed,
+                          std::memory_order_release);
+        hub_->retained.fetch_sub(1, std::memory_order_relaxed);
       }
     }
     hub_.reset();
+    rec_.reset();
   }
 
   std::shared_ptr<hub_t> hub_;
-  std::uint64_t id_ = 0;
+  typename hub_t::record_ptr rec_;
   bool redeemed_ = false;
 };
 
@@ -823,6 +919,9 @@ class query_service {
           per_shard_cache, /*timed=*/tel_.enabled()));
       lanes_.push_back(std::make_unique<shard_lane>());
     }
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      engines_[s]->index().set_reclaimer(&reclaim_);
+    }
     resident_est_.assign(cfg_.shards, 0);
     write_touched_.assign(cfg_.shards, 0);
     watches_ = std::make_shared<watch_registry<D>>();
@@ -836,6 +935,10 @@ class query_service {
       log_ = std::make_shared<op_log<D>>();
       log_->open_durable(cfg_.log_dir + "/oplog.pgol", cfg_.sync,
                          cfg_.sync_interval_groups);
+    }
+    if (cfg_.ingest == ingest_mode::lockfree) {
+      ring_ = std::make_unique<mpsc_ring<pending_entry>>(
+          cfg_.ingest_ring_capacity);
     }
     drainer_ = std::thread([this] { drain_loop(); });
     try {
@@ -925,30 +1028,47 @@ class query_service {
   /// pipeline is at the bound. Throws once the service is closed (also
   /// when close() arrives while blocked), and std::invalid_argument on a
   /// request with non-finite coordinates (no ticket is created).
+  ///
+  /// ingest_mode::lockfree (the default): admission is a CAS on the
+  /// budget counter and a Vyukov-ring push — producers touch no mutex
+  /// unless the bound or the ring is actually full. ingest_mode::mutex
+  /// keeps the original hub-lock path as the comparable baseline.
   completion<D> submit(std::vector<request<D>> batch) {
     validate_batch(batch);
+    if (ring_) {
+      return *submit_lockfree(std::move(batch), cfg_.deadline_ns,
+                              /*blocking=*/true, "submit");
+    }
     std::unique_lock<std::mutex> lk(hub_->mu);
     if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
-      ++stats_.submit_waits;
-      space_cv_.wait(lk, [&] { return hub_->closed || admits(batch.size()); });
+      ctr_.submit_waits.fetch_add(1, std::memory_order_relaxed);
+      space_cv_.wait(lk, [&] {
+        return hub_->closed.load(std::memory_order_relaxed) ||
+               admits(batch.size());
+      });
     }
-    if (hub_->closed) {
+    if (hub_->closed.load(std::memory_order_relaxed)) {
       throw std::runtime_error("query_service::submit() after close()");
     }
     return enqueue_locked(std::move(batch), cfg_.deadline_ns);
   }
 
   /// Non-blocking submit: std::nullopt when admission would block on the
-  /// backpressure bound (never waits). Throws once the service is closed,
-  /// and std::invalid_argument on non-finite coordinates.
+  /// backpressure bound (or, under ingest_mode::lockfree, on a full
+  /// ingest ring) — never waits. Throws once the service is closed, and
+  /// std::invalid_argument on non-finite coordinates.
   std::optional<completion<D>> try_submit(std::vector<request<D>> batch) {
     validate_batch(batch);
+    if (ring_) {
+      return submit_lockfree(std::move(batch), cfg_.deadline_ns,
+                             /*blocking=*/false, "try_submit");
+    }
     std::lock_guard<std::mutex> lk(hub_->mu);
-    if (hub_->closed) {
+    if (hub_->closed.load(std::memory_order_relaxed)) {
       throw std::runtime_error("query_service::try_submit() after close()");
     }
     if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
-      ++stats_.try_submit_rejects;
+      ctr_.try_submit_rejects.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     return enqueue_locked(std::move(batch), cfg_.deadline_ns);
@@ -966,12 +1086,19 @@ class query_service {
   completion<D> submit_with_deadline(std::vector<request<D>> batch,
                                      std::uint64_t deadline_ns) {
     validate_batch(batch);
+    if (ring_) {
+      return *submit_lockfree(std::move(batch), deadline_ns,
+                              /*blocking=*/true, "submit_with_deadline");
+    }
     std::unique_lock<std::mutex> lk(hub_->mu);
     if (cfg_.max_pending_requests > 0 && !admits(batch.size())) {
-      ++stats_.submit_waits;
-      space_cv_.wait(lk, [&] { return hub_->closed || admits(batch.size()); });
+      ctr_.submit_waits.fetch_add(1, std::memory_order_relaxed);
+      space_cv_.wait(lk, [&] {
+        return hub_->closed.load(std::memory_order_relaxed) ||
+               admits(batch.size());
+      });
     }
-    if (hub_->closed) {
+    if (hub_->closed.load(std::memory_order_relaxed)) {
       throw std::runtime_error(
           "query_service::submit_with_deadline() after close()");
     }
@@ -1017,10 +1144,14 @@ class query_service {
   void close() {
     {
       std::lock_guard<std::mutex> lk(hub_->mu);
-      hub_->closed = true;
+      hub_->closed.store(true, std::memory_order_seq_cst);
       work_cv_.notify_all();
       space_cv_.notify_all();
     }
+    // Lock-free mode: fail producers blocked in a full-ring push and wake
+    // the parked drain consumer. Items already in the ring stay poppable
+    // — the drain flushes them before exiting.
+    if (ring_) ring_->close();
     std::lock_guard<std::mutex> cg(close_mu_);
     if (threads_joined_) return;
     if (drainer_.joinable()) drainer_.join();
@@ -1044,15 +1175,53 @@ class query_service {
   }
 
   /// Ingest/drain/retention/cache counters. Safe to call concurrently with
-  /// submitters and the drain pipeline.
+  /// submitters and the drain pipeline. Never takes the hub lock: the hot
+  /// counters are relaxed atomics, so a stats poll storm cannot contend
+  /// with ingest or fulfilment.
   service_stats stats() const {
     service_stats s;
+    s.num_tickets = ctr_.num_tickets.load(std::memory_order_relaxed);
+    s.num_drains = ctr_.num_drains.load(std::memory_order_relaxed);
+    s.num_requests = ctr_.num_requests.load(std::memory_order_relaxed);
+    s.num_read_groups = ctr_.num_read_groups.load(std::memory_order_relaxed);
+    s.num_write_groups =
+        ctr_.num_write_groups.load(std::memory_order_relaxed);
+    s.snapshot_lag_drains =
+        ctr_.snapshot_lag_drains.load(std::memory_order_relaxed);
+    s.execute_seconds =
+        static_cast<double>(ctr_.execute_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    s.submit_waits = ctr_.submit_waits.load(std::memory_order_relaxed);
+    s.try_submit_rejects =
+        ctr_.try_submit_rejects.load(std::memory_order_relaxed);
+    s.rebalances = ctr_.rebalances.load(std::memory_order_relaxed);
+    s.rebalance_moved = ctr_.rebalance_moved.load(std::memory_order_relaxed);
+    s.expired_points = ctr_.expired_points.load(std::memory_order_relaxed);
+    s.replayed_groups = ctr_.replayed_groups.load(std::memory_order_relaxed);
+    s.replayed_records =
+        ctr_.replayed_records.load(std::memory_order_relaxed);
+    s.replay_errors = ctr_.replay_errors.load(std::memory_order_relaxed);
+    s.deadline_expired =
+        ctr_.deadline_expired.load(std::memory_order_relaxed);
+    s.recovered_epochs =
+        ctr_.recovered_epochs.load(std::memory_order_relaxed);
+    s.checkpoints = ctr_.checkpoints.load(std::memory_order_relaxed);
+    s.checkpoint_errors =
+        ctr_.checkpoint_errors.load(std::memory_order_relaxed);
+    s.log_append_errors =
+        ctr_.log_append_errors.load(std::memory_order_relaxed);
+    s.results_retained = hub_->retained.load(std::memory_order_relaxed);
+    s.results_evicted = hub_->evicted_total.load(std::memory_order_relaxed);
+    s.pending_requests =
+        in_flight_requests_.load(std::memory_order_relaxed);
+    if (ring_) s.ingest_spins = ring_->spins();
     {
-      std::lock_guard<std::mutex> lk(hub_->mu);
-      s = stats_;
-      s.results_retained = hub_->retained;
-      s.results_evicted = hub_->evicted_total;
-      s.pending_requests = in_flight_requests_;
+      const reclaim_counters rc = reclaim_.counters();
+      s.retired_snapshots = rc.retired;
+      s.reclaimed_snapshots = rc.reclaimed;
+      s.reclaim_stalls = rc.reclaim_stalls;
+      s.epoch_lag = rc.epoch_lag;
+      s.limbo_snapshots = rc.limbo;
     }
     s.per_shard.reserve(cfg_.shards);
     for (const auto& lane : lanes_) {
@@ -1152,13 +1321,18 @@ class query_service {
             std::to_string(cfg_.shards));
       }
     }
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    if (hub_->closed) {
-      throw std::runtime_error("query_service::apply_replayed after close()");
+    {
+      std::lock_guard<std::mutex> lk(hub_->mu);
+      if (hub_->closed.load(std::memory_order_relaxed)) {
+        throw std::runtime_error(
+            "query_service::apply_replayed after close()");
+      }
+      replay_q_.push_back(std::move(g));
+      replay_pending_.fetch_add(1, std::memory_order_release);
+      replay_enqueued_.fetch_add(1, std::memory_order_acq_rel);
+      work_cv_.notify_one();
     }
-    replay_q_.push_back(std::move(g));
-    replay_enqueued_.fetch_add(1, std::memory_order_acq_rel);
-    work_cv_.notify_one();
+    if (ring_) ring_->kick_consumer();  // lockfree drain parks on the ring
   }
 
   /// Blocks until every group handed to apply_replayed() so far has been
@@ -1199,8 +1373,7 @@ class query_service {
   /// replay_errors counter without the full stats() snapshot — cheap
   /// enough for a health poll).
   std::size_t replay_error_count() const {
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    return stats_.replay_errors;
+    return ctr_.replay_errors.load(std::memory_order_relaxed);
   }
 
   // ---- durability (query/checkpoint.h) ------------------------------------
@@ -1273,10 +1446,7 @@ class query_service {
     svc->cfg_.log_dir = dir;
     svc->cfg_.sync = sync;
     svc->cfg_.sync_interval_groups = sync_interval;
-    {
-      std::lock_guard<std::mutex> lk(svc->hub_->mu);
-      svc->stats_.recovered_epochs = target;
-    }
+    svc->ctr_.recovered_epochs.store(target, std::memory_order_relaxed);
     return svc;
   }
 
@@ -1292,6 +1462,9 @@ class query_service {
     /// Absolute telemetry-clock deadline (0 = none): the drain sheds the
     /// entry instead of executing it once now_ns() passes this.
     std::uint64_t deadline_ns = 0;
+    /// The ticket's completion record, co-owned with the submitter's
+    /// handle (null for the synthetic TTL-expiry ticket, id 0).
+    typename detail::completion_hub<D>::record_ptr rec;
   };
 
   /// A write/mixed drain group in flight on the shard lanes: routed once
@@ -1326,7 +1499,6 @@ class query_service {
     std::vector<std::vector<request<D>>> sub;       // per-shard requests
     std::vector<std::vector<std::size_t>> sub_idx;  // -> combined index
     std::vector<std::shared_ptr<const index_snapshot<D>>> snaps;
-    std::vector<unsigned char> pinned;  // lanes holding their write gate
     std::atomic<std::size_t> stamps_remaining{0};
     std::size_t total = 0;
     std::uint64_t trace_ticket = 0;  // as in shard_group
@@ -1364,21 +1536,21 @@ class query_service {
     std::uint64_t enqueue_ns = 0;           // lane_wait stamp (telemetry on)
   };
 
-  /// Per-shard executor lane: FIFO task queue + worker thread + the
-  /// shard's write gate (pins from pinned snapshot readers). `mu` guards
-  /// q, busy, stats, pins, shutdown; `cv` signals new work, unpins, AND
-  /// token releases. `busy` is the lane's execution token: a task may
-  /// only be popped (front, under `mu`) by a thread that takes the token,
-  /// and the token is held until the task retires — so this shard's tasks
-  /// run one at a time, in queue order, whichever worker runs them. Under
-  /// drain_mode::stealing that worker can be a sibling lane's.
+  /// Per-shard executor lane: FIFO task queue + worker thread. `mu`
+  /// guards q, busy, stats, shutdown; `cv` signals new work AND token
+  /// releases. `busy` is the lane's execution token: a task may only be
+  /// popped (front, under `mu`) by a thread that takes the token, and the
+  /// token is held until the task retires — so this shard's tasks run one
+  /// at a time, in queue order, whichever worker runs them. Under
+  /// drain_mode::stealing that worker can be a sibling lane's. (The write
+  /// gate that used to live here is gone: every backend's snapshots are
+  /// isolated now, so readers never block this shard's writes.)
   struct shard_lane {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<shard_task> q;
     bool shutdown = false;
-    bool busy = false;     // execution token (see above)
-    std::size_t pins = 0;  // in-flight pinned snapshot readers
+    bool busy = false;  // execution token (see above)
     shard_drain_stats stats;
     std::thread worker;
   };
@@ -1444,118 +1616,214 @@ class query_service {
   // vs writing, bounded by ingest_window requests), routes each group once,
   // and dispatches it — write/mixed groups to the shard lanes (per_shard)
   // or executed in place (single), read-only groups toward the snapshot
-  // readers. Exits once closed and the queue is flushed.
+  // readers. Exits once closed and the queue is flushed. The two ingest
+  // modes differ only in how tickets reach pending_: through the hub lock
+  // (mutex) or through the MPSC ring into a drain-thread-local pending_
+  // (lockfree); group formation and dispatch are shared.
   void drain_loop() {
+    if (ring_) {
+      drain_loop_lockfree();
+    } else {
+      drain_loop_mutex();
+    }
+  }
+
+  void drain_loop_mutex() {
     for (;;) {
-      std::unique_lock<std::mutex> lk(hub_->mu);
-      const auto work = [&] {
-        return hub_->closed || !pending_.empty() || !replay_q_.empty();
-      };
-      if (cfg_.point_ttl_ns > 0) {
-        // TTL set: bounded wait, so expiry sweeps run without traffic.
-        work_cv_.wait_for(lk, std::chrono::milliseconds(20), work);
-      } else {
-        work_cv_.wait(lk, work);
+      formed_group f;
+      {
+        std::unique_lock<std::mutex> lk(hub_->mu);
+        const auto work = [&] {
+          return hub_->closed.load(std::memory_order_relaxed) ||
+                 !pending_.empty() || !replay_q_.empty();
+        };
+        if (cfg_.point_ttl_ns > 0) {
+          // TTL set: bounded wait, so expiry sweeps run without traffic.
+          work_cv_.wait_for(lk, std::chrono::milliseconds(20), work);
+        } else {
+          work_cv_.wait(lk, work);
+        }
+        if (!replay_q_.empty()) {
+          // Replica side: replayed log groups take priority over local
+          // tickets (replicas serve reads; staying fresh is the product).
+          // One per iteration so close() and TTL still interleave.
+          log_group<D> rg = std::move(replay_q_.front());
+          replay_q_.pop_front();
+          replay_pending_.fetch_sub(1, std::memory_order_acq_rel);
+          lk.unlock();
+          process_replay(std::move(rg));
+          continue;
+        }
+        if (pending_.empty()) {
+          if (hub_->closed.load(std::memory_order_relaxed)) {
+            advance_reclaim();  // final sweep before the thread exits
+            return;
+          }
+          lk.unlock();
+          maybe_expire();
+          advance_reclaim();  // idle tick: drain the limbo list
+          continue;
+        }
+        f = form_group();
       }
-      if (!replay_q_.empty()) {
-        // Replica side: replayed log groups take priority over local
-        // tickets (replicas serve reads; staying fresh is the product).
-        // Processed one per iteration so close() and TTL still interleave.
-        log_group<D> rg = std::move(replay_q_.front());
-        replay_q_.pop_front();
-        lk.unlock();
+      dispatch_formed(std::move(f));
+    }
+  }
+
+  // Lock-free mode: tickets arrive through ring_; pending_ is
+  // drain-thread-local here, so group formation needs no lock at all.
+  // Exit requires closed AND no producer mid-push (submit_entrants_) AND
+  // the ring, pending_, and replay queue all flushed.
+  void drain_loop_lockfree() {
+    const auto park = std::chrono::nanoseconds(
+        cfg_.point_ttl_ns > 0 ? std::chrono::milliseconds(20)
+                              : std::chrono::milliseconds(50));
+    for (;;) {
+      pending_entry e;
+      while (ring_->try_pop(e)) pending_.push_back(std::move(e));
+      if (replay_pending_.load(std::memory_order_acquire) > 0) {
+        log_group<D> rg;
+        {
+          std::lock_guard<std::mutex> lk(hub_->mu);
+          if (replay_q_.empty()) continue;
+          rg = std::move(replay_q_.front());
+          replay_q_.pop_front();
+        }
+        replay_pending_.fetch_sub(1, std::memory_order_acq_rel);
         process_replay(std::move(rg));
         continue;
       }
       if (pending_.empty()) {
-        if (hub_->closed) return;
-        lk.unlock();
+        if (hub_->closed.load(std::memory_order_seq_cst) &&
+            submit_entrants_.load(std::memory_order_seq_cst) == 0 &&
+            ring_->empty() &&
+            replay_pending_.load(std::memory_order_acquire) == 0) {
+          advance_reclaim();  // final sweep before the thread exits
+          return;
+        }
         maybe_expire();
+        advance_reclaim();  // idle tick: drain the limbo list
+        ring_->consumer_wait(park, [&] {
+          return !ring_->empty() ||
+                 replay_pending_.load(std::memory_order_acquire) > 0 ||
+                 (hub_->closed.load(std::memory_order_seq_cst) &&
+                  submit_entrants_.load(std::memory_order_seq_cst) == 0);
+        });
         continue;
       }
-      // Deadline shedding happens at group formation: an entry whose
-      // deadline already passed is pulled aside instead of joining the
-      // group (it neither breaks same-kind grouping nor counts against
-      // the window) and fulfilled as timed out after the lock drops.
-      const std::uint64_t shed_now_ns = tel_.now_ns();
-      std::vector<pending_entry> expired;
-      const auto entry_expired = [&](const pending_entry& e) {
-        return e.deadline_ns != 0 && e.deadline_ns <= shed_now_ns;
-      };
-      while (!pending_.empty() && entry_expired(pending_.front())) {
-        expired.push_back(std::move(pending_.front()));
-        pending_.pop_front();
-      }
-      if (pending_.empty()) {
-        lk.unlock();
-        shed_expired(std::move(expired));
-        maybe_expire();
-        continue;  // closed-and-drained exits on the next iteration
-      }
-      const bool read_group_kind =
-          cfg_.read_threads > 0 && batch_is_read_only(pending_.front().batch);
-      std::vector<pending_entry> group;
-      group.push_back(std::move(pending_.front()));
+      dispatch_formed(form_group());
+    }
+  }
+
+  /// One drain group pulled off pending_, plus the deadline-expired
+  /// entries set aside while forming it.
+  struct formed_group {
+    std::vector<pending_entry> group;
+    std::vector<pending_entry> expired;
+    std::size_t total = 0;
+    bool read_kind = false;
+  };
+
+  // Forms one same-kind group (read-only vs writing, bounded by
+  // ingest_window requests) from the front of pending_. Deadline shedding
+  // happens here: an entry whose deadline already passed is pulled aside
+  // instead of joining the group (it neither breaks same-kind grouping
+  // nor counts against the window). Caller owns pending_ exclusively —
+  // under hub_->mu in mutex mode, by thread-locality in lockfree mode.
+  formed_group form_group() {
+    formed_group f;
+    const std::uint64_t shed_now_ns = tel_.now_ns();
+    const auto entry_expired = [&](const pending_entry& e) {
+      return e.deadline_ns != 0 && e.deadline_ns <= shed_now_ns;
+    };
+    while (!pending_.empty() && entry_expired(pending_.front())) {
+      f.expired.push_back(std::move(pending_.front()));
       pending_.pop_front();
-      std::size_t total = group.front().batch.size();
-      while (!pending_.empty()) {
-        const auto& next = pending_.front();
-        if (entry_expired(next)) {
-          expired.push_back(std::move(pending_.front()));
-          pending_.pop_front();
-          continue;
-        }
-        if (total + next.batch.size() > cfg_.ingest_window) break;
-        if (cfg_.read_threads > 0 &&
-            batch_is_read_only(next.batch) != read_group_kind) {
-          break;
-        }
-        total += next.batch.size();
-        group.push_back(std::move(pending_.front()));
+    }
+    if (pending_.empty()) return f;
+    f.read_kind =
+        cfg_.read_threads > 0 && batch_is_read_only(pending_.front().batch);
+    f.group.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    f.total = f.group.front().batch.size();
+    while (!pending_.empty()) {
+      const auto& next = pending_.front();
+      if (entry_expired(next)) {
+        f.expired.push_back(std::move(pending_.front()));
         pending_.pop_front();
+        continue;
       }
-      lk.unlock();
-      shed_expired(std::move(expired));
-      if (tel_.enabled()) {
-        // One dequeue stamp covers the whole group: every ticket left the
-        // ingest queue at this instant, so queue_wait = dequeue - submit
-        // per ticket (both stamps on the telemetry clock).
-        const std::uint64_t dq = tel_.now_ns();
-        for (const auto& e : group) {
-          const std::uint64_t wait_ns = dq - e.submit_ns;
-          tel_.record(stage::queue_wait, wait_ns);
-          if (tel_.sampled(e.id)) {
-            tel_.add_span("queue_wait", tel_.drain_track(), e.submit_ns,
-                          wait_ns, e.id);
-          }
-        }
+      if (f.total + next.batch.size() > cfg_.ingest_window) break;
+      if (cfg_.read_threads > 0 &&
+          batch_is_read_only(next.batch) != f.read_kind) {
+        break;
       }
-      if (read_group_kind) {
-        route_read_group(std::move(group), total);
-        // Reads are not write boundaries, but a read-heavy stream must
-        // not starve expiry: the idle-timeout sweep only runs when the
-        // queue stays empty for a whole bounded wait, which steady read
-        // traffic prevents indefinitely.
-        maybe_expire();
-      } else {
-        begin_write_group();
-        if (cfg_.drain != drain_mode::single) {
-          dispatch_shard_group(std::move(group), total);
-        } else {
-          run_sync_group(std::move(group), total);
+      f.total += next.batch.size();
+      f.group.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    return f;
+  }
+
+  // Dispatches one formed group (no locks held): fulfil the shed entries,
+  // stamp queue_wait, route, and run the write-boundary hooks.
+  void dispatch_formed(formed_group f) {
+    shed_expired(std::move(f.expired));
+    if (f.group.empty()) {
+      maybe_expire();  // the whole window had expired
+      return;
+    }
+    if (tel_.enabled()) {
+      // One dequeue stamp covers the whole group: every ticket left the
+      // ingest queue at this instant, so queue_wait = dequeue - submit
+      // per ticket (both stamps on the telemetry clock).
+      const std::uint64_t dq = tel_.now_ns();
+      for (const auto& e : f.group) {
+        const std::uint64_t wait_ns = dq - e.submit_ns;
+        tel_.record(stage::queue_wait, wait_ns);
+        if (tel_.sampled(e.id)) {
+          tel_.add_span("queue_wait", tel_.drain_track(), e.submit_ns,
+                        wait_ns, e.id);
         }
-        // A committed write group is a watch boundary: re-evaluate the
-        // standing queries the touched shards serve, then retire points
-        // whose TTL elapsed (itself another boundary). Write groups also
-        // move mass between shards' resident sets, and a drain boundary
-        // is the only point where stripes may be re-derived (routing and
-        // pruning stay mutually consistent group to group).
-        schedule_watch_eval();
-        maybe_expire();
-        maybe_rebalance();
-        maybe_checkpoint();
       }
     }
+    if (f.read_kind) {
+      route_read_group(std::move(f.group), f.total);
+      // Reads are not write boundaries, but a read-heavy stream must
+      // not starve expiry: the idle-timeout sweep only runs when the
+      // queue stays empty for a whole bounded wait, which steady read
+      // traffic prevents indefinitely.
+      maybe_expire();
+    } else {
+      begin_write_group();
+      if (cfg_.drain != drain_mode::single) {
+        dispatch_shard_group(std::move(f.group), f.total);
+      } else {
+        run_sync_group(std::move(f.group), f.total);
+      }
+      // A committed write group is a watch boundary: re-evaluate the
+      // standing queries the touched shards serve, then retire points
+      // whose TTL elapsed (itself another boundary). Write groups also
+      // move mass between shards' resident sets, and a drain boundary
+      // is the only point where stripes may be re-derived (routing and
+      // pruning stay mutually consistent group to group). It is also a
+      // reclaim point: the structure versions this group superseded go
+      // through one epoch advance + limbo sweep.
+      schedule_watch_eval();
+      maybe_expire();
+      maybe_rebalance();
+      maybe_checkpoint();
+      advance_reclaim();
+    }
+  }
+
+  // One epoch advance + limbo sweep (query/epoch_reclaim.h), timed as the
+  // reclaim stage. Drain thread only: deferred destruction of superseded
+  // index structure lands here, off the reader tail-latency path.
+  void advance_reclaim() {
+    const std::uint64_t t0 = tel_.enabled() ? tel_.now_ns() : 0;
+    reclaim_.advance_and_reclaim();
+    if (tel_.enabled()) tel_.record(stage::reclaim, tel_.now_ns() - t0);
   }
 
   // ---- per-shard drain pipelines ------------------------------------------
@@ -1805,20 +2073,12 @@ class query_service {
     return true;
   }
 
-  // Executes one lane's sub-batch of a shard_group (waiting out this
-  // shard's pinned readers first if the sub-batch writes), records the
-  // lane's counters, and — if this lane finishes the group — merges and
-  // fulfils it.
+  // Executes one lane's sub-batch of a shard_group, records the lane's
+  // counters, and — if this lane finishes the group — merges and fulfils
+  // it. Writes never wait on readers: every backend's snapshots are
+  // isolated, and superseded structure goes through the epoch reclaimer.
   void run_lane_subbatch(std::size_t s, shard_task task) {
     auto g = std::move(task.exec);
-    bool writes = false;
-    for (const auto& r : task.sub) {
-      if (!is_read(r.kind)) {
-        writes = true;
-        break;
-      }
-    }
-    if (writes) wait_shard_gate(s);
     // One ns delta feeds both the execute_write histogram and the legacy
     // execute_seconds counter — they cannot disagree.
     const std::uint64_t t0 = tel_.now_ns();
@@ -1852,10 +2112,10 @@ class query_service {
     }
   }
 
-  // Stamps this shard's epoch snapshot for a read group (pinning the
-  // shard's write gate for non-isolated snapshots); the lane that stamps
-  // last hands the group to the snapshot readers. A failed snapshot
-  // (allocation) fails the group instead of unwinding the lane thread.
+  // Stamps this shard's epoch snapshot for a read group; the lane that
+  // stamps last hands the group to the snapshot readers. A failed
+  // snapshot (allocation) fails the group instead of unwinding the lane
+  // thread.
   void run_lane_stamp(std::size_t s, shard_task task) {
     auto g = std::move(task.stamp);
     const std::uint64_t t0 = g->trace_ticket ? tel_.now_ns() : 0;
@@ -1931,8 +2191,7 @@ class query_service {
   // append failed was already failed by the caller.
   void note_log_failure() {
     log_failed_ = true;
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    ++stats_.log_append_errors;
+    ctr_.log_append_errors.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Drain thread, after each write group: checkpoint every
@@ -1965,13 +2224,11 @@ class query_service {
     try {
       write_checkpoint<D>(cfg_.log_dir, ck);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(hub_->mu);
-      ++stats_.checkpoint_errors;
+      ctr_.checkpoint_errors.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     log_->compact(ck.epoch);
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    ++stats_.checkpoints;
+    ctr_.checkpoints.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -2025,7 +2282,6 @@ class query_service {
       bool failed = false;
       try {
         for (const auto& rec : g.records) {
-          wait_shard_gate(rec.shard);
           apply_log_record(rec);
         }
       } catch (...) {
@@ -2038,8 +2294,7 @@ class query_service {
       }
       applied_epoch_.store(epoch, std::memory_order_release);
       if (failed) {
-        std::lock_guard<std::mutex> lk(hub_->mu);
-        ++stats_.replay_errors;
+        ctr_.replay_errors.fetch_add(1, std::memory_order_relaxed);
       }
       finish_replay_group(g.records.size(), t0);
       replay_done_.fetch_add(1, std::memory_order_acq_rel);
@@ -2083,7 +2338,6 @@ class query_service {
   // closes the group's replay stage.
   void run_lane_replay(std::size_t s, shard_task task) {
     auto rg = std::move(task.replay);
-    wait_shard_gate(s);
     const std::uint64_t t0 = tel_.now_ns();
     bool failed = false;
     std::size_t pts = 0;
@@ -2105,8 +2359,7 @@ class query_service {
       lane.stats.execute_seconds += static_cast<double>(dur_ns) * 1e-9;
     }
     if (failed) {
-      std::lock_guard<std::mutex> lk(hub_->mu);
-      ++stats_.replay_errors;
+      ctr_.replay_errors.fetch_add(1, std::memory_order_relaxed);
     }
     if (rg->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       finish_replay_group(rg->g.records.size(), rg->start_ns);
@@ -2134,9 +2387,8 @@ class query_service {
 
   void finish_replay_group(std::size_t records, std::uint64_t start_ns) {
     if (tel_.enabled()) tel_.record(stage::replay, tel_.now_ns() - start_ns);
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    ++stats_.replayed_groups;
-    stats_.replayed_records += records;
+    ctr_.replayed_groups.fetch_add(1, std::memory_order_relaxed);
+    ctr_.replayed_records.fetch_add(records, std::memory_order_relaxed);
   }
 
   // Fully stamped groups go to the reader pool — except that watch
@@ -2155,12 +2407,10 @@ class query_service {
 
   void stamp_shard_snapshot(read_group& g, std::size_t s) {
     g.snaps[s] = engines_[s]->index().snapshot();
-    if (!g.snaps[s]->isolated()) {
-      auto& lane = *lanes_[s];
-      std::lock_guard<std::mutex> lk(lane.mu);
-      ++lane.pins;
-      g.pinned[s] = 1;
-    }
+    // Every backend's snapshot is isolated now (the bdltree write gate is
+    // gone); the epoch reclaimer, not a pin count, covers the structure
+    // versions the snapshot references.
+    assert(g.snaps[s]->isolated());
   }
 
   // Executes one lane's sub-batch with the engine's phase discipline:
@@ -2242,23 +2492,6 @@ class query_service {
     if (!pts.empty()) set_spatial_bounds(pts);
   }
 
-  // Writes on shard s may not run while a pinned (non-isolated) snapshot
-  // read of s is in flight. Pins for s are only created by shard s's own
-  // stamp tasks, which run under the lane's execution token in queue
-  // order — i.e. before the write task that waits here — so no new pin
-  // can appear mid-wait; the snapshot readers unpin and notify.
-  void wait_shard_gate(std::size_t s) {
-    auto& lane = *lanes_[s];
-    std::unique_lock<std::mutex> lk(lane.mu);
-    lane.cv.wait(lk, [&] { return lane.pins == 0; });
-  }
-
-  // Single mode: writes wait for every shard's pinned readers (the global
-  // gate the single drainer had before lanes existed).
-  void wait_all_shard_gates() {
-    for (std::size_t s = 0; s < cfg_.shards; ++s) wait_shard_gate(s);
-  }
-
   // ---- online stripe rebalancing ------------------------------------------
 
   // Routed-write bookkeeping, drain-thread only (like the bounds): cheap
@@ -2332,8 +2565,8 @@ class query_service {
 
   // Blocks until every lane queue is empty and no task is executing.
   // Drain-thread only — nothing else enqueues lane work, so quiescence is
-  // stable once reached (snapshot readers may still be in flight; pinned
-  // ones are excluded per shard by wait_shard_gate below).
+  // stable once reached (snapshot readers may still be in flight; their
+  // isolated snapshots keep answering at their stamped epochs).
   void quiesce_lanes() {
     for (auto& lane_ptr : lanes_) {
       auto& lane = *lane_ptr;
@@ -2404,13 +2637,11 @@ class query_service {
         log_ ? cfg_.shards : 0);
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       if (leavers[s].empty()) continue;
-      wait_shard_gate(s);
       erase_multiset(s, leavers[s], log_ ? &erase_rounds[s] : nullptr);
       resident_est_[s] = sizes[s] - leavers[s].size();
     }
     for (std::size_t t = 0; t < cfg_.shards; ++t) {
       if (arrivals[t].empty()) continue;
-      wait_shard_gate(t);
       engines_[t]->index().batch_insert(arrivals[t]);
       resident_est_[t] += arrivals[t].size();
     }
@@ -2448,9 +2679,8 @@ class query_service {
     // A re-derivation that moved nothing cannot fix this skew (the mass
     // has fewer distinct coordinates than shards): back off much longer.
     last_rebalance_futile_ = moved == 0;
-    std::lock_guard<std::mutex> lk(hub_->mu);
-    ++stats_.rebalances;
-    stats_.rebalance_moved += moved;
+    ctr_.rebalances.fetch_add(1, std::memory_order_relaxed);
+    ctr_.rebalance_moved.fetch_add(moved, std::memory_order_relaxed);
   }
 
   // Erases every entry of `pts` (a multiset) from shard s, exactly one
@@ -2606,7 +2836,6 @@ class query_service {
       }
     }
     g->snaps.resize(cfg_.shards);
-    g->pinned.assign(cfg_.shards, 0);
     if (tel_.enabled()) {
       const std::uint64_t route_end = tel_.now_ns();
       tel_.record(stage::route, route_end - route_start);
@@ -2673,12 +2902,16 @@ class query_service {
 
   // Executes one read group against its epoch snapshots (through the
   // result cache) and fulfils it; watch groups peel off to their own
-  // finisher (registry delivery instead of ticket fulfilment).
+  // finisher (registry delivery instead of ticket fulfilment). The whole
+  // execution runs inside an epoch-reclaimer guard: structure versions
+  // retired while this read is in flight stay on the limbo list until the
+  // guard releases (query/epoch_reclaim.h).
   void run_read_task(std::shared_ptr<read_group> g) {
     if (g->watch_seq != 0) {
       run_watch_task(std::move(g));
       return;
     }
+    epoch_reclaimer::guard eg = reclaim_.enter();
     const std::uint64_t t_start = tel_.now_ns();
     batch_result<D> result;
     std::exception_ptr error = g->error;  // all stamps retired; no race
@@ -2735,8 +2968,9 @@ class query_service {
     result.stats.phases = {
         {g->combined.empty() ? op::knn : g->combined.front().kind, g->total,
          secs}};
-    // Lag is judged before unpinning: any divergence here means a write
-    // drain advanced the live index while this read was executing.
+    // Any divergence here means a write drain advanced the live index
+    // while this read was executing — the overlap the un-pinned pipeline
+    // exists to allow (on every backend now, bdltree included).
     bool lagged = false;
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       if (g->snaps[s] &&
@@ -2744,13 +2978,7 @@ class query_service {
         lagged = true;
       }
     }
-    for (std::size_t s = 0; s < cfg_.shards; ++s) {
-      if (!g->pinned[s]) continue;
-      auto& lane = *lanes_[s];
-      std::lock_guard<std::mutex> lk(lane.mu);
-      --lane.pins;
-      lane.cv.notify_all();
-    }
+    eg.release();  // quiescent: stop holding the reclaim epoch back
     recycle_read_group(*g);
     fulfill_group(std::move(g->tickets), g->total, std::move(result), error,
                   snap_epoch, /*read_group=*/true, lagged, secs,
@@ -2826,7 +3054,6 @@ class query_service {
       }
     }
     g->snaps.resize(cfg_.shards);
-    g->pinned.assign(cfg_.shards, 0);
     std::size_t active = 0;
     for (std::size_t s = 0; s < cfg_.shards; ++s) {
       if (!g->sub[s].empty()) ++active;
@@ -2862,6 +3089,7 @@ class query_service {
   // fire latency). Delivery happens even on failure — an empty batch —
   // so the registry's boundary sequence never stalls.
   void run_watch_task(std::shared_ptr<read_group> g) {
+    epoch_reclaimer::guard eg = reclaim_.enter();
     std::vector<std::pair<std::uint64_t, std::vector<point<D>>>> fired;
     if (!g->error) {
       try {
@@ -2900,13 +3128,7 @@ class query_service {
     if (tel_.enabled()) {
       tel_.record(stage::watch_eval, tel_.now_ns() - g->watch_start_ns);
     }
-    for (std::size_t s = 0; s < cfg_.shards; ++s) {
-      if (!g->pinned[s]) continue;
-      auto& lane = *lanes_[s];
-      std::lock_guard<std::mutex> lk(lane.mu);
-      --lane.pins;
-      lane.cv.notify_all();
-    }
+    eg.release();  // quiescent before delivery (callbacks are user code)
     const std::uint64_t seq = g->watch_seq;
     recycle_read_group(*g);
     g.reset();
@@ -2992,10 +3214,7 @@ class query_service {
       run_sync_group(std::move(group), /*total=*/0);
     }
     next_group_origin_ = log_origin::client;
-    {
-      std::lock_guard<std::mutex> lk(hub_->mu);
-      stats_.expired_points += count;
-    }
+    ctr_.expired_points.fetch_add(count, std::memory_order_relaxed);
     if (tel_.enabled()) tel_.record(stage::expire, tel_.now_ns() - t0);
     schedule_watch_eval();
   }
@@ -3003,7 +3222,8 @@ class query_service {
   // ---- single-drainer baseline --------------------------------------------
 
   // Executes a writing (or pool-disabled) group on the drain thread with
-  // the engine's phase discipline, after waiting out pinned readers.
+  // the engine's phase discipline. In-flight snapshot readers never gate
+  // this: every backend's snapshots are isolated.
   void run_sync_group(std::vector<pending_entry> group, std::size_t total) {
     const std::uint64_t trace_ticket = pick_trace_ticket(group);
     std::vector<request<D>> combined;
@@ -3011,7 +3231,6 @@ class query_service {
     for (const auto& e : group) {
       combined.insert(combined.end(), e.batch.begin(), e.batch.end());
     }
-    wait_all_shard_gates();
     const std::uint64_t t0 = tel_.now_ns();
     batch_result<D> result;
     std::exception_ptr error;
@@ -3212,34 +3431,44 @@ class query_service {
         tr.snapshot_epoch = snap_epoch;
         tr.commit_epoch = commit_epoch;
         off += e.batch.size();
-        auto it = hub_->tickets.find(e.id);
-        if (it == hub_->tickets.end()) continue;  // handle dropped: evict now
-        if (it->second.callback) {
-          callbacks.emplace_back(std::move(it->second.callback),
-                                 std::move(tr));
-          hub_->tickets.erase(it);
+        if (!e.rec) continue;  // synthetic TTL ticket: no submitter
+        auto& rec = *e.rec;
+        if (rec.state.load(std::memory_order_relaxed) !=
+            record_t::state_t::pending) {
+          continue;
+        }
+        if (rec.callback) {
+          callbacks.emplace_back(std::move(rec.callback), std::move(tr));
+          rec.state.store(record_t::state_t::consumed,
+                          std::memory_order_release);
+        } else if (rec.handle_dropped) {
+          rec.state.store(record_t::state_t::consumed,
+                          std::memory_order_release);
         } else {
-          it->second.state = record_t::state_t::done;
-          it->second.result = std::move(tr);
-          it->second.error = error;
-          hub_->done_order.push_back(e.id);
-          ++hub_->retained;
+          rec.result = std::move(tr);
+          rec.error = error;
+          rec.state.store(record_t::state_t::done, std::memory_order_release);
+          hub_->done_order.push_back(e.rec);
+          hub_->retained.fetch_add(1, std::memory_order_relaxed);
         }
       }
       hub_->evict_over_cap();
-      ++stats_.num_drains;
-      if (read_group) {
-        ++stats_.num_read_groups;
-        if (lagged) ++stats_.snapshot_lag_drains;
-      } else {
-        ++stats_.num_write_groups;
-      }
-      stats_.num_requests += total;
-      stats_.execute_seconds += exec_seconds;
-      in_flight_requests_ -= total;
+      in_flight_requests_.fetch_sub(total, std::memory_order_relaxed);
       space_cv_.notify_all();
       hub_->done_cv.notify_all();
     }
+    ctr_.num_drains.fetch_add(1, std::memory_order_relaxed);
+    if (read_group) {
+      ctr_.num_read_groups.fetch_add(1, std::memory_order_relaxed);
+      if (lagged) {
+        ctr_.snapshot_lag_drains.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      ctr_.num_write_groups.fetch_add(1, std::memory_order_relaxed);
+    }
+    ctr_.num_requests.fetch_add(total, std::memory_order_relaxed);
+    ctr_.execute_ns.fetch_add(static_cast<std::uint64_t>(exec_seconds * 1e9),
+                              std::memory_order_relaxed);
     if (tel_.enabled()) {
       // Result slicing + storage under the hub lock; callback bodies are
       // user code and excluded on purpose.
@@ -3277,26 +3506,34 @@ class query_service {
       std::size_t total = 0;
       for (auto& e : expired) {
         total += e.batch.size();
-        stats_.deadline_expired += e.batch.size();
+        ctr_.deadline_expired.fetch_add(e.batch.size(),
+                                        std::memory_order_relaxed);
         ticket_result<D> tr;
         tr.timed_out = true;
         tr.latency_seconds = static_cast<double>(f0 - e.submit_ns) * 1e-9;
-        auto it = hub_->tickets.find(e.id);
-        if (it == hub_->tickets.end()) continue;  // handle dropped
-        if (it->second.callback) {
-          callbacks.emplace_back(std::move(it->second.callback),
-                                 std::move(tr));
-          hub_->tickets.erase(it);
+        if (!e.rec) continue;  // synthetic TTL ticket
+        auto& rec = *e.rec;
+        if (rec.state.load(std::memory_order_relaxed) !=
+            record_t::state_t::pending) {
+          continue;
+        }
+        if (rec.callback) {
+          callbacks.emplace_back(std::move(rec.callback), std::move(tr));
+          rec.state.store(record_t::state_t::consumed,
+                          std::memory_order_release);
+        } else if (rec.handle_dropped) {
+          rec.state.store(record_t::state_t::consumed,
+                          std::memory_order_release);
         } else {
-          it->second.state = record_t::state_t::done;
-          it->second.result = std::move(tr);
-          it->second.error = nullptr;
-          hub_->done_order.push_back(e.id);
-          ++hub_->retained;
+          rec.result = std::move(tr);
+          rec.error = nullptr;
+          rec.state.store(record_t::state_t::done, std::memory_order_release);
+          hub_->done_order.push_back(e.rec);
+          hub_->retained.fetch_add(1, std::memory_order_relaxed);
         }
       }
       hub_->evict_over_cap();
-      in_flight_requests_ -= total;
+      in_flight_requests_.fetch_sub(total, std::memory_order_relaxed);
       space_cv_.notify_all();
       hub_->done_cv.notify_all();
     }
@@ -3315,22 +3552,122 @@ class query_service {
   // alone in an empty pipeline (otherwise it could never be admitted).
   bool admits(std::size_t n) const {
     if (n == 0) return true;  // empty batches carry no payload
-    return in_flight_requests_ == 0 ||
-           in_flight_requests_ + n <= cfg_.max_pending_requests;
+    const std::size_t cur = in_flight_requests_.load(std::memory_order_relaxed);
+    return cur == 0 || cur + n <= cfg_.max_pending_requests;
   }
 
   completion<D> enqueue_locked(std::vector<request<D>> batch,
                                std::uint64_t deadline_rel_ns) {
-    const std::uint64_t id = next_ticket_++;
-    hub_->tickets.emplace(id, typename detail::completion_hub<D>::record{});
-    in_flight_requests_ += batch.size();
+    const std::uint64_t id =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    auto rec = std::make_shared<typename detail::completion_hub<D>::record>();
+    rec->id = id;
+    in_flight_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
     const std::uint64_t now = tel_.now_ns();
     pending_entry e{id, std::move(batch), now};
     if (deadline_rel_ns > 0) e.deadline_ns = now + deadline_rel_ns;
+    e.rec = rec;
     pending_.push_back(std::move(e));
-    ++stats_.num_tickets;
+    ctr_.num_tickets.fetch_add(1, std::memory_order_relaxed);
     work_cv_.notify_one();
-    return completion<D>(hub_, id);
+    return completion<D>(hub_, std::move(rec));
+  }
+
+  // ---- lock-free submission (ring mode) -----------------------------------
+
+  // Single-CAS admission against the backpressure bound: admit an empty
+  // batch, an unbounded config, or an over-sized batch alone in an empty
+  // pipeline (mirrors admits()).
+  bool try_acquire_budget(std::size_t n) {
+    if (n == 0 || cfg_.max_pending_requests == 0) {
+      in_flight_requests_.fetch_add(n, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t cur = in_flight_requests_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur != 0 && cur + n > cfg_.max_pending_requests) return false;
+      if (in_flight_requests_.compare_exchange_weak(
+              cur, cur + n, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  // Blocking admission: spin over try_acquire_budget, parking on space_cv_
+  // between attempts. Returns false only when the service closes while
+  // waiting. submit_waits counts blocking episodes, not park iterations.
+  bool acquire_budget(std::size_t n) {
+    if (try_acquire_budget(n)) return true;
+    ctr_.submit_waits.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(hub_->mu);
+    for (;;) {
+      if (hub_->closed.load(std::memory_order_relaxed)) return false;
+      if (try_acquire_budget(n)) return true;
+      // Bounded wait: fulfill_group notifies space_cv_ under hub_->mu, but
+      // the 1ms ceiling makes a lost wakeup a hiccup rather than a hang.
+      space_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+  }
+
+  void release_budget(std::size_t n) {
+    in_flight_requests_.fetch_sub(n, std::memory_order_relaxed);
+    space_cv_.notify_all();
+  }
+
+  // Ring-mode submit seam shared by submit / try_submit /
+  // submit_with_deadline. Returns nullopt only for the non-blocking caller
+  // when admission or the ring rejects; blocking callers always get a
+  // completion or an exception.
+  std::optional<completion<D>> submit_lockfree(std::vector<request<D>> batch,
+                                               std::uint64_t deadline_rel_ns,
+                                               bool blocking,
+                                               const char* who) {
+    if (blocking) {
+      if (!acquire_budget(batch.size())) {
+        throw std::runtime_error(std::string(who) +
+                                 " on closed query_service");
+      }
+    } else {
+      if (hub_->closed.load(std::memory_order_seq_cst)) {
+        throw std::runtime_error(std::string(who) +
+                                 " on closed query_service");
+      }
+      if (!try_acquire_budget(batch.size())) {
+        ctr_.try_submit_rejects.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+    }
+    const std::size_t n = batch.size();
+    // Entrants window: the drain loop must not conclude "closed and ring
+    // empty => done" while a producer is between the closed check and its
+    // push. fetch_add is seq_cst so it orders against close()'s store.
+    submit_entrants_.fetch_add(1, std::memory_order_seq_cst);
+    if (hub_->closed.load(std::memory_order_seq_cst)) {
+      submit_entrants_.fetch_sub(1, std::memory_order_seq_cst);
+      release_budget(n);
+      throw std::runtime_error(std::string(who) + " on closed query_service");
+    }
+    const std::uint64_t id =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    auto rec = std::make_shared<typename detail::completion_hub<D>::record>();
+    rec->id = id;
+    const std::uint64_t now = tel_.now_ns();
+    pending_entry e{id, std::move(batch), now};
+    if (deadline_rel_ns > 0) e.deadline_ns = now + deadline_rel_ns;
+    e.rec = rec;
+    const auto st = blocking ? ring_->push(std::move(e)) : ring_->try_push(e);
+    submit_entrants_.fetch_sub(1, std::memory_order_seq_cst);
+    if (st == push_status::closed) {
+      release_budget(n);
+      throw std::runtime_error(std::string(who) + " on closed query_service");
+    }
+    if (st == push_status::full) {  // non-blocking only
+      release_budget(n);
+      ctr_.try_submit_rejects.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    ctr_.num_tickets.fetch_add(1, std::memory_order_relaxed);
+    return completion<D>(hub_, std::move(rec));
   }
 
   // ---- sharded gather-merge -----------------------------------------------
@@ -3491,17 +3828,50 @@ class query_service {
     return parts;
   }
 
+  // Scalar service counters, each its own relaxed atomic: every site that
+  // used to take hub_->mu just to bump a tally now writes here, and
+  // stats() assembles a service_stats from plain loads — observability
+  // never contends with ingest. (Cross-field snapshots are not atomic;
+  // the old mutex never promised more to concurrent writers either.)
+  struct hot_counters {
+    std::atomic<std::uint64_t> num_tickets{0};
+    std::atomic<std::uint64_t> num_drains{0};
+    std::atomic<std::uint64_t> num_requests{0};
+    std::atomic<std::uint64_t> num_read_groups{0};
+    std::atomic<std::uint64_t> num_write_groups{0};
+    std::atomic<std::uint64_t> snapshot_lag_drains{0};
+    std::atomic<std::uint64_t> submit_waits{0};
+    std::atomic<std::uint64_t> try_submit_rejects{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> expired_points{0};
+    std::atomic<std::uint64_t> rebalances{0};
+    std::atomic<std::uint64_t> rebalance_moved{0};
+    std::atomic<std::uint64_t> replayed_groups{0};
+    std::atomic<std::uint64_t> replayed_records{0};
+    std::atomic<std::uint64_t> replay_errors{0};
+    std::atomic<std::uint64_t> log_append_errors{0};
+    std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> checkpoint_errors{0};
+    std::atomic<std::uint64_t> recovered_epochs{0};
+    std::atomic<std::uint64_t> execute_ns{0};
+  };
+
   service_config cfg_;
   /// Request-lifecycle telemetry hub (query/telemetry.h): all stage
   /// stamps, histograms, and the trace ring. Declared right after cfg_ —
   /// it is constructed from it and everything below may record into it.
   class telemetry tel_;
+  /// Epoch-based snapshot reclamation (query/epoch_reclaim.h). Declared
+  /// before engines_ on purpose: the backends hold a raw pointer to it
+  /// (set_reclaimer) and their retire hooks may fire during engine
+  /// destruction, so the reclaimer must be destroyed after them.
+  epoch_reclaimer reclaim_;
   std::vector<std::unique_ptr<query_engine<D>>> engines_;
   /// Hot result caches (k-NN / box / ball rows), one per shard
   /// (query/result_cache.h).
   std::vector<std::unique_ptr<result_cache<D>>> caches_;
-  /// Per-shard executor lanes (workers run only under per_shard; the pin
-  /// gates and counters are used in both modes).
+  /// Per-shard executor lanes (workers run only under per_shard; the
+  /// queues and counters are used in both modes).
   std::vector<std::unique_ptr<shard_lane>> lanes_;
 
   // Spatial stripes. Only touched by bootstrap or the drain thread (lanes
@@ -3536,16 +3906,27 @@ class query_service {
   std::deque<std::pair<std::uint64_t, point<D>>> ttl_q_;
   std::uint64_t ttl_batch_deadline_ = 0;  // drain-thread scratch
 
-  // Ingest queue + completion state. hub_->mu guards pending_, next_ticket_,
-  // in_flight_requests_ and stats_ as well; the hub outlives the service
-  // for late redemptions.
+  // Ingest queue + completion state. The hub outlives the service for
+  // late redemptions. In mutex mode hub_->mu guards pending_; in lockfree
+  // mode producers publish through ring_ and pending_ is drain-local
+  // (formation scratch, no lock). next_ticket_ / in_flight_requests_ are
+  // atomics in both modes — submission never takes hub_->mu to count.
   std::shared_ptr<detail::completion_hub<D>> hub_;
   std::condition_variable work_cv_;   // drain thread wakeup (hub_->mu)
   std::condition_variable space_cv_;  // backpressure wakeup (hub_->mu)
   std::deque<pending_entry> pending_;
-  std::uint64_t next_ticket_ = 1;
-  std::size_t in_flight_requests_ = 0;  // admitted, not yet fulfilled
-  service_stats stats_;
+  std::atomic<std::uint64_t> next_ticket_{1};
+  std::atomic<std::size_t> in_flight_requests_{0};  // admitted, not fulfilled
+  hot_counters ctr_;
+  // Lock-free ingest (cfg_.ingest == ingest_mode::lockfree): bounded MPSC
+  // ring between producers and the drain thread. submit_entrants_ counts
+  // producers between their closed-check and push (the drain loop must
+  // not conclude "closed and empty => done" across that window);
+  // replay_pending_ counts replica log groups parked in replay_q_ so the
+  // lockfree drain knows to take hub_->mu and collect them.
+  std::unique_ptr<mpsc_ring<pending_entry>> ring_;
+  std::atomic<std::uint64_t> submit_entrants_{0};
+  std::atomic<std::size_t> replay_pending_{0};
 
   // Routing scratch recycling pool.
   mutable std::mutex scratch_mu_;

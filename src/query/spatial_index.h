@@ -17,19 +17,28 @@
 // *Epochs and snapshots.* Every adapter carries a monotonically increasing
 // write epoch (bumped by build and by each content-changing write batch)
 // and can publish an `index_snapshot<D>` — a read-only view of the contents
-// as of the snapshot's epoch. Snapshots come in two strengths, reported by
-// `isolated()`:
+// as of the snapshot's epoch. Every snapshot is *isolated*: it owns (or
+// shares immutably) everything it needs, so queries against it remain
+// exact while the live index absorbs further writes concurrently.
 //
-//   - *Isolated* (kdtree, zdtree): the snapshot owns (or shares immutably)
-//     everything it needs, so queries against it remain exact while the
-//     live index absorbs further writes concurrently. The kd-tree snapshot
-//     shares the immutable tree + base array and copies the bounded
-//     buffered-writes multisets; the Zd-tree adapter is copy-on-write over
-//     the Morton array, so a snapshot is one shared_ptr.
-//   - *Pinned* (bdltree): the snapshot is a view of the live forest at its
-//     structural epoch. It is exact only while no write runs; callers (the
-//     query_service drain pipeline) must exclude writes for the duration of
-//     the read, and must not outlive the owning index.
+//   - kdtree: shares the immutable tree + base array and copies the
+//     bounded buffered-writes multisets.
+//   - zdtree: the adapter is copy-on-write over the Morton array, so a
+//     snapshot is one shared_ptr.
+//   - bdltree: chunk-level COW over the forest — the snapshot copies the
+//     bounded staging buffer and shares the static vEB trees; inserts
+//     replace whole trees and erases copy any shared tree before mutating
+//     (see bdl_tree.h). Historically this backend published *pinned*
+//     snapshots that gated writes behind a per-shard barrier; that
+//     contract is gone.
+//
+// *Reclamation.* Each adapter accepts an optional `epoch_reclaimer`
+// (`set_reclaimer`, see epoch_reclaim.h): superseded structure versions —
+// a swapped-out kd-tree/base array, an old Morton array, a replaced vEB
+// tree — are retired onto the reclaimer's limbo list instead of freed at
+// the swap site, and destroyed at drain-boundary reclaim points once every
+// reader epoch has advanced past them. Without a reclaimer the shared_ptr
+// refcount frees them as before.
 //
 // The kd-tree backend is the static baseline the paper compares
 // batch-dynamic structures against: updates are served by rebuilding. A
@@ -54,6 +63,7 @@
 #include "core/point.h"
 #include "kdtree/kdtree.h"
 #include "parallel/parallel.h"
+#include "query/epoch_reclaim.h"
 #include "zdtree/zdtree.h"
 
 namespace pargeo::query {
@@ -78,8 +88,7 @@ inline backend backend_from_string(const std::string& s) {
 }
 
 /// Read-only, epoch-stamped view of an index's contents. Query semantics
-/// match the owning spatial_index exactly (as of `epoch()`). See the header
-/// comment for the isolated-vs-pinned contract.
+/// match the owning spatial_index exactly (as of `epoch()`).
 template <int D>
 class index_snapshot {
  public:
@@ -90,8 +99,9 @@ class index_snapshot {
   virtual std::size_t size() const = 0;
 
   /// True if queries stay exact while the owning index absorbs further
-  /// writes; false if the caller must exclude concurrent writes (and keep
-  /// the owning index alive) for the snapshot's lifetime.
+  /// writes. Every backend answers true since the bdltree forest went
+  /// copy-on-write; the accessor remains so callers (and tests) can
+  /// assert the contract.
   virtual bool isolated() const = 0;
 
   virtual std::vector<std::vector<point<D>>> batch_knn(
@@ -130,8 +140,15 @@ class spatial_index {
   virtual std::uint64_t epoch() const = 0;
 
   /// Publishes a read snapshot of the current contents at the current
-  /// epoch. Cost: O(buffered writes) for kdtree, O(1) for zdtree/bdltree.
+  /// epoch. Cost: O(buffered writes) for kdtree, O(1) for zdtree,
+  /// O(staging buffer + live trees) for bdltree.
   virtual std::shared_ptr<const index_snapshot<D>> snapshot() const = 0;
+
+  /// Attach an epoch reclaimer: superseded structure versions are retired
+  /// onto its limbo list instead of freed at the swap site. nullptr
+  /// detaches. Not thread-safe against concurrent writes — call before
+  /// serving traffic (the query_service attaches at construction).
+  virtual void set_reclaimer(epoch_reclaimer* r) { (void)r; }
 
   /// Replaces the stored set with `pts`.
   virtual void build(const std::vector<point<D>>& pts) = 0;
@@ -371,7 +388,10 @@ class kdtree_index final : public spatial_index<D> {
     return std::make_shared<kdtree_snapshot<D>>(view_, epoch());
   }
 
+  void set_reclaimer(epoch_reclaimer* r) override { reclaim_ = r; }
+
   void build(const std::vector<point<D>>& pts) override {
+    retire_ptr(view_.base);
     view_.base = std::make_shared<const std::vector<point<D>>>(pts);
     clear_pending();
     rebuild();
@@ -450,6 +470,7 @@ class kdtree_index final : public spatial_index<D> {
             rebuild_threshold_ * static_cast<double>(view_.base->size())) {
       return;
     }
+    retire_ptr(view_.base);
     view_.base =
         std::make_shared<const std::vector<point<D>>>(view_.materialize());
     clear_pending();
@@ -463,13 +484,19 @@ class kdtree_index final : public spatial_index<D> {
   }
 
   // Builds a fresh immutable tree over the current base and publishes it by
-  // shared_ptr swap — live snapshots keep the tree they captured.
+  // shared_ptr swap — live snapshots keep the tree they captured; the
+  // superseded tree goes to the reclaimer's limbo list when one is attached.
   void rebuild() {
+    retire_ptr(view_.tree);
     view_.tree = std::make_shared<const kdtree::tree<D>>(*view_.base, policy_,
                                                          leaf_size_);
     base_count_.clear();
     for (const auto& p : *view_.base) ++base_count_[p];
     ++rebuilds_;
+  }
+
+  void retire_ptr(std::shared_ptr<const void> p) {
+    if (reclaim_ && p) reclaim_->retire(std::move(p));
   }
 
   kdtree::split_policy policy_;
@@ -479,6 +506,7 @@ class kdtree_index final : public spatial_index<D> {
   std::map<point<D>, std::size_t> base_count_;
   std::size_t rebuilds_ = 0;
   std::atomic<std::uint64_t> epoch_{0};
+  epoch_reclaimer* reclaim_ = nullptr;
 };
 
 namespace detail {
@@ -564,8 +592,10 @@ class zdtree_index final : public spatial_index<D> {
     return std::make_shared<zdtree_snapshot<D>>(tree_, epoch());
   }
 
+  void set_reclaimer(epoch_reclaimer* r) override { reclaim_ = r; }
+
   void build(const std::vector<point<D>>& pts) override {
-    tree_ = std::make_shared<const zdtree::zd_tree<D>>(pts);
+    publish(std::make_shared<const zdtree::zd_tree<D>>(pts));
     epoch_.fetch_add(1, std::memory_order_release);
   }
 
@@ -573,7 +603,7 @@ class zdtree_index final : public spatial_index<D> {
     if (pts.empty()) return;
     auto next = std::make_shared<zdtree::zd_tree<D>>(*tree_);
     next->insert(pts);
-    tree_ = std::move(next);
+    publish(std::move(next));
     epoch_.fetch_add(1, std::memory_order_release);
   }
 
@@ -584,7 +614,7 @@ class zdtree_index final : public spatial_index<D> {
     // Erase only removes: an unchanged size means nothing matched — keep
     // the current version and leave the epoch alone.
     if (next->size() == tree_->size()) return;
-    tree_ = std::move(next);
+    publish(std::move(next));
     epoch_.fetch_add(1, std::memory_order_release);
   }
 
@@ -607,41 +637,52 @@ class zdtree_index final : public spatial_index<D> {
   std::vector<point<D>> gather() const override { return tree_->gather(); }
 
  private:
+  // Swap in a new Morton-array version; the superseded version is retired
+  // (or refcount-freed when no reclaimer is attached).
+  void publish(std::shared_ptr<const zdtree::zd_tree<D>> next) {
+    auto old = std::move(tree_);
+    tree_ = std::move(next);
+    if (reclaim_ && old) reclaim_->retire(std::move(old));
+  }
+
   std::shared_ptr<const zdtree::zd_tree<D>> tree_;
   std::atomic<std::uint64_t> epoch_{0};
+  epoch_reclaimer* reclaim_ = nullptr;
 };
 
-/// Pinned BDL-tree snapshot: a view of the live forest at its structural
-/// epoch. NOT isolated — the caller must exclude concurrent writes while
-/// querying it and must not let it outlive the owning index (the
-/// query_service drain pipeline enforces both).
+/// Isolated BDL-tree snapshot: an owned copy of the (bounded) staging
+/// buffer plus shared references to the forest's static vEB trees. Writes
+/// to the live forest never mutate a shared tree (inserts replace whole
+/// trees; erases copy-on-write, see bdl_tree.h), so the snapshot stays
+/// exact and may outlive the owning index.
 template <int D>
 class bdltree_snapshot final : public index_snapshot<D> {
  public:
-  bdltree_snapshot(const bdltree::bdl_tree<D>* tree, std::uint64_t epoch)
-      : tree_(tree), epoch_(epoch) {}
+  bdltree_snapshot(bdltree::bdl_forest_view<D> view, std::uint64_t epoch)
+      : view_(std::move(view)), epoch_(epoch), size_(view_.size()) {}
 
   std::uint64_t epoch() const override { return epoch_; }
-  std::size_t size() const override { return tree_->size(); }
-  bool isolated() const override { return false; }
+  std::size_t size() const override { return size_; }
+  bool isolated() const override { return true; }
 
   std::vector<std::vector<point<D>>> batch_knn(
       const std::vector<point<D>>& queries, std::size_t k) const override {
-    return tree_->knn(queries, k);
+    return view_.knn(queries, k);
   }
   std::vector<std::vector<point<D>>> batch_range(
       const std::vector<aabb<D>>& boxes) const override {
-    return tree_->range_box(boxes);
+    return view_.range_box(boxes);
   }
   std::vector<std::vector<point<D>>> batch_ball(
       const std::vector<point<D>>& centers,
       const std::vector<double>& radii) const override {
-    return tree_->range_ball(centers, radii);
+    return view_.range_ball(centers, radii);
   }
 
  private:
-  const bdltree::bdl_tree<D>* tree_;
+  bdltree::bdl_forest_view<D> view_;
   std::uint64_t epoch_;
+  std::size_t size_;
 };
 
 /// Batch-dynamic BDL-tree backend (paper §5): the structure the subsystem
@@ -662,11 +703,17 @@ class bdltree_index final : public spatial_index<D> {
   }
 
   std::shared_ptr<const index_snapshot<D>> snapshot() const override {
-    return std::make_shared<bdltree_snapshot<D>>(&tree_, epoch());
+    return std::make_shared<bdltree_snapshot<D>>(tree_.view(), epoch());
+  }
+
+  void set_reclaimer(epoch_reclaimer* r) override {
+    reclaim_ = r;
+    attach_hook();
   }
 
   void build(const std::vector<point<D>>& pts) override {
     tree_ = bdltree::bdl_tree<D>(policy_, buffer_size_);
+    attach_hook();
     tree_.insert(pts);
     epoch_.fetch_add(1, std::memory_order_release);
   }
@@ -706,10 +753,21 @@ class bdltree_index final : public spatial_index<D> {
   std::vector<point<D>> gather() const override { return tree_.gather(); }
 
  private:
+  void attach_hook() {
+    if (reclaim_ != nullptr) {
+      epoch_reclaimer* r = reclaim_;
+      tree_.set_retire_hook(
+          [r](std::shared_ptr<const void> p) { r->retire(std::move(p)); });
+    } else {
+      tree_.set_retire_hook(nullptr);
+    }
+  }
+
   bdltree::split_policy policy_;
   std::size_t buffer_size_;
   bdltree::bdl_tree<D> tree_;
   std::atomic<std::uint64_t> epoch_{0};
+  epoch_reclaimer* reclaim_ = nullptr;
 };
 
 // The common dimensions are instantiated once in query.cpp.

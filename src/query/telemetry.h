@@ -105,7 +105,9 @@ inline telemetry_level telemetry_level_from_string(const std::string& s) {
 /// committed write group into the op log, on the primary's drain
 /// thread), replay (one log group's application on a replica: dispatch
 /// until the last lane finished re-executing the recorded backend
-/// calls).
+/// calls). Reclamation stage: reclaim (one epoch advance + limbo sweep
+/// on the drain thread — the cost of destroying retired snapshot
+/// structure, see epoch_reclaim.h).
 enum class stage : std::uint8_t {
   queue_wait,
   route,
@@ -119,9 +121,10 @@ enum class stage : std::uint8_t {
   expire,
   replicate,
   replay,
+  reclaim,
 };
 
-inline constexpr std::size_t kNumStages = 12;
+inline constexpr std::size_t kNumStages = 13;
 
 inline constexpr std::size_t stage_index(stage s) {
   return static_cast<std::size_t>(s);
@@ -141,6 +144,7 @@ inline const char* stage_name(stage s) {
     case stage::expire: return "expire";
     case stage::replicate: return "replicate";
     case stage::replay: return "replay";
+    case stage::reclaim: return "reclaim";
   }
   return "?";
 }

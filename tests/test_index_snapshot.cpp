@@ -1,10 +1,10 @@
 // Unit tests for the epoch/snapshot layer of spatial_index (layer 1):
 // write epochs advance monotonically on every content change; isolated
 // snapshots (kdtree: shared tree + copied write buffers, zdtree:
-// copy-on-write Morton array) keep answering exactly as of their epoch
-// while the live index absorbs further writes; the pinned bdltree snapshot
-// reports itself non-isolated; and query_engine::execute_reads drives a
-// read-only batch through a snapshot (and rejects writes).
+// copy-on-write Morton array, bdltree: chunk-level COW forest view) keep
+// answering exactly as of their epoch while the live index absorbs
+// further writes; and query_engine::execute_reads drives a read-only
+// batch through a snapshot (and rejects writes).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -162,24 +162,44 @@ TEST(SnapshotIsolation, KdtreeSnapshotSurvivesRebuild) {
   }
 }
 
-TEST(SnapshotIsolation, BdltreeSnapshotIsPinnedToTheLiveTree) {
-  // The BDL forest mutates in place, so its snapshot is a non-isolated
-  // view: exact at capture time, and callers must exclude writes while
-  // querying it (the service's gate does).
+TEST(SnapshotIsolation, BdltreeSnapshotIgnoresLaterWrites2D) {
+  // The BDL forest used to hand out pinned (non-isolated) views that
+  // required the service to gate writes while reads were in flight.
+  // Snapshots are now chunk-level COW forest views: fully isolated, and
+  // superseded structure versions are retired through the epoch
+  // reclaimer instead of blocking writers.
+  expect_isolated_from_later_writes<2>(backend::bdltree);
+}
+
+TEST(SnapshotIsolation, BdltreeSnapshotIgnoresLaterWrites3D) {
+  expect_isolated_from_later_writes<3>(backend::bdltree);
+}
+
+TEST(SnapshotIsolation, BdltreeSnapshotSurvivesManyWriteRounds) {
+  // Rounds of insert+erase churn rebuild / merge BDL levels repeatedly;
+  // a snapshot captured up front must keep answering from its original
+  // chunk set no matter how much the live forest restructures.
   auto idx = query::make_index<2>(backend::bdltree);
-  idx->build(datagen::uniform<2>(120, 29));
+  const auto initial = datagen::uniform<2>(150, 41);
+  idx->build(initial);
   auto snap = idx->snapshot();
-  EXPECT_FALSE(snap->isolated());
-  EXPECT_EQ(snap->epoch(), idx->epoch());
-  EXPECT_EQ(snap->size(), idx->size());
-  const auto queries = datagen::uniform<2>(4, 31);
-  auto live = idx->batch_knn(queries, 3);
-  auto snapped = snap->batch_knn(queries, 3);
+  ASSERT_TRUE(snap->isolated());
+
+  for (int round = 0; round < 6; ++round) {
+    idx->batch_insert(datagen::uniform<2>(40, 43 + round));
+    auto victims = datagen::uniform<2>(40, 43 + round);
+    victims.resize(20);
+    idx->batch_erase(victims);
+  }
+
+  EXPECT_EQ(snap->size(), initial.size());
+  const auto queries = datagen::uniform<2>(5, 47);
+  auto rows = snap->batch_knn(queries, 3);
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    ASSERT_EQ(live[i].size(), snapped[i].size());
-    for (std::size_t j = 0; j < live[i].size(); ++j) {
-      EXPECT_EQ(live[i][j].dist_sq(queries[i]),
-                snapped[i][j].dist_sq(queries[i]));
+    auto expect = testutil::brute_knn_dists(initial, queries[i], 3);
+    ASSERT_EQ(rows[i].size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(rows[i][j].dist_sq(queries[i]), expect[j]);
     }
   }
 }

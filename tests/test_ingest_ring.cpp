@@ -1,0 +1,181 @@
+// Unit tests for the bounded lock-free MPSC ingest ring
+// (query/ingest_ring.h): FIFO per producer, wraparound reuse of slots,
+// try_push full-ring rejection, blocking push backpressure, close waking
+// parked producers, and the contention spin counter. Multi-producer cases
+// run under TSan in CI (the tsan job's test regex includes this binary).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "query/ingest_ring.h"
+
+using pargeo::query::mpsc_ring;
+using pargeo::query::push_status;
+
+TEST(IngestRing, CapacityRoundsUpToPowerOfTwo) {
+  mpsc_ring<int> r3(3);
+  EXPECT_EQ(r3.capacity(), 4u);
+  mpsc_ring<int> r8(8);
+  EXPECT_EQ(r8.capacity(), 8u);
+  mpsc_ring<int> r0(0);
+  EXPECT_GE(r0.capacity(), 1u);
+}
+
+TEST(IngestRing, SingleProducerFifoAcrossWraparound) {
+  mpsc_ring<int> ring(4);  // tiny: forces many slot-sequence recycles
+  int expect = 0;
+  for (int v = 0; v < 1000;) {
+    while (v < 1000) {
+      int item = v;
+      if (ring.try_push(item) != push_status::ok) break;
+      ++v;
+    }
+    int out = -1;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, expect);
+      ++expect;
+    }
+  }
+  EXPECT_EQ(expect, 1000);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(IngestRing, TryPushReportsFullAndDoesNotConsumeTheItem) {
+  mpsc_ring<int> ring(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_EQ(ring.try_push(a), push_status::ok);
+  EXPECT_EQ(ring.try_push(b), push_status::ok);
+  EXPECT_EQ(ring.try_push(c), push_status::full);
+  EXPECT_EQ(c, 3);  // full must leave the caller's item intact
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(ring.try_push(c), push_status::ok);  // slot freed -> admitted
+}
+
+TEST(IngestRing, BlockingPushWaitsForConsumerSpace) {
+  mpsc_ring<int> ring(2);
+  int a = 1, b = 2;
+  ASSERT_EQ(ring.try_push(a), push_status::ok);
+  ASSERT_EQ(ring.try_push(b), push_status::ok);
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(ring.push(3), push_status::ok);
+    pushed.store(true);
+  });
+  // The producer must be blocked on the full ring, not spinning through.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(IngestRing, CloseWakesBlockedProducersWithClosedStatus) {
+  mpsc_ring<int> ring(2);
+  int a = 1, b = 2;
+  ASSERT_EQ(ring.try_push(a), push_status::ok);
+  ASSERT_EQ(ring.try_push(b), push_status::ok);
+
+  std::vector<std::thread> producers;
+  std::atomic<int> closed_seen{0};
+  for (int i = 0; i < 3; ++i) {
+    producers.emplace_back([&ring, &closed_seen, i] {
+      if (ring.push(100 + i) == push_status::closed) {
+        closed_seen.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(closed_seen.load(), 3);
+
+  // Already-published items stay poppable after close; pushes do not.
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  int late = 99;
+  EXPECT_EQ(ring.try_push(late), push_status::closed);
+}
+
+TEST(IngestRing, MultiProducerDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  mpsc_ring<std::uint64_t> ring(64);
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> popped;
+  popped.reserve(kProducers * kPerProducer);
+
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    for (;;) {
+      while (ring.try_pop(v)) popped.push_back(v);
+      if (done.load(std::memory_order_acquire) && ring.empty()) {
+        while (ring.try_pop(v)) popped.push_back(v);  // closing sweep
+        return;
+      }
+      ring.consumer_wait(std::chrono::milliseconds(1), [&] {
+        return !ring.empty() || done.load(std::memory_order_acquire);
+      });
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v =
+            (static_cast<std::uint64_t>(p) << 32) | static_cast<unsigned>(i);
+        ASSERT_EQ(ring.push(std::uint64_t{v}), push_status::ok);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  ring.kick_consumer();
+  consumer.join();
+
+  ASSERT_EQ(popped.size(),
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  // Exactly-once: all values distinct, and FIFO per producer.
+  std::vector<std::uint64_t> next(kProducers, 0);
+  for (const std::uint64_t v : popped) {
+    const int p = static_cast<int>(v >> 32);
+    const std::uint64_t seq = v & 0xffffffffu;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next[p]) << "producer " << p << " order broken";
+    next[p] = seq + 1;
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], static_cast<std::uint64_t>(kPerProducer));
+  }
+}
+
+TEST(IngestRing, SpinCounterAdvancesUnderFullRingContention) {
+  mpsc_ring<int> ring(2);
+  int a = 1, b = 2;
+  ASSERT_EQ(ring.try_push(a), push_status::ok);
+  ASSERT_EQ(ring.try_push(b), push_status::ok);
+  EXPECT_EQ(ring.spins(), 0u);
+
+  std::thread producer([&] { EXPECT_EQ(ring.push(3), push_status::ok); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  producer.join();
+  // The blocked push burned its spin budget before parking.
+  EXPECT_GT(ring.spins(), 0u);
+}

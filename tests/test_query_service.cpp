@@ -954,6 +954,121 @@ TEST(QueryService, StealingModeMatchesPerShardAndSingle) {
   }
 }
 
+TEST(QueryService, LockfreeIngestMatchesMutexOnEveryBackendAndDrainMode) {
+  // The MPSC ingest ring is a pure submission-seam change: the same
+  // stream through ingest_mode::mutex and ingest_mode::lockfree must
+  // produce byte-identical responses on every backend x drain mode.
+  query::workload_spec spec;
+  spec.initial_points = 300;
+  spec.num_ops = 600;
+  spec.batch_size = 96;
+  spec.k = 5;
+  for (auto b : {backend::kdtree, backend::zdtree, backend::bdltree}) {
+    for (auto d : {query::drain_mode::single, query::drain_mode::per_shard,
+                   query::drain_mode::stealing}) {
+      auto cfg = make_config<2>(b, 3, shard_policy::hash);
+      cfg.drain = d;
+      cfg.ingest = query::ingest_mode::mutex;
+      query::query_service<2> mutexed(cfg);
+      std::vector<query::response<2>> want;
+      query::run_workload<2>(mutexed, spec, &want);
+
+      cfg.ingest = query::ingest_mode::lockfree;
+      query::query_service<2> lockfree(cfg);
+      std::vector<query::response<2>> got;
+      query::run_workload<2>(lockfree, spec, &got);
+
+      const std::string tag = std::string(query::backend_name(b)) + "/" +
+                              query::drain_mode_name(d);
+      ASSERT_EQ(got.size(), want.size()) << tag;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].points, want[i].points)
+            << tag << " response " << i;
+      }
+      EXPECT_EQ(lockfree.size(), mutexed.size()) << tag;
+      // The ring actually carried the traffic (ticket accounting intact).
+      EXPECT_GT(lockfree.stats().num_tickets, 0u) << tag;
+    }
+  }
+}
+
+TEST(QueryService, LockfreeIngestSurvivesConcurrentProducers) {
+  // 4 producers CAS-race into one ring; every ticket must come back with
+  // its own answers in its own order (same contract the mutex path gave).
+  constexpr int kThreads = 4;
+  constexpr int kTicketsPerThread = 24;
+  auto cfg = make_config<2>(backend::bdltree, 4, shard_policy::hash);
+  cfg.drain = query::drain_mode::per_shard;
+  cfg.ingest = query::ingest_mode::lockfree;
+  cfg.ingest_ring_capacity = 8;  // tiny ring: force wraparound + blocking
+  query::query_service<2> service(cfg);
+  service.bootstrap(datagen::uniform<2>(200, 5));
+
+  auto thread_point = [](int t, int j) {
+    return point<2>{{7000.0 * (t + 1) + 13.0 * j, 5.0 * (t + 1)}};
+  };
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kTicketsPerThread; ++j) {
+        auto c = service.submit(
+            {query::request<2>::make_insert(thread_point(t, j)),
+             query::request<2>::make_knn(thread_point(t, j), 1)});
+        auto r = c.get();
+        if (r.responses.size() != 2 || r.responses[1].points.size() != 1 ||
+            !(r.responses[1].points[0] == thread_point(t, j))) {
+          errors[t] = "ticket " + std::to_string(j) + " wrong answer";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(errors[t], "") << "thread " << t;
+  service.close();
+  EXPECT_EQ(service.size(), 200u + kThreads * kTicketsPerThread);
+  EXPECT_EQ(service.stats().num_tickets,
+            static_cast<std::size_t>(kThreads) * kTicketsPerThread);
+}
+
+TEST(QueryService, MutexIngestBackpressureStillBoundsAndCloses) {
+  // The mutex seam stays the comparable baseline: its backpressure
+  // (blocking submit / try_submit reject) and close-wakes-submitters
+  // behavior must not rot now that lockfree is the default.
+  auto cfg = make_config<2>(backend::bdltree, 1, shard_policy::hash);
+  cfg.drain = query::drain_mode::per_shard;
+  cfg.ingest = query::ingest_mode::mutex;
+  cfg.max_pending_requests = 2;
+  query::query_service<2> service(cfg);
+
+  std::promise<void> release;
+  const int sentinels = park_lane_until(service, release.get_future().share());
+  ASSERT_GT(sentinels, 0);
+
+  auto b = service.submit({query::request<2>::make_insert(point<2>{{2, 2}})});
+  auto c = service.submit({query::request<2>::make_insert(point<2>{{3, 3}})});
+  auto rejected =
+      service.try_submit({query::request<2>::make_insert(point<2>{{4, 4}})});
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(service.stats().try_submit_rejects, 1u);
+
+  std::thread blocked([&] {
+    EXPECT_THROW(
+        service.submit({query::request<2>::make_insert(point<2>{{5, 5}})}),
+        std::runtime_error);
+  });
+  wait_until([&] { return service.stats().submit_waits >= 1; },
+             "submit never blocked on the bound");
+  std::thread closer([&] { service.close(); });
+  blocked.join();  // woken by close()'s intake cut, throws
+  release.set_value();
+  closer.join();
+  b.get();
+  c.get();
+  EXPECT_EQ(service.size(), static_cast<std::size_t>(sentinels) + 2u);
+}
+
 TEST(QueryService, SpatialPruningStaysExactAcrossStripes) {
   // Boxes/balls confined to one stripe, spanning several, and covering
   // everything must all match the 1-shard reference exactly.
